@@ -1,0 +1,65 @@
+//! Criterion benchmark: cost of the failure-region search phase.
+//!
+//! Gradient MPFP search versus the blind presampling search of the minimum-norm
+//! baseline, on an analytic limit state and on the SRAM surrogate. The gap in
+//! wall clock mirrors the gap in simulation counts reported by Figure 6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_bench::{problem_with_relative_spec, surrogate_read_model, MASTER_SEED};
+use gis_core::{
+    FailureProblem, GradientMpfpSearch, LinearLimitState, MinimumNormIs, MnisConfig, MpfpConfig,
+};
+use gis_stats::RngStream;
+
+fn analytic_problem() -> FailureProblem {
+    FailureProblem::from_model(
+        LinearLimitState::along_first_axis(6, 4.5),
+        LinearLimitState::spec(),
+    )
+}
+
+fn bench_mpfp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpfp_search");
+    group.sample_size(20);
+
+    group.bench_function("gradient_search_linear_6d", |b| {
+        b.iter(|| {
+            let problem = analytic_problem();
+            let search = GradientMpfpSearch::new(MpfpConfig::default());
+            search.search(&problem, &mut RngStream::from_seed(MASTER_SEED))
+        })
+    });
+
+    group.bench_function("presampling_search_linear_6d", |b| {
+        b.iter(|| {
+            let problem = analytic_problem();
+            let mnis = MinimumNormIs::new(MnisConfig::default());
+            mnis.search(&problem, &mut RngStream::from_seed(MASTER_SEED))
+        })
+    });
+
+    group.bench_function("gradient_search_surrogate_read", |b| {
+        b.iter(|| {
+            let model = surrogate_read_model();
+            let nominal = model.nominal_metric();
+            let problem = problem_with_relative_spec(model, nominal, 2.0);
+            let search = GradientMpfpSearch::new(MpfpConfig::default());
+            search.search(&problem, &mut RngStream::from_seed(MASTER_SEED))
+        })
+    });
+
+    group.bench_function("presampling_search_surrogate_read", |b| {
+        b.iter(|| {
+            let model = surrogate_read_model();
+            let nominal = model.nominal_metric();
+            let problem = problem_with_relative_spec(model, nominal, 2.0);
+            let mnis = MinimumNormIs::new(MnisConfig::default());
+            mnis.search(&problem, &mut RngStream::from_seed(MASTER_SEED))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpfp);
+criterion_main!(benches);

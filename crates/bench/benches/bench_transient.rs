@@ -1,0 +1,45 @@
+//! Criterion benchmark: cost of one transient SRAM simulation.
+//!
+//! This is the unit cost every extraction method pays per sample on the
+//! "SPICE-accurate" model; the per-table simulation counts translate into wall
+//! clock through these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gis_sram::{CellTransistor, SramTestbench};
+use std::hint::black_box;
+
+fn bench_read_transient(c: &mut Criterion) {
+    let tb = SramTestbench::typical_45nm();
+    let mut group = c.benchmark_group("transient");
+    group.sample_size(20);
+    group.bench_function("read_nominal", |b| {
+        b.iter(|| tb.read(black_box(&[0.0; 6])).expect("read converges"))
+    });
+
+    let mut weak = [0.0; 6];
+    weak[CellTransistor::PassGateLeft.index()] = 0.12;
+    group.bench_function("read_weak_pass_gate", |b| {
+        b.iter(|| tb.read(black_box(&weak)).expect("read converges"))
+    });
+
+    group.bench_function("write_nominal", |b| {
+        b.iter(|| tb.write(black_box(&[0.0; 6])).expect("write converges"))
+    });
+    group.finish();
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let surrogate = gis_sram::SramSurrogate::typical_45nm();
+    let deltas = [0.03, -0.01, 0.02, 0.0, 0.01, -0.02];
+    let mut group = c.benchmark_group("surrogate");
+    group.bench_function("read_access_time", |b| {
+        b.iter(|| surrogate.read_access_time(black_box(&deltas)))
+    });
+    group.bench_function("write_delay", |b| {
+        b.iter(|| surrogate.write_delay(black_box(&deltas)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_transient, bench_surrogate);
+criterion_main!(benches);

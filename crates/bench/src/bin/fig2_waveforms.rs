@@ -1,0 +1,125 @@
+//! Figure 2 — Read and write transient waveforms of the 6T cell.
+//!
+//! Prints the wordline, bitline and storage-node waveforms for the nominal cell
+//! and for a cell whose left pass gate is weakened by +3σ / strengthened by
+//! −3σ, showing how threshold variation stretches the bitline discharge (read)
+//! and the cell flip (write).
+//!
+//! Run with `cargo run --release -p gis-bench --bin fig2_waveforms`.
+
+use gis_bench::{print_csv, write_json_artifact};
+use gis_circuit::{transient_analysis, Circuit, SourceWaveform, TransientConfig};
+use gis_sram::{build_6t_cell, CellTransistor, SramCellConfig, SramTestbench};
+use gis_variation::PelgromModel;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct WaveformDump {
+    label: String,
+    times: Vec<f64>,
+    wordline: Vec<f64>,
+    bitline: Vec<f64>,
+    q: Vec<f64>,
+    q_bar: Vec<f64>,
+}
+
+/// Re-creates the read testbench circuit (same topology as `SramTestbench::read`)
+/// so the full waveforms can be dumped, not just the measured numbers.
+fn read_waveforms(label: &str, vth_deltas: &[f64; 6]) -> WaveformDump {
+    let cell = SramCellConfig::typical_45nm();
+    let tb = SramTestbench::typical_45nm();
+    let timing = tb.timing();
+    let vdd = cell.vdd;
+
+    let mut ckt = Circuit::new();
+    let nodes = build_6t_cell(&mut ckt, &cell, vth_deltas).expect("valid cell");
+    ckt.add_voltage_source("V_VDD", nodes.vdd, Circuit::ground(), SourceWaveform::dc(vdd));
+    ckt.add_voltage_source(
+        "V_WL",
+        nodes.wordline,
+        Circuit::ground(),
+        SourceWaveform::pulse(0.0, vdd, timing.wordline_delay, timing.wordline_edge, timing.wordline_width),
+    );
+    ckt.add_capacitor("C_BL", nodes.bitline, Circuit::ground(), cell.bitline_capacitance)
+        .expect("valid capacitor");
+    ckt.add_capacitor("C_BLB", nodes.bitline_bar, Circuit::ground(), cell.bitline_capacitance)
+        .expect("valid capacitor");
+
+    let mut ic = vec![0.0; ckt.num_nodes()];
+    ic[nodes.vdd] = vdd;
+    ic[nodes.bitline] = vdd;
+    ic[nodes.bitline_bar] = vdd;
+    ic[nodes.q_bar] = vdd;
+
+    let cfg = TransientConfig::new(timing.stop_time, timing.time_step).with_initial_conditions(ic);
+    let result = transient_analysis(&ckt, &cfg).expect("transient converges");
+
+    WaveformDump {
+        label: label.to_string(),
+        times: result.times().to_vec(),
+        wordline: result.node_voltage_samples(nodes.wordline).unwrap().to_vec(),
+        bitline: result.node_voltage_samples(nodes.bitline).unwrap().to_vec(),
+        q: result.node_voltage_samples(nodes.q).unwrap().to_vec(),
+        q_bar: result.node_voltage_samples(nodes.q_bar).unwrap().to_vec(),
+    }
+}
+
+fn main() {
+    let cell = SramCellConfig::typical_45nm();
+    let sigma_pg = PelgromModel::typical_45nm().sigma_vth(cell.pass_gate.width, cell.pass_gate.length);
+    println!("pass-gate Vth sigma: {:.1} mV", sigma_pg * 1e3);
+
+    let mut dumps = Vec::new();
+    for (label, shift) in [
+        ("nominal", 0.0),
+        ("pass-gate +3sigma", 3.0 * sigma_pg),
+        ("pass-gate -3sigma", -3.0 * sigma_pg),
+    ] {
+        let mut deltas = [0.0; 6];
+        deltas[CellTransistor::PassGateLeft.index()] = shift;
+        let dump = read_waveforms(label, &deltas);
+
+        // Print a decimated CSV (every 10th point) for plotting.
+        let rows: Vec<String> = dump
+            .times
+            .iter()
+            .enumerate()
+            .step_by(10)
+            .map(|(i, t)| {
+                format!(
+                    "{:.4e},{:.4},{:.4},{:.4},{:.4}",
+                    t, dump.wordline[i], dump.bitline[i], dump.q[i], dump.q_bar[i]
+                )
+            })
+            .collect();
+        print_csv(
+            &format!("fig2_read_waveform_{label}"),
+            "time_s,wordline_v,bitline_v,q_v,qbar_v",
+            &rows,
+        );
+        dumps.push(dump);
+    }
+
+    // Summary measurements mirroring the figure annotations.
+    let tb = SramTestbench::typical_45nm();
+    for (label, shift) in [
+        ("nominal", 0.0),
+        ("pass-gate +3sigma", 3.0 * sigma_pg),
+        ("pass-gate -3sigma", -3.0 * sigma_pg),
+    ] {
+        let mut deltas = [0.0; 6];
+        deltas[CellTransistor::PassGateLeft.index()] = shift;
+        let read = tb.read(&deltas).expect("read transient converges");
+        let write = tb.write(&deltas).expect("write transient converges");
+        println!(
+            "{label:>20}: read access = {:.1} ps (sensed: {}), write delay = {:.1} ps (flipped: {}), disturb peak = {:.3} V",
+            read.access_time * 1e12,
+            read.sensed,
+            write.write_delay * 1e12,
+            write.flipped,
+            read.disturb_peak
+        );
+    }
+
+    write_json_artifact("fig2_waveforms", &dumps);
+}

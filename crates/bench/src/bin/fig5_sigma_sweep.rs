@@ -1,0 +1,145 @@
+//! Figure 5 — Accuracy and cost versus sigma level.
+//!
+//! The specification limit of the surrogate read-access-time problem is swept
+//! so that the true failure probability ranges from roughly 3σ to 5.5σ. At
+//! every point Gradient IS and the minimum-norm baseline are run to a 10%
+//! relative-error target, and their estimate is compared against a
+//! high-budget reference importance-sampling run. The figure shows (a) the
+//! deviation from the reference and (b) the number of simulations, both as a
+//! function of the sigma level.
+//!
+//! Run with `cargo run --release -p gis-bench --bin fig5_sigma_sweep`.
+
+use gis_bench::{
+    print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
+};
+use gis_core::{
+    run_importance_sampling, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig,
+    MinimumNormIs, MnisConfig, Proposal,
+};
+use gis_linalg::Vector;
+use gis_stats::RngStream;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SigmaSweepPoint {
+    spec_factor: f64,
+    reference_probability: f64,
+    reference_sigma: f64,
+    gis_probability: f64,
+    gis_deviation: f64,
+    gis_evaluations: u64,
+    mnis_probability: f64,
+    mnis_deviation: f64,
+    mnis_evaluations: u64,
+}
+
+fn main() {
+    let spec_factors = [1.35, 1.5, 1.7, 1.9, 2.2, 2.6];
+    let master = RngStream::from_seed(MASTER_SEED + 11);
+    let mut points = Vec::new();
+
+    for (index, &factor) in spec_factors.iter().enumerate() {
+        let model = surrogate_read_model();
+        let nominal = model.nominal_metric();
+        let base = problem_with_relative_spec(model, nominal, factor);
+
+        // Reference: gradient MPFP, then a long fixed-proposal IS run.
+        let gis_ref = GradientImportanceSampling::new(GisConfig::default());
+        let ref_outcome = gis_ref.run(&base.fork(), &mut master.split((index * 10) as u64));
+        let shift = Vector::from_slice(&ref_outcome.diagnostics.shift.clone().unwrap());
+        let (reference, _) = run_importance_sampling(
+            &base.fork(),
+            &Proposal::defensive_mixture(shift, 0.1),
+            &ImportanceSamplingConfig {
+                max_samples: 300_000,
+                batch_size: 20_000,
+                target_relative_error: 0.01,
+                min_failures: 1_000,
+            },
+            &mut master.split((index * 10 + 1) as u64),
+            "reference-is",
+            0,
+        );
+
+        // Gradient IS at the production accuracy target.
+        let gis = GradientImportanceSampling::new(GisConfig {
+            sampling: ImportanceSamplingConfig {
+                max_samples: 60_000,
+                batch_size: 500,
+                target_relative_error: 0.1,
+                min_failures: 30,
+            },
+            ..GisConfig::default()
+        });
+        let gis_outcome = gis.run(&base.fork(), &mut master.split((index * 10 + 2) as u64));
+
+        // Minimum-norm IS at the same target.
+        let mnis = MinimumNormIs::new(MnisConfig {
+            sampling: ImportanceSamplingConfig {
+                max_samples: 60_000,
+                batch_size: 500,
+                target_relative_error: 0.1,
+                min_failures: 30,
+            },
+            ..MnisConfig::default()
+        });
+        let (mnis_result, _, _) = mnis.run(&base.fork(), &mut master.split((index * 10 + 3) as u64));
+
+        let deviation = |estimate: f64| {
+            if reference.failure_probability > 0.0 && estimate > 0.0 {
+                (estimate - reference.failure_probability).abs() / reference.failure_probability
+            } else {
+                f64::NAN
+            }
+        };
+        let point = SigmaSweepPoint {
+            spec_factor: factor,
+            reference_probability: reference.failure_probability,
+            reference_sigma: reference.sigma_level,
+            gis_probability: gis_outcome.result.failure_probability,
+            gis_deviation: deviation(gis_outcome.result.failure_probability),
+            gis_evaluations: gis_outcome.result.evaluations,
+            mnis_probability: mnis_result.failure_probability,
+            mnis_deviation: deviation(mnis_result.failure_probability),
+            mnis_evaluations: mnis_result.evaluations,
+        };
+        println!(
+            "spec {:>4.2}x: sigma {:>5.2}, ref {:.3e} | GIS {:.3e} (dev {:>5.1}%, {:>6} sims) | MNIS {:.3e} (dev {:>5.1}%, {:>6} sims)",
+            point.spec_factor,
+            point.reference_sigma,
+            point.reference_probability,
+            point.gis_probability,
+            point.gis_deviation * 100.0,
+            point.gis_evaluations,
+            point.mnis_probability,
+            point.mnis_deviation * 100.0,
+            point.mnis_evaluations
+        );
+        points.push(point);
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{:.2},{:.3},{:.6e},{:.6e},{:.4},{},{:.6e},{:.4},{}",
+                p.spec_factor,
+                p.reference_sigma,
+                p.reference_probability,
+                p.gis_probability,
+                p.gis_deviation,
+                p.gis_evaluations,
+                p.mnis_probability,
+                p.mnis_deviation,
+                p.mnis_evaluations
+            )
+        })
+        .collect();
+    print_csv(
+        "fig5_sigma_sweep",
+        "spec_factor,sigma,reference_p,gis_p,gis_deviation,gis_evals,mnis_p,mnis_deviation,mnis_evals",
+        &rows,
+    );
+    write_json_artifact("fig5_sigma_sweep", &points);
+}

@@ -1,0 +1,125 @@
+//! Table 2 — Write-failure extraction on the transient 6T testbench.
+//!
+//! Same comparison as Table 1, but the dynamic characteristic is the write
+//! delay: the time from the wordline half-rise until the cell actually flips.
+//! A sample fails when that delay exceeds the specification (a fraction of the
+//! wordline pulse width); samples whose cell never flips are censored at the
+//! simulation window and therefore always fail.
+//!
+//! Run with `cargo run --release -p gis-bench --bin table2_write_failure`.
+
+use gis_bench::{
+    print_comparison_table, problem_with_relative_spec, write_json_artifact, ComparisonRow,
+    MASTER_SEED,
+};
+use gis_core::{
+    default_sram_variation_space, GisConfig, GradientImportanceSampling,
+    ImportanceSamplingConfig, MinimumNormIs, MnisConfig, ScaledSigmaSampling, SphericalSampling,
+    SphericalSamplingConfig, SramMetric, SramTransientModel, SssConfig,
+};
+use gis_sram::{SramCellConfig, SramTestbench, TestbenchTiming};
+use gis_stats::RngStream;
+use gis_variation::PelgromModel;
+
+fn main() {
+    let spec_factor = 3.0;
+    // The nominal write completes within a couple of picoseconds of the
+    // wordline rise, so the write-delay measurement needs a finer integration
+    // step than the read testbench to resolve the specification boundary.
+    let cell = SramCellConfig::typical_45nm();
+    let timing = TestbenchTiming {
+        time_step: 1e-12,
+        stop_time: 1.5e-9,
+        ..TestbenchTiming::default()
+    };
+    let testbench = SramTestbench::new(cell.clone(), timing).expect("valid write testbench");
+    let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
+    let model = SramTransientModel::new(testbench, space, SramMetric::WriteDelay);
+    let nominal = model.nominal_metric();
+    println!("nominal write delay: {:.4e} s", nominal);
+    println!(
+        "specification (upper limit): {:.4e} s ({spec_factor}x nominal)",
+        nominal * spec_factor
+    );
+
+    let base_problem = problem_with_relative_spec(model, nominal, spec_factor);
+    let master = RngStream::from_seed(MASTER_SEED + 2);
+    let mut rows = Vec::new();
+
+    {
+        let problem = base_problem.fork();
+        let gis = GradientImportanceSampling::new(GisConfig {
+            sampling: ImportanceSamplingConfig {
+                max_samples: 6_000,
+                batch_size: 250,
+                target_relative_error: 0.1,
+                min_failures: 30,
+            },
+            ..GisConfig::default()
+        });
+        let outcome = gis.run(&problem, &mut master.split(1));
+        println!(
+            "[gradient-is] MPFP beta = {:.3} sigma after {} search simulations",
+            outcome.mpfp.beta, outcome.mpfp.evaluations
+        );
+        rows.push(ComparisonRow::from_result(&outcome.result));
+    }
+
+    {
+        let problem = base_problem.fork();
+        let mnis = MinimumNormIs::new(MnisConfig {
+            presamples_per_round: 1_000,
+            presample_scales: vec![2.0, 2.5, 3.0],
+            sampling: ImportanceSamplingConfig {
+                max_samples: 6_000,
+                batch_size: 250,
+                target_relative_error: 0.1,
+                min_failures: 30,
+            },
+            ..MnisConfig::default()
+        });
+        let (result, _, search) = mnis.run(&problem, &mut master.split(2));
+        println!(
+            "[minimum-norm-is] search beta = {:.3} sigma after {} simulations",
+            search.beta, search.evaluations
+        );
+        rows.push(ComparisonRow::from_result(&result));
+    }
+
+    {
+        let problem = base_problem.fork();
+        let spherical = SphericalSampling::new(SphericalSamplingConfig {
+            directions: 150,
+            max_radius: 8.0,
+            bisection_steps: 12,
+            target_relative_error: 0.1,
+            min_failing_directions: 10,
+        });
+        let result = spherical.run(&problem, &mut master.split(3));
+        rows.push(ComparisonRow::from_result(&result));
+    }
+
+    {
+        let problem = base_problem.fork();
+        let sss = ScaledSigmaSampling::new(SssConfig {
+            scales: vec![1.6, 2.0, 2.4, 2.8, 3.2],
+            samples_per_scale: 800,
+            min_failures_per_scale: 10,
+        });
+        let (result, points) = sss.run(&problem, &mut master.split(4));
+        for p in &points {
+            println!(
+                "[scaled-sigma] s = {:.1}: {} / {} failures (P = {:.3e})",
+                p.scale, p.failures, p.samples, p.probability
+            );
+        }
+        rows.push(ComparisonRow::from_result(&result));
+    }
+
+    print_comparison_table("Table 2: 6T write-failure extraction (transient testbench)", &rows);
+    println!(
+        "\nBrute-force Monte Carlo reference cost (10% rel. error) at the GIS estimate: {:.3e} simulations",
+        gis_core::required_samples(rows[0].failure_probability.max(1e-12).min(0.5), 0.1)
+    );
+    write_json_artifact("table2_write_failure", &rows);
+}

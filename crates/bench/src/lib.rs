@@ -1,0 +1,219 @@
+//! Shared helpers for the experiment binaries and criterion benchmarks that
+//! regenerate the tables and figures of the evaluation.
+//!
+//! Each table/figure of the paper's evaluation has a dedicated binary in
+//! `src/bin/` (see DESIGN.md for the index). The helpers here build the
+//! standard problems (read/write/disturb on the surrogate or the transient
+//! testbench), format comparison rows consistently, and dump machine-readable
+//! JSON next to the printed tables so EXPERIMENTS.md can reference stable
+//! artifacts.
+
+use gis_core::{
+    default_sram_variation_space, FailureProblem, PerformanceModel, Spec, SramMetric,
+    SramSurrogateModel, SramTransientModel,
+};
+use gis_sram::{SramCellConfig, SramSurrogate, SramTestbench};
+use gis_variation::PelgromModel;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Master seed from which every experiment derives its random streams, so the
+/// whole evaluation is reproducible end to end.
+pub const MASTER_SEED: u64 = 20180319;
+
+/// Directory (relative to the workspace root) where experiment binaries drop
+/// their JSON artifacts.
+pub const RESULTS_DIR: &str = "results";
+
+/// Builds the default surrogate-backed read-access-time model.
+pub fn surrogate_read_model() -> SramSurrogateModel {
+    let cell = SramCellConfig::typical_45nm();
+    let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
+    SramSurrogateModel::new(SramSurrogate::typical_45nm(), space, SramMetric::ReadAccessTime)
+}
+
+/// Builds the default surrogate-backed write-delay model.
+pub fn surrogate_write_model() -> SramSurrogateModel {
+    let cell = SramCellConfig::typical_45nm();
+    let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
+    SramSurrogateModel::new(SramSurrogate::typical_45nm(), space, SramMetric::WriteDelay)
+}
+
+/// Builds the default transient-simulation-backed model for `metric`.
+pub fn transient_model(metric: SramMetric) -> SramTransientModel {
+    let cell = SramCellConfig::typical_45nm();
+    let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
+    SramTransientModel::new(SramTestbench::typical_45nm(), space, metric)
+}
+
+/// Builds a failure problem whose spec is `spec_factor ×` the nominal metric of
+/// `model` (an upper limit).
+pub fn problem_with_relative_spec<M>(model: M, nominal: f64, spec_factor: f64) -> FailureProblem
+where
+    M: PerformanceModel + 'static,
+{
+    FailureProblem::from_model(model, Spec::UpperLimit(nominal * spec_factor))
+}
+
+/// One row of a method-comparison table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonRow {
+    /// Method name.
+    pub method: String,
+    /// Estimated failure probability.
+    pub failure_probability: f64,
+    /// Equivalent sigma level.
+    pub sigma_level: f64,
+    /// Relative 90% confidence half-width.
+    pub relative_confidence_90: f64,
+    /// Total simulator evaluations spent.
+    pub evaluations: u64,
+    /// Speed-up versus the brute-force Monte Carlo cost required for the same
+    /// accuracy (analytical `required_samples` when MC itself was not run to
+    /// convergence).
+    pub speedup_vs_monte_carlo: f64,
+    /// Whether the method converged to its accuracy target.
+    pub converged: bool,
+}
+
+impl ComparisonRow {
+    /// Builds a row from an extraction result, measuring speed-up against the
+    /// analytical brute-force cost for the same probability and 10% accuracy.
+    pub fn from_result(result: &gis_core::ExtractionResult) -> ComparisonRow {
+        let mc_cost = if result.failure_probability > 0.0 && result.failure_probability < 1.0 {
+            gis_core::required_samples(result.failure_probability, 0.1)
+        } else {
+            f64::NAN
+        };
+        let speedup = if result.evaluations > 0 && mc_cost.is_finite() {
+            mc_cost / result.evaluations as f64
+        } else {
+            f64::NAN
+        };
+        ComparisonRow {
+            method: result.method.clone(),
+            failure_probability: result.failure_probability,
+            sigma_level: result.sigma_level,
+            relative_confidence_90: result.relative_confidence_90(),
+            evaluations: result.evaluations,
+            speedup_vs_monte_carlo: speedup,
+            converged: result.converged,
+        }
+    }
+}
+
+/// Prints a comparison table in the fixed-width format used by every
+/// table-generating binary.
+pub fn print_comparison_table(title: &str, rows: &[ComparisonRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<24} {:>12} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "method", "P_fail", "sigma", "rel90[%]", "#sims", "speedup", "converged"
+    );
+    for row in rows {
+        println!(
+            "{:<24} {:>12.4e} {:>8.3} {:>10.1} {:>12} {:>12.1} {:>10}",
+            row.method,
+            row.failure_probability,
+            row.sigma_level,
+            row.relative_confidence_90 * 100.0,
+            row.evaluations,
+            row.speedup_vs_monte_carlo,
+            row.converged
+        );
+    }
+}
+
+/// Resolves the results directory (creating it if needed), anchored at the
+/// workspace root when the binary is run via `cargo run -p gis-bench`.
+pub fn results_dir() -> PathBuf {
+    let candidates = [
+        Path::new(RESULTS_DIR).to_path_buf(),
+        Path::new("..").join("..").join(RESULTS_DIR),
+    ];
+    for dir in candidates {
+        if dir.parent().map(|p| p.exists()).unwrap_or(false) || dir.exists() {
+            let _ = std::fs::create_dir_all(&dir);
+            if dir.exists() {
+                return dir;
+            }
+        }
+    }
+    let fallback = Path::new(RESULTS_DIR).to_path_buf();
+    let _ = std::fs::create_dir_all(&fallback);
+    fallback
+}
+
+/// Serializes `data` as pretty JSON into `results/<name>.json`. Failures to
+/// write are reported on stderr but never abort an experiment.
+pub fn write_json_artifact<T: Serialize>(name: &str, data: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(data) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints a CSV block (header + rows) to stdout, prefixed by a `# <name>`
+/// marker so figure data can be extracted from captured logs.
+pub fn print_csv(name: &str, header: &str, rows: &[String]) {
+    println!("\n# {name}");
+    println!("{header}");
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_core::{GisConfig, GradientImportanceSampling, ImportanceSamplingConfig};
+    use gis_stats::RngStream;
+
+    #[test]
+    fn surrogate_models_have_sane_nominals() {
+        let read = surrogate_read_model();
+        let write = surrogate_write_model();
+        assert!(read.nominal_metric() > 1e-11 && read.nominal_metric() < 1e-8);
+        assert!(write.nominal_metric() > 1e-11 && write.nominal_metric() < 1e-8);
+    }
+
+    #[test]
+    fn comparison_row_from_gis_run() {
+        let read = surrogate_read_model();
+        let nominal = read.nominal_metric();
+        let problem = problem_with_relative_spec(read, nominal, 2.0);
+        let gis = GradientImportanceSampling::new(GisConfig {
+            sampling: ImportanceSamplingConfig {
+                max_samples: 5_000,
+                ..ImportanceSamplingConfig::default()
+            },
+            ..GisConfig::default()
+        });
+        let outcome = gis.run(&problem, &mut RngStream::from_seed(MASTER_SEED));
+        let row = ComparisonRow::from_result(&outcome.result);
+        assert_eq!(row.method, "gradient-is");
+        assert!(row.evaluations > 0);
+        print_comparison_table("smoke", &[row]);
+    }
+
+    #[test]
+    fn artifacts_are_written() {
+        #[derive(Serialize)]
+        struct Dummy {
+            value: u32,
+        }
+        write_json_artifact("unit_test_artifact", &Dummy { value: 42 });
+        let path = results_dir().join("unit_test_artifact.json");
+        assert!(path.exists());
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert!(contents.contains("42"));
+        print_csv("unit", "a,b", &["1,2".to_string()]);
+    }
+}

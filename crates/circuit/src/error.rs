@@ -1,0 +1,133 @@
+//! Error type for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A device referenced a node id that does not exist in the circuit.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes the circuit actually has.
+        num_nodes: usize,
+    },
+    /// A device parameter was invalid (non-positive resistance, NaN capacitance, …).
+    InvalidDevice {
+        /// Name of the device.
+        device: String,
+        /// Explanation of what is wrong.
+        reason: String,
+    },
+    /// The Newton–Raphson iteration failed to converge.
+    NewtonDidNotConverge {
+        /// Analysis that failed ("dc" or "transient").
+        analysis: &'static str,
+        /// Simulation time at which the failure occurred (0 for DC).
+        time: f64,
+        /// Number of iterations attempted.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// The linearized MNA system could not be solved.
+    SingularSystem {
+        /// Simulation time at which the failure occurred (0 for DC).
+        time: f64,
+        /// Underlying linear algebra error.
+        source: gis_linalg::LinalgError,
+    },
+    /// The requested analysis was configured inconsistently.
+    InvalidAnalysis(String),
+    /// A waveform measurement could not be computed (signal never crossed, …).
+    MeasurementFailed(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode { node, num_nodes } => {
+                write!(f, "unknown node {node} (circuit has {num_nodes} nodes)")
+            }
+            CircuitError::InvalidDevice { device, reason } => {
+                write!(f, "invalid device `{device}`: {reason}")
+            }
+            CircuitError::NewtonDidNotConverge {
+                analysis,
+                time,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{analysis} analysis did not converge at t = {time:.3e}s after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CircuitError::SingularSystem { time, source } => {
+                write!(f, "singular MNA system at t = {time:.3e}s: {source}")
+            }
+            CircuitError::InvalidAnalysis(msg) => write!(f, "invalid analysis setup: {msg}"),
+            CircuitError::MeasurementFailed(msg) => write!(f, "measurement failed: {msg}"),
+        }
+    }
+}
+
+impl Error for CircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CircuitError::SingularSystem { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<gis_linalg::LinalgError> for CircuitError {
+    fn from(e: gis_linalg::LinalgError) -> Self {
+        CircuitError::SingularSystem {
+            time: 0.0,
+            source: e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CircuitError::UnknownNode {
+            node: 7,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains('7'));
+
+        let e = CircuitError::NewtonDidNotConverge {
+            analysis: "dc",
+            time: 0.0,
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("did not converge"));
+
+        let le = gis_linalg::LinalgError::Singular {
+            pivot: 0,
+            value: 0.0,
+        };
+        let e: CircuitError = le.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("singular"));
+
+        assert!(CircuitError::InvalidAnalysis("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(CircuitError::MeasurementFailed("no crossing".into())
+            .to_string()
+            .contains("no crossing"));
+        assert!(CircuitError::InvalidDevice {
+            device: "R1".into(),
+            reason: "negative".into()
+        }
+        .to_string()
+        .contains("R1"));
+    }
+}

@@ -1,0 +1,538 @@
+//! Modified nodal analysis (MNA): system assembly and Newton–Raphson solution.
+//!
+//! Unknown ordering: the voltages of all non-ground nodes come first
+//! (node `k` maps to index `k − 1`), followed by one branch current per
+//! independent voltage source. Nonlinear devices (MOSFETs) are stamped as their
+//! Norton linearization around the current iterate; capacitors are stamped as
+//! backward-Euler companion models during transient analysis and are open
+//! circuits during DC analysis.
+
+use crate::error::CircuitError;
+use crate::netlist::{Circuit, Device, NodeId, GROUND};
+use gis_linalg::{LuDecomposition, Matrix, Vector};
+
+/// Minimum conductance tied from every non-ground node to ground. Prevents
+/// singular systems from floating nodes (e.g. the internal node of a stack of
+/// off transistors) at the cost of a negligible leakage path.
+pub const GMIN: f64 = 1e-12;
+
+/// Absolute voltage convergence tolerance for Newton iterations, in volts.
+pub const VOLTAGE_TOLERANCE: f64 = 1e-6;
+
+/// Relative convergence tolerance for Newton iterations.
+pub const RELATIVE_TOLERANCE: f64 = 1e-4;
+
+/// Maximum voltage change applied per Newton iteration, in volts (damping).
+pub const MAX_VOLTAGE_STEP: f64 = 0.3;
+
+/// Default Newton iteration limit.
+pub const MAX_NEWTON_ITERATIONS: usize = 200;
+
+/// State carried between transient time points, enabling the capacitor
+/// companion models.
+#[derive(Debug, Clone)]
+pub struct DynamicState {
+    /// Node voltages (full, including ground at index 0) at the previous accepted time point.
+    pub previous_node_voltages: Vec<f64>,
+    /// Time step in seconds.
+    pub dt: f64,
+}
+
+/// An assembled view of a circuit ready for MNA analysis.
+#[derive(Debug, Clone)]
+pub struct MnaSystem<'a> {
+    circuit: &'a Circuit,
+    num_nodes: usize,
+    vsrc_branch: Vec<Option<usize>>,
+    dim: usize,
+}
+
+impl<'a> MnaSystem<'a> {
+    /// Builds the unknown mapping for `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if any device references a node
+    /// that does not exist, or [`CircuitError::InvalidAnalysis`] if the circuit
+    /// has no devices.
+    pub fn new(circuit: &'a Circuit) -> Result<Self, CircuitError> {
+        circuit.validate()?;
+        if circuit.num_devices() == 0 {
+            return Err(CircuitError::InvalidAnalysis(
+                "circuit has no devices".to_string(),
+            ));
+        }
+        let num_nodes = circuit.num_nodes();
+        let mut vsrc_branch = vec![None; circuit.num_devices()];
+        let mut next_branch = 0usize;
+        for (i, d) in circuit.devices().iter().enumerate() {
+            if matches!(d, Device::VoltageSource { .. }) {
+                vsrc_branch[i] = Some(next_branch);
+                next_branch += 1;
+            }
+        }
+        let dim = (num_nodes - 1) + next_branch;
+        Ok(MnaSystem {
+            circuit,
+            num_nodes,
+            vsrc_branch,
+            dim,
+        })
+    }
+
+    /// Number of unknowns (non-ground node voltages plus voltage-source branch currents).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The circuit this system was built from.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// Index of node `node` in the unknown vector, or `None` for ground.
+    fn node_index(&self, node: NodeId) -> Option<usize> {
+        if node == GROUND {
+            None
+        } else {
+            Some(node - 1)
+        }
+    }
+
+    /// Voltage of `node` in the solution vector `x` (0 for ground).
+    pub fn node_voltage(&self, x: &Vector, node: NodeId) -> f64 {
+        match self.node_index(node) {
+            None => 0.0,
+            Some(i) => x[i],
+        }
+    }
+
+    /// Expands a solution vector into per-node voltages (index = node id,
+    /// ground included as 0.0).
+    pub fn node_voltages(&self, x: &Vector) -> Vec<f64> {
+        (0..self.num_nodes)
+            .map(|n| self.node_voltage(x, n))
+            .collect()
+    }
+
+    /// Branch current through the `k`-th voltage source in the solution `x`.
+    ///
+    /// Returns `None` if the device at `device_index` is not a voltage source.
+    pub fn voltage_source_current(&self, x: &Vector, device_index: usize) -> Option<f64> {
+        let branch = self.vsrc_branch.get(device_index).copied().flatten()?;
+        Some(x[(self.num_nodes - 1) + branch])
+    }
+
+    fn stamp_conductance(&self, a: NodeId, b: NodeId, g: f64, matrix: &mut Matrix) {
+        let ia = self.node_index(a);
+        let ib = self.node_index(b);
+        if let Some(i) = ia {
+            matrix.add_at(i, i, g);
+        }
+        if let Some(j) = ib {
+            matrix.add_at(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            matrix.add_at(i, j, -g);
+            matrix.add_at(j, i, -g);
+        }
+    }
+
+    fn stamp_current(&self, from: NodeId, into: NodeId, current: f64, rhs: &mut Vector) {
+        if let Some(i) = self.node_index(into) {
+            rhs[i] += current;
+        }
+        if let Some(i) = self.node_index(from) {
+            rhs[i] -= current;
+        }
+    }
+
+    /// Assembles the linearized MNA system `A · x_new = z` around the iterate `x`.
+    pub fn assemble(
+        &self,
+        x: &Vector,
+        time: f64,
+        dynamic: Option<&DynamicState>,
+    ) -> (Matrix, Vector) {
+        let mut a = Matrix::zeros(self.dim, self.dim);
+        let mut z = Vector::zeros(self.dim);
+
+        // GMIN from every non-ground node to ground.
+        for n in 1..self.num_nodes {
+            let i = n - 1;
+            a.add_at(i, i, GMIN);
+        }
+
+        for (dev_index, device) in self.circuit.devices().iter().enumerate() {
+            match device {
+                Device::Resistor { a: na, b: nb, resistance, .. } => {
+                    self.stamp_conductance(*na, *nb, 1.0 / resistance, &mut a);
+                }
+                Device::Capacitor {
+                    a: na,
+                    b: nb,
+                    capacitance,
+                    ..
+                } => {
+                    if let Some(state) = dynamic {
+                        // Backward-Euler companion model.
+                        let geq = capacitance / state.dt;
+                        let v_prev =
+                            state.previous_node_voltages[*na] - state.previous_node_voltages[*nb];
+                        self.stamp_conductance(*na, *nb, geq, &mut a);
+                        // The history term acts as a current source from b into a.
+                        self.stamp_current(*nb, *na, geq * v_prev, &mut z);
+                    }
+                    // DC: capacitor is an open circuit — nothing to stamp.
+                }
+                Device::VoltageSource {
+                    positive,
+                    negative,
+                    waveform,
+                    ..
+                } => {
+                    let branch = self.vsrc_branch[dev_index]
+                        .expect("voltage source has a branch index by construction");
+                    let row = (self.num_nodes - 1) + branch;
+                    if let Some(i) = self.node_index(*positive) {
+                        a.add_at(i, row, 1.0);
+                        a.add_at(row, i, 1.0);
+                    }
+                    if let Some(i) = self.node_index(*negative) {
+                        a.add_at(i, row, -1.0);
+                        a.add_at(row, i, -1.0);
+                    }
+                    z[row] = waveform.value_at(time);
+                }
+                Device::CurrentSource {
+                    from,
+                    into,
+                    waveform,
+                    ..
+                } => {
+                    self.stamp_current(*from, *into, waveform.value_at(time), &mut z);
+                }
+                Device::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    body,
+                    params,
+                    ..
+                } => {
+                    self.stamp_mosfet(*drain, *gate, *source, *body, params, x, &mut a, &mut z);
+                }
+            }
+        }
+        (a, z)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn stamp_mosfet(
+        &self,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        body: NodeId,
+        params: &crate::mosfet::MosfetParams,
+        x: &Vector,
+        a: &mut Matrix,
+        z: &mut Vector,
+    ) {
+        let sign = params.polarity.sign();
+        let vd = self.node_voltage(x, drain);
+        let vg = self.node_voltage(x, gate);
+        let vs = self.node_voltage(x, source);
+        let vb = self.node_voltage(x, body);
+
+        // Normalize to an N-type device: for PMOS flip all voltages.
+        let (nvd, nvg, nvs, nvb) = (sign * vd, sign * vg, sign * vs, sign * vb);
+        // Symmetric conduction: pick the higher of the two channel terminals as
+        // the effective drain.
+        let swapped = nvd < nvs;
+        let (evd, evs) = if swapped { (nvs, nvd) } else { (nvd, nvs) };
+        let vgs = nvg - evs;
+        let vds = evd - evs;
+        let vbs = nvb - evs;
+
+        let op = params.evaluate_normalized(vgs, vds, vbs);
+
+        // Norton linearization around the iterate:
+        // i_d ≈ id0 + gm·Δvgs + gds·Δvds + gmb·Δvbs
+        // Equivalent current source: ieq = ±(id0 − gm·vgs − gds·vds − gmb·vbs).
+        // The polarity sign appears only here: expressed in terms of *real*
+        // node-voltage differences the conductance stamps of NMOS and PMOS are
+        // identical, while the current injected at the effective drain flips.
+        let ieq = sign * (op.id - op.gm * vgs - op.gds * vds - op.gmb * vbs);
+
+        // Terminals in the normalized (possibly swapped) frame.
+        let (eff_drain, eff_source) = if swapped { (source, drain) } else { (drain, source) };
+
+        // In the normalized frame current `id` flows from eff_drain to eff_source
+        // inside the device. For PMOS (sign = −1) the real current direction is
+        // reversed, which is equivalent to stamping in the flipped frame with
+        // flipped voltage differences — handled by multiplying the stamped
+        // current by `sign` while conductances stay positive.
+        let stamp_row = |node: NodeId| self.node_index(node);
+
+        let gd = stamp_row(eff_drain);
+        let gs_idx = stamp_row(eff_source);
+        let gg = stamp_row(gate);
+        let gb = stamp_row(body);
+
+        // Conductance stamps (Jacobian contributions). Row for eff_drain gets
+        // +∂i/∂v_terminal, row for eff_source gets the negative.
+        // i depends on vgs = vg − vs, vds = vd − vs, vbs = vb − vs
+        // (all in the normalized frame; the sign flip for PMOS cancels because
+        // both the current and the voltages flip).
+        let add = |m: &mut Matrix, row: Option<usize>, col: Option<usize>, val: f64| {
+            if let (Some(r), Some(c)) = (row, col) {
+                m.add_at(r, c, val);
+            }
+        };
+
+        // Row eff_drain.
+        add(a, gd, gg, op.gm);
+        add(a, gd, gd, op.gds);
+        add(a, gd, gb, op.gmb);
+        add(a, gd, gs_idx, -(op.gm + op.gds + op.gmb));
+        // Row eff_source (current leaves the source terminal).
+        add(a, gs_idx, gg, -op.gm);
+        add(a, gs_idx, gd, -op.gds);
+        add(a, gs_idx, gb, -op.gmb);
+        add(a, gs_idx, gs_idx, op.gm + op.gds + op.gmb);
+
+        // Equivalent current source: flows out of eff_drain, into eff_source.
+        if let Some(r) = gd {
+            z[r] -= ieq;
+        }
+        if let Some(r) = gs_idx {
+            z[r] += ieq;
+        }
+    }
+
+    /// Runs damped Newton–Raphson from the initial guess `x0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::SingularSystem`] if a linearized system cannot be solved.
+    /// * [`CircuitError::NewtonDidNotConverge`] if the iteration limit is reached.
+    pub fn solve_newton(
+        &self,
+        x0: Vector,
+        time: f64,
+        dynamic: Option<&DynamicState>,
+        analysis: &'static str,
+        max_iterations: usize,
+    ) -> Result<Vector, CircuitError> {
+        let mut x = if x0.len() == self.dim {
+            x0
+        } else {
+            Vector::zeros(self.dim)
+        };
+        let mut last_delta = f64::INFINITY;
+        for iteration in 0..max_iterations {
+            let (a, z) = self.assemble(&x, time, dynamic);
+            let lu = LuDecomposition::new(&a).map_err(|source| CircuitError::SingularSystem {
+                time,
+                source,
+            })?;
+            let x_new = lu.solve(&z).map_err(|source| CircuitError::SingularSystem {
+                time,
+                source,
+            })?;
+
+            // Damped update: limit per-iteration voltage change. If the
+            // iteration has not settled after half the budget (typically a
+            // limit cycle between two near-solutions in weak inversion), shrink
+            // the step progressively to force convergence.
+            let relaxation = if iteration * 2 > max_iterations {
+                0.25
+            } else {
+                1.0
+            };
+            let mut max_delta: f64 = 0.0;
+            let mut x_next = x.clone();
+            let node_unknowns = self.num_nodes - 1;
+            for i in 0..self.dim {
+                let mut delta = x_new[i] - x[i];
+                if i < node_unknowns {
+                    delta = relaxation * delta.clamp(-MAX_VOLTAGE_STEP, MAX_VOLTAGE_STEP);
+                    max_delta = max_delta.max(delta.abs());
+                }
+                x_next[i] = x[i] + delta;
+            }
+            x = x_next;
+            last_delta = max_delta;
+            if max_delta < VOLTAGE_TOLERANCE + RELATIVE_TOLERANCE * x.norm_inf().min(1.0) {
+                return Ok(x);
+            }
+        }
+        Err(CircuitError::NewtonDidNotConverge {
+            analysis,
+            time,
+            iterations: max_iterations,
+            residual: last_delta,
+        })
+    }
+
+    /// Computes the DC operating point, optionally warm-started from
+    /// `initial_node_voltages` (index = node id; ground entry ignored).
+    ///
+    /// # Errors
+    ///
+    /// See [`MnaSystem::solve_newton`].
+    pub fn dc_operating_point(
+        &self,
+        initial_node_voltages: Option<&[f64]>,
+    ) -> Result<Vector, CircuitError> {
+        let mut x0 = Vector::zeros(self.dim);
+        if let Some(init) = initial_node_voltages {
+            for node in 1..self.num_nodes.min(init.len()) {
+                x0[node - 1] = init[node];
+            }
+        }
+        self.solve_newton(x0, 0.0, None, "dc", MAX_NEWTON_ITERATIONS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::MosfetParams;
+    use crate::netlist::SourceWaveform;
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.add_voltage_source("V1", vin, GROUND, SourceWaveform::dc(2.0));
+        ckt.add_resistor("R1", vin, mid, 1e3).unwrap();
+        ckt.add_resistor("R2", mid, GROUND, 1e3).unwrap();
+        let sys = MnaSystem::new(&ckt).unwrap();
+        assert_eq!(sys.dim(), 3);
+        let x = sys.dc_operating_point(None).unwrap();
+        assert!((sys.node_voltage(&x, mid) - 1.0).abs() < 1e-6);
+        assert!((sys.node_voltage(&x, vin) - 2.0).abs() < 1e-9);
+        // Current through the source: 2 V across 2 kΩ = 1 mA, flowing out of the
+        // positive terminal, so the MNA branch current is −1 mA.
+        let i = sys.voltage_source_current(&x, 0).unwrap();
+        assert!((i + 1e-3).abs() < 1e-6, "source current {i}");
+        assert!(sys.voltage_source_current(&x, 1).is_none());
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_current_source("I1", GROUND, out, SourceWaveform::dc(1e-3));
+        ckt.add_resistor("R1", out, GROUND, 2e3).unwrap();
+        let sys = MnaSystem::new(&ckt).unwrap();
+        let x = sys.dc_operating_point(None).unwrap();
+        assert!((sys.node_voltage(&x, out) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_common_source_amplifier_bias() {
+        // NMOS with gate at 1.0 V, drain pulled to 1.0 V through 10 kΩ.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("g");
+        let drain = ckt.node("d");
+        ckt.add_voltage_source("VDD", vdd, GROUND, SourceWaveform::dc(1.0));
+        ckt.add_voltage_source("VG", gate, GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor("RD", vdd, drain, 10e3).unwrap();
+        ckt.add_mosfet("M1", drain, gate, GROUND, GROUND, MosfetParams::nmos_45nm())
+            .unwrap();
+        let sys = MnaSystem::new(&ckt).unwrap();
+        let x = sys.dc_operating_point(None).unwrap();
+        let vd = sys.node_voltage(&x, drain);
+        // The transistor is on, so the drain must be pulled well below VDD but
+        // stay above ground.
+        assert!(vd > 0.0 && vd < 0.9, "drain voltage {vd}");
+        // KCL check: resistor current equals transistor current.
+        let i_r = (1.0 - vd) / 10e3;
+        let op = MosfetParams::nmos_45nm().evaluate_normalized(1.0, vd, 0.0);
+        assert!((i_r - op.id).abs() / i_r < 0.02, "KCL violated: {i_r} vs {}", op.id);
+    }
+
+    #[test]
+    fn pmos_pull_up() {
+        // PMOS source at VDD, gate at 0: device on, pulls output high through itself
+        // against a resistor to ground.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("VDD", vdd, GROUND, SourceWaveform::dc(1.0));
+        ckt.add_mosfet(
+            "MP",
+            out,
+            GROUND,
+            vdd,
+            vdd,
+            MosfetParams::pmos_45nm(),
+        )
+        .unwrap();
+        ckt.add_resistor("RL", out, GROUND, 100e3).unwrap();
+        let sys = MnaSystem::new(&ckt).unwrap();
+        let x = sys.dc_operating_point(None).unwrap();
+        let vout = sys.node_voltage(&x, out);
+        assert!(vout > 0.8, "PMOS failed to pull up: {vout}");
+    }
+
+    #[test]
+    fn cmos_inverter_transfer() {
+        let build = |vin: f64| {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let input = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add_voltage_source("VDD", vdd, GROUND, SourceWaveform::dc(1.0));
+            ckt.add_voltage_source("VIN", input, GROUND, SourceWaveform::dc(vin));
+            ckt.add_mosfet("MP", out, input, vdd, vdd, MosfetParams::pmos_45nm())
+                .unwrap();
+            ckt.add_mosfet("MN", out, input, GROUND, GROUND, MosfetParams::nmos_45nm())
+                .unwrap();
+            ckt
+        };
+        let solve = |vin: f64, guess: f64| {
+            let ckt = build(vin);
+            let sys = MnaSystem::new(&ckt).unwrap();
+            let init = vec![0.0, 1.0, vin, guess];
+            let x = sys.dc_operating_point(Some(&init)).unwrap();
+            sys.node_voltage(&x, 3)
+        };
+        let high = solve(0.0, 1.0);
+        let low = solve(1.0, 0.0);
+        assert!(high > 0.95, "inverter output should be high, got {high}");
+        assert!(low < 0.05, "inverter output should be low, got {low}");
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let ckt = Circuit::new();
+        assert!(MnaSystem::new(&ckt).is_err());
+    }
+
+    #[test]
+    fn dangling_node_rejected() {
+        let mut ckt = Circuit::new();
+        ckt.add_voltage_source("V", 3, GROUND, SourceWaveform::dc(1.0));
+        assert!(MnaSystem::new(&ckt).is_err());
+    }
+
+    #[test]
+    fn node_voltages_expansion() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V", a, GROUND, SourceWaveform::dc(0.7));
+        ckt.add_resistor("R", a, GROUND, 1e3).unwrap();
+        let sys = MnaSystem::new(&ckt).unwrap();
+        let x = sys.dc_operating_point(None).unwrap();
+        let v = sys.node_voltages(&x);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - 0.7).abs() < 1e-9);
+    }
+}

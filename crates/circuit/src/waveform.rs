@@ -1,0 +1,269 @@
+//! Sampled waveforms and SPICE-style `.measure` operations.
+
+use crate::error::CircuitError;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossingDirection {
+    /// Signal passes the level going up.
+    Rising,
+    /// Signal passes the level going down.
+    Falling,
+    /// Either direction counts.
+    Either,
+}
+
+/// A sampled signal: strictly increasing time points with one value each.
+///
+/// ```
+/// use gis_circuit::{Waveform, CrossingDirection};
+///
+/// let w = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
+/// let t = w.crossing_time(0.5, CrossingDirection::Rising, 0.0).unwrap();
+/// assert!((t - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from parallel time/value vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::MeasurementFailed`] if the vectors are empty,
+    /// have different lengths, or the times are not strictly increasing.
+    pub fn from_samples(times: Vec<f64>, values: Vec<f64>) -> Result<Self, CircuitError> {
+        if times.is_empty() || times.len() != values.len() {
+            return Err(CircuitError::MeasurementFailed(format!(
+                "waveform needs equal, non-zero numbers of times and values (got {} / {})",
+                times.len(),
+                values.len()
+            )));
+        }
+        if times.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(CircuitError::MeasurementFailed(
+                "waveform times must be strictly increasing".to_string(),
+            ));
+        }
+        Ok(Waveform { times, values })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if the waveform has no samples (never true for a
+    /// successfully constructed waveform).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sampled time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sampled values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// First time point.
+    pub fn start_time(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Last time point.
+    pub fn end_time(&self) -> f64 {
+        *self.times.last().expect("waveform is never empty")
+    }
+
+    /// Value at the final time point.
+    pub fn final_value(&self) -> f64 {
+        *self.values.last().expect("waveform is never empty")
+    }
+
+    /// Minimum value over the whole waveform.
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value over the whole waveform.
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Linearly interpolated value at time `t`. Clamps to the first/last sample
+    /// outside the sampled range.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= self.end_time() {
+            return self.final_value();
+        }
+        // Binary search for the bracketing interval.
+        let idx = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).expect("times are finite"))
+        {
+            Ok(i) => return self.values[i],
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Time of the first crossing of `level` in the given `direction` at or
+    /// after `after` (linear interpolation between samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::MeasurementFailed`] if no such crossing exists.
+    pub fn crossing_time(
+        &self,
+        level: f64,
+        direction: CrossingDirection,
+        after: f64,
+    ) -> Result<f64, CircuitError> {
+        for i in 1..self.times.len() {
+            let (t0, t1) = (self.times[i - 1], self.times[i]);
+            if t1 < after {
+                continue;
+            }
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            let rising = v0 < level && v1 >= level;
+            let falling = v0 > level && v1 <= level;
+            let hit = match direction {
+                CrossingDirection::Rising => rising,
+                CrossingDirection::Falling => falling,
+                CrossingDirection::Either => rising || falling,
+            };
+            if hit {
+                let frac = if (v1 - v0).abs() < f64::MIN_POSITIVE {
+                    0.0
+                } else {
+                    (level - v0) / (v1 - v0)
+                };
+                let t_cross = t0 + frac * (t1 - t0);
+                if t_cross >= after {
+                    return Ok(t_cross);
+                }
+            }
+        }
+        Err(CircuitError::MeasurementFailed(format!(
+            "signal never crosses {level} ({direction:?}) after t = {after:.3e}s"
+        )))
+    }
+
+    /// Convenience: 50%-to-50% delay between this waveform and `other`, i.e.
+    /// the time from this signal crossing `level_self` to `other` crossing
+    /// `level_other`, both measured at or after `after`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::MeasurementFailed`] if either crossing is missing
+    /// or the measured delay is negative.
+    pub fn delay_to(
+        &self,
+        level_self: f64,
+        other: &Waveform,
+        level_other: f64,
+        after: f64,
+    ) -> Result<f64, CircuitError> {
+        let t0 = self.crossing_time(level_self, CrossingDirection::Either, after)?;
+        let t1 = other.crossing_time(level_other, CrossingDirection::Either, t0)?;
+        if t1 < t0 {
+            return Err(CircuitError::MeasurementFailed(
+                "negative delay measured".to_string(),
+            ));
+        }
+        Ok(t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::from_samples(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.0, 2.0, 1.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Waveform::from_samples(vec![], vec![]).is_err());
+        assert!(Waveform::from_samples(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(Waveform::from_samples(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Waveform::from_samples(vec![1.0, 0.5], vec![1.0, 2.0]).is_err());
+        let w = ramp();
+        assert_eq!(w.len(), 5);
+        assert!(!w.is_empty());
+        assert_eq!(w.times().len(), w.values().len());
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let w = ramp();
+        assert_eq!(w.start_time(), 0.0);
+        assert_eq!(w.end_time(), 4.0);
+        assert_eq!(w.final_value(), 0.0);
+        assert_eq!(w.min_value(), 0.0);
+        assert_eq!(w.max_value(), 2.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let w = ramp();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(0.5), 0.5);
+        assert_eq!(w.value_at(1.0), 1.0);
+        assert_eq!(w.value_at(2.5), 1.5);
+        assert_eq!(w.value_at(9.0), 0.0);
+    }
+
+    #[test]
+    fn crossings() {
+        let w = ramp();
+        let t = w
+            .crossing_time(1.5, CrossingDirection::Rising, 0.0)
+            .unwrap();
+        assert!((t - 1.5).abs() < 1e-12);
+        let t = w
+            .crossing_time(1.5, CrossingDirection::Falling, 0.0)
+            .unwrap();
+        assert!((t - 2.5).abs() < 1e-12);
+        let t = w
+            .crossing_time(1.5, CrossingDirection::Either, 2.0)
+            .unwrap();
+        assert!((t - 2.5).abs() < 1e-12);
+        assert!(w.crossing_time(5.0, CrossingDirection::Rising, 0.0).is_err());
+        assert!(w
+            .crossing_time(1.5, CrossingDirection::Rising, 3.0)
+            .is_err());
+    }
+
+    #[test]
+    fn delay_measurement() {
+        let a = Waveform::from_samples(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        let b = Waveform::from_samples(vec![0.0, 1.0, 2.0], vec![0.0, 0.0, 1.0]).unwrap();
+        let d = a.delay_to(0.5, &b, 0.5, 0.0).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+        // Missing crossing propagates an error.
+        let flat = Waveform::from_samples(vec![0.0, 1.0], vec![0.0, 0.0]).unwrap();
+        assert!(a.delay_to(0.5, &flat, 0.5, 0.0).is_err());
+    }
+}

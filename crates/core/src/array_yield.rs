@@ -1,0 +1,188 @@
+//! Array-level yield arithmetic: translating a per-cell failure probability
+//! into memory-array yield, with and without redundant (spare) rows, and the
+//! inverse problem of deriving the per-cell sigma target for a capacity/yield
+//! requirement — the numbers a memory architect actually asks the extraction
+//! flow for.
+
+use crate::special::ln_gamma;
+use serde::{Deserialize, Serialize};
+
+/// Array-level yield model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrayYield {
+    /// Number of bitcells in the array.
+    pub cells: u64,
+    /// Number of defective cells that can be repaired (spare rows/columns,
+    /// expressed in repairable cells).
+    pub repairable_cells: u64,
+}
+
+impl ArrayYield {
+    /// An array of `cells` bitcells without redundancy.
+    pub fn without_redundancy(cells: u64) -> Self {
+        ArrayYield {
+            cells,
+            repairable_cells: 0,
+        }
+    }
+
+    /// An array of `cells` bitcells that can repair up to `repairable_cells`
+    /// failing cells.
+    pub fn with_redundancy(cells: u64, repairable_cells: u64) -> Self {
+        ArrayYield {
+            cells,
+            repairable_cells,
+        }
+    }
+
+    /// Probability that the array yields (all failures repairable) for a given
+    /// per-cell failure probability.
+    ///
+    /// Uses the Poisson approximation of the binomial count of failing cells,
+    /// `λ = N·p`, which is accurate to many digits in the regime of interest
+    /// (`p ≤ 1e-4`, `N ≥ 1e3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cell_failure_probability` is not in `[0, 1]`.
+    pub fn yield_probability(&self, per_cell_failure_probability: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&per_cell_failure_probability),
+            "per-cell failure probability must be in [0, 1]"
+        );
+        if self.cells == 0 {
+            return 1.0;
+        }
+        let lambda = self.cells as f64 * per_cell_failure_probability;
+        if lambda == 0.0 {
+            return 1.0;
+        }
+        // P(X ≤ k) for X ~ Poisson(λ), accumulated in log space for stability.
+        let k = self.repairable_cells;
+        let mut cumulative = 0.0;
+        for i in 0..=k {
+            let log_term = -lambda + i as f64 * lambda.ln() - ln_gamma(i as f64 + 1.0);
+            cumulative += log_term.exp();
+        }
+        cumulative.min(1.0)
+    }
+
+    /// Expected number of failing cells in the array.
+    pub fn expected_failures(&self, per_cell_failure_probability: f64) -> f64 {
+        self.cells as f64 * per_cell_failure_probability
+    }
+
+    /// The largest per-cell failure probability that still achieves the target
+    /// array yield, found by bisection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_yield` is not in `(0, 1)`.
+    pub fn required_cell_failure_probability(&self, target_yield: f64) -> f64 {
+        assert!(
+            target_yield > 0.0 && target_yield < 1.0,
+            "target yield must be in (0, 1)"
+        );
+        if self.cells == 0 {
+            return 1.0;
+        }
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.yield_probability(mid) >= target_yield {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// The per-cell sigma target corresponding to
+    /// [`ArrayYield::required_cell_failure_probability`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_yield` is not in `(0, 1)`.
+    pub fn required_cell_sigma(&self, target_yield: f64) -> f64 {
+        let p = self.required_cell_failure_probability(target_yield);
+        if p <= 0.0 {
+            f64::INFINITY
+        } else if p >= 1.0 {
+            0.0
+        } else {
+            gis_stats::normal::sigma_level(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_without_redundancy_matches_closed_form() {
+        let array = ArrayYield::without_redundancy(1_000_000);
+        let p = 1e-7_f64;
+        // Exact binomial yield (1-p)^N vs the Poisson approximation.
+        let exact = (1.0 - p).powf(1e6);
+        let approx = array.yield_probability(p);
+        assert!((exact - approx).abs() < 1e-6, "{exact} vs {approx}");
+        // Edge cases.
+        assert_eq!(array.yield_probability(0.0), 1.0);
+        assert_eq!(ArrayYield::without_redundancy(0).yield_probability(0.5), 1.0);
+        assert!((array.expected_failures(p) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundancy_improves_yield() {
+        let p = 2e-6;
+        let plain = ArrayYield::without_redundancy(1 << 20);
+        let repaired = ArrayYield::with_redundancy(1 << 20, 4);
+        let y_plain = plain.yield_probability(p);
+        let y_repaired = repaired.yield_probability(p);
+        assert!(y_repaired > y_plain);
+        assert!(y_repaired > 0.9, "4 spare cells should rescue the yield, got {y_repaired}");
+        // With enough spares the yield approaches 1.
+        let generous = ArrayYield::with_redundancy(1 << 20, 64);
+        assert!(generous.yield_probability(p) > 0.999999);
+    }
+
+    #[test]
+    fn required_probability_inverts_yield() {
+        let array = ArrayYield::with_redundancy(8 * 1024 * 1024, 8);
+        let target = 0.99;
+        let p_req = array.required_cell_failure_probability(target);
+        assert!(p_req > 0.0 && p_req < 1e-4);
+        let achieved = array.yield_probability(p_req);
+        assert!((achieved - target).abs() < 0.01, "achieved {achieved}");
+        // Tighter target → smaller allowed probability.
+        let p_tighter = array.required_cell_failure_probability(0.999);
+        assert!(p_tighter < p_req);
+    }
+
+    #[test]
+    fn sigma_targets_grow_with_capacity() {
+        // The classic statement "a 64 Mb array needs ~6 sigma cells".
+        let small = ArrayYield::without_redundancy(64 * 1024);
+        let large = ArrayYield::without_redundancy(64 * 1024 * 1024);
+        let sigma_small = small.required_cell_sigma(0.99);
+        let sigma_large = large.required_cell_sigma(0.99);
+        assert!(sigma_large > sigma_small);
+        assert!(sigma_small > 4.0 && sigma_small < 6.0, "{sigma_small}");
+        assert!(sigma_large > 5.5 && sigma_large < 7.5, "{sigma_large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target yield must be in (0, 1)")]
+    fn invalid_target_yield_rejected() {
+        let _ = ArrayYield::without_redundancy(100).required_cell_failure_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-cell failure probability must be in [0, 1]")]
+    fn invalid_probability_rejected() {
+        let _ = ArrayYield::without_redundancy(100).yield_probability(-0.1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Baseline high-sigma extraction methods the paper compares against.
+//!
+//! * [`mnis`] — minimum-norm importance sampling: derivative-free presampling
+//!   locates the failure region, the minimum-norm failing sample becomes the
+//!   mean-shift centre.
+//! * [`spherical`] — spherical (shell) sampling: radial bisection along random
+//!   directions maps the failure boundary, the chi-distribution tail integrates
+//!   it into a failure probability.
+//! * [`sss`] — scaled-sigma sampling: Monte Carlo at artificially inflated
+//!   sigma, extrapolated back to nominal sigma through a regression model.
+
+pub mod mnis;
+pub mod spherical;
+pub mod sss;
+
+pub use mnis::{MinimumNormIs, MnisConfig};
+pub use spherical::{SphericalSampling, SphericalSamplingConfig};
+pub use sss::{ScaledSigmaSampling, SssConfig};

@@ -1,0 +1,411 @@
+//! Gradient Importance Sampling (GIS) — the paper's proposed methodology.
+//!
+//! The method has three ingredients:
+//!
+//! 1. **Gradient MPFP search** ([`crate::mpfp`]): finite-difference gradients
+//!    of the simulated dynamic characteristic drive a damped HL–RF iteration to
+//!    the most-probable failure point `z*`, typically in a few tens of
+//!    simulator calls — orders of magnitude cheaper than the blind presampling
+//!    used by earlier minimum-norm and spherical methods.
+//! 2. **Defensive mean-shift proposal**: a Gaussian mixture
+//!    `(1 − ε)·N(z*, I) + ε·N(0, I)` centres the sampling effort on the failure
+//!    region while the nominal component bounds the importance weights,
+//!    protecting the estimator when `z*` is imperfect (curved or multiple
+//!    failure regions).
+//! 3. **Gradient-informed adaptation**: as failing samples accumulate, the
+//!    shifted component is re-centred on their weighted mean, refining the
+//!    proposal without further gradient evaluations.
+//!
+//! The output is the failure probability with confidence information, the
+//! equivalent sigma level, and the full cost accounting used by the
+//! evaluation tables.
+
+use crate::importance::{ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal};
+use crate::model::FailureProblem;
+use crate::mpfp::{GradientMpfpSearch, MpfpConfig, MpfpResult};
+use crate::result::{ConvergencePoint, ExtractionResult};
+use gis_linalg::Vector;
+use gis_stats::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Gradient Importance Sampling estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GisConfig {
+    /// Configuration of the gradient MPFP search phase.
+    pub mpfp: MpfpConfig,
+    /// Configuration of the sampling phase.
+    pub sampling: ImportanceSamplingConfig,
+    /// Weight of the nominal density in the defensive mixture (0 disables the
+    /// defensive component and uses a pure mean shift).
+    pub defensive_fraction: f64,
+    /// Weight of an additional "bridge" component centred at
+    /// `bridge_position × shift`. Useful when the failure boundary is strongly
+    /// curved or steep (e.g. SRAM write contention), where the region between
+    /// the nominal point and the MPFP carries non-negligible probability mass;
+    /// 0 disables the component.
+    pub bridge_fraction: f64,
+    /// Relative position of the bridge component along the shift direction
+    /// (only used when `bridge_fraction > 0`).
+    pub bridge_position: f64,
+    /// Re-centre the shifted component on the weighted mean of observed
+    /// failures every `recenter_every_batches` batches.
+    pub adaptive_recentering: bool,
+    /// Batches between re-centring steps.
+    pub recenter_every_batches: usize,
+    /// Minimum number of failing samples required before a re-centring step.
+    pub recenter_min_failures: u64,
+}
+
+impl Default for GisConfig {
+    fn default() -> Self {
+        GisConfig {
+            mpfp: MpfpConfig::default(),
+            sampling: ImportanceSamplingConfig::default(),
+            defensive_fraction: 0.1,
+            bridge_fraction: 0.0,
+            bridge_position: 0.75,
+            adaptive_recentering: true,
+            recenter_every_batches: 5,
+            recenter_min_failures: 30,
+        }
+    }
+}
+
+impl GisConfig {
+    fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.defensive_fraction) {
+            return Err(format!(
+                "defensive fraction must be in [0, 1), got {}",
+                self.defensive_fraction
+            ));
+        }
+        if !(0.0..1.0).contains(&self.bridge_fraction)
+            || self.defensive_fraction + self.bridge_fraction >= 1.0
+        {
+            return Err(format!(
+                "bridge fraction must be in [0, 1) and defensive + bridge must stay below 1, got {} + {}",
+                self.defensive_fraction, self.bridge_fraction
+            ));
+        }
+        if self.bridge_fraction > 0.0 && !(0.0..=1.0).contains(&self.bridge_position) {
+            return Err(format!(
+                "bridge position must be in [0, 1], got {}",
+                self.bridge_position
+            ));
+        }
+        if self.adaptive_recentering && self.recenter_every_batches == 0 {
+            return Err("recenter_every_batches must be at least 1".to_string());
+        }
+        self.sampling.validate()
+    }
+}
+
+/// Full outcome of a Gradient Importance Sampling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GisOutcome {
+    /// The failure-probability extraction result (estimate, errors, cost).
+    pub result: ExtractionResult,
+    /// Importance-sampling diagnostics (effective sample size, weights, shift).
+    pub diagnostics: IsDiagnostics,
+    /// The MPFP search result, including its convergence trace.
+    pub mpfp: MpfpResult,
+    /// History of the shift vector across adaptation steps (first entry is the
+    /// MPFP, later entries are the re-centred means).
+    pub shift_history: Vec<Vector>,
+}
+
+/// The Gradient Importance Sampling estimator.
+#[derive(Debug, Clone, Default)]
+pub struct GradientImportanceSampling {
+    config: GisConfig,
+}
+
+impl GradientImportanceSampling {
+    /// Creates the estimator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: GisConfig) -> Self {
+        config.validate().expect("invalid GIS configuration");
+        GradientImportanceSampling { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GisConfig {
+        &self.config
+    }
+
+    fn proposal_for_shift(&self, shift: Vector) -> Proposal {
+        if self.config.bridge_fraction > 0.0 {
+            let bridge = shift.scaled(self.config.bridge_position);
+            return Proposal::bridged_mixture(
+                shift,
+                bridge,
+                self.config.bridge_fraction,
+                self.config.defensive_fraction,
+            );
+        }
+        if self.config.defensive_fraction > 0.0 {
+            Proposal::defensive_mixture(shift, self.config.defensive_fraction)
+        } else {
+            Proposal::shifted(shift)
+        }
+    }
+
+    /// Runs the full GIS flow (gradient MPFP search, then adaptive importance
+    /// sampling) on `problem`.
+    pub fn run(&self, problem: &FailureProblem, rng: &mut RngStream) -> GisOutcome {
+        let dim = problem.dim();
+        let start_evals = problem.evaluations();
+
+        // Phase 1: gradient search for the most-probable failure point.
+        let mpfp_search = GradientMpfpSearch::new(self.config.mpfp.clone());
+        let mpfp = mpfp_search.search(problem, rng);
+        let search_evaluations = problem.evaluations() - start_evals;
+
+        // Phase 2: adaptive defensive mean-shift importance sampling.
+        let mut shift = mpfp.mpfp.clone();
+        let mut shift_history = vec![shift.clone()];
+        let mut proposal = self.proposal_for_shift(shift.clone());
+
+        let sampling = &self.config.sampling;
+        let mut acc = IsAccumulator::new();
+        let mut trace = Vec::new();
+        let mut converged = false;
+
+        // Weighted sum of failing samples since the last re-centring step.
+        let mut failing_weight_sum = 0.0;
+        let mut failing_weighted_mean = Vector::zeros(dim);
+        let mut failures_since_recenter = 0u64;
+        let mut batches_since_recenter = 0usize;
+
+        while acc.samples() < sampling.max_samples {
+            let batch = sampling.batch_size.min(sampling.max_samples - acc.samples());
+            for _ in 0..batch {
+                let z = proposal.sample(rng);
+                let weight = proposal.importance_weight(&z);
+                let failed = problem.is_failure(&z);
+                acc.push(weight, failed);
+                if failed && weight.is_finite() && weight > 0.0 {
+                    failing_weight_sum += weight;
+                    failing_weighted_mean = failing_weighted_mean
+                        .axpy(weight, &z)
+                        .expect("dimension fixed");
+                    failures_since_recenter += 1;
+                }
+            }
+            batches_since_recenter += 1;
+
+            trace.push(ConvergencePoint {
+                evaluations: search_evaluations + acc.samples(),
+                estimate: acc.estimate(),
+                relative_error: acc.relative_error(),
+            });
+
+            if acc.failures() >= sampling.min_failures
+                && acc.relative_error() <= sampling.target_relative_error
+            {
+                converged = true;
+                break;
+            }
+
+            // Gradient-informed adaptation: re-centre the shifted component on
+            // the weighted mean of the failures observed so far.
+            if self.config.adaptive_recentering
+                && batches_since_recenter >= self.config.recenter_every_batches
+                && failures_since_recenter >= self.config.recenter_min_failures
+                && failing_weight_sum > 0.0
+            {
+                let new_shift = failing_weighted_mean.scaled(1.0 / failing_weight_sum);
+                if new_shift.is_finite() && new_shift.norm() > 1e-9 {
+                    shift = new_shift;
+                    proposal = self.proposal_for_shift(shift.clone());
+                    shift_history.push(shift.clone());
+                }
+                batches_since_recenter = 0;
+                failures_since_recenter = 0;
+            }
+        }
+
+        let estimate = acc.estimate();
+        let result = ExtractionResult {
+            method: "gradient-is".to_string(),
+            failure_probability: estimate,
+            standard_error: acc.standard_error(),
+            sigma_level: ExtractionResult::sigma_from_probability(estimate),
+            evaluations: problem.evaluations() - start_evals,
+            sampling_evaluations: acc.samples(),
+            failures_observed: acc.failures(),
+            converged,
+            trace,
+        };
+        let diagnostics = IsDiagnostics {
+            effective_sample_size: acc.effective_sample_size(),
+            max_weight: acc.max_weight(),
+            shift: Some(shift.as_slice().to_vec()),
+            shift_norm: Some(shift.norm()),
+        };
+        GisOutcome {
+            result,
+            diagnostics,
+            mpfp,
+            shift_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FailureProblem, LinearLimitState, QuadraticLimitState};
+
+    fn quick_config() -> GisConfig {
+        GisConfig {
+            sampling: ImportanceSamplingConfig {
+                max_samples: 30_000,
+                batch_size: 1_000,
+                target_relative_error: 0.05,
+                min_failures: 50,
+            },
+            ..GisConfig::default()
+        }
+    }
+
+    #[test]
+    fn recovers_linear_tail_probability_at_high_sigma() {
+        for beta in [4.0_f64, 5.0, 6.0] {
+            let ls = LinearLimitState::new(Vector::from_slice(&[1.0, -0.5, 2.0, 0.3, 1.0, -1.0]), beta);
+            let exact = ls.exact_failure_probability();
+            let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+            let gis = GradientImportanceSampling::new(quick_config());
+            let mut rng = RngStream::from_seed(100 + beta as u64);
+            let outcome = gis.run(&problem, &mut rng);
+            assert!(outcome.result.converged, "GIS did not converge at beta {beta}");
+            let rel = (outcome.result.failure_probability - exact).abs() / exact;
+            assert!(
+                rel < 0.15,
+                "GIS estimate off by {rel} at beta {beta}: {:e} vs {exact:e}",
+                outcome.result.failure_probability
+            );
+            assert!((outcome.result.sigma_level - beta).abs() < 0.1);
+            // The whole extraction must be enormously cheaper than brute force.
+            let mc_cost = crate::montecarlo::required_samples(exact, 0.1);
+            assert!(
+                (outcome.result.evaluations as f64) < mc_cost / 50.0,
+                "GIS used {} evaluations, brute force needs {mc_cost:.0}",
+                outcome.result.evaluations
+            );
+            assert!(outcome.mpfp.beta > beta - 0.3);
+            assert!(outcome.diagnostics.shift_norm.unwrap() > beta - 0.5);
+            assert!(!outcome.shift_history.is_empty());
+        }
+    }
+
+    #[test]
+    fn handles_curved_boundary() {
+        let q = QuadraticLimitState::new(6, 4.2, 0.06);
+        let reference = q.reference_failure_probability();
+        let problem = FailureProblem::from_model(q, QuadraticLimitState::spec());
+        let gis = GradientImportanceSampling::new(quick_config());
+        let mut rng = RngStream::from_seed(7);
+        let outcome = gis.run(&problem, &mut rng);
+        let rel = (outcome.result.failure_probability - reference).abs() / reference;
+        assert!(
+            rel < 0.25,
+            "curved-boundary estimate off by {rel}: {:e} vs {reference:e}",
+            outcome.result.failure_probability
+        );
+    }
+
+    #[test]
+    fn pure_mean_shift_variant_also_works() {
+        let ls = LinearLimitState::along_first_axis(4, 4.5);
+        let exact = ls.exact_failure_probability();
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let config = GisConfig {
+            defensive_fraction: 0.0,
+            adaptive_recentering: false,
+            ..quick_config()
+        };
+        let gis = GradientImportanceSampling::new(config);
+        let mut rng = RngStream::from_seed(13);
+        let outcome = gis.run(&problem, &mut rng);
+        let rel = (outcome.result.failure_probability - exact).abs() / exact;
+        assert!(rel < 0.15, "pure mean shift off by {rel}");
+        assert_eq!(outcome.shift_history.len(), 1);
+    }
+
+    #[test]
+    fn bridged_mixture_variant_remains_unbiased() {
+        let ls = LinearLimitState::along_first_axis(5, 4.5);
+        let exact = ls.exact_failure_probability();
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let config = GisConfig {
+            bridge_fraction: 0.25,
+            bridge_position: 0.75,
+            ..quick_config()
+        };
+        let gis = GradientImportanceSampling::new(config);
+        let mut rng = RngStream::from_seed(77);
+        let outcome = gis.run(&problem, &mut rng);
+        let rel = (outcome.result.failure_probability - exact).abs() / exact;
+        assert!(rel < 0.2, "bridged GIS off by {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GIS configuration")]
+    fn bridge_fraction_validation() {
+        let _ = GradientImportanceSampling::new(GisConfig {
+            bridge_fraction: 0.95,
+            defensive_fraction: 0.1,
+            ..GisConfig::default()
+        });
+    }
+
+    #[test]
+    fn adaptation_records_shift_history() {
+        // Start the search on a problem whose MPFP the search slightly
+        // misses (curved boundary), so re-centring has something to do.
+        let q = QuadraticLimitState::new(4, 4.0, 0.1);
+        let problem = FailureProblem::from_model(q, QuadraticLimitState::spec());
+        let config = GisConfig {
+            recenter_every_batches: 2,
+            recenter_min_failures: 10,
+            ..quick_config()
+        };
+        let gis = GradientImportanceSampling::new(config);
+        let mut rng = RngStream::from_seed(21);
+        let outcome = gis.run(&problem, &mut rng);
+        assert!(outcome.shift_history.len() >= 2, "no adaptation happened");
+        for shift in &outcome.shift_history {
+            assert!(shift.is_finite());
+        }
+    }
+
+    #[test]
+    fn cost_accounting_is_consistent() {
+        let ls = LinearLimitState::along_first_axis(3, 4.0);
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let gis = GradientImportanceSampling::new(quick_config());
+        let mut rng = RngStream::from_seed(5);
+        let outcome = gis.run(&problem, &mut rng);
+        assert_eq!(problem.evaluations(), outcome.result.evaluations);
+        assert!(outcome.result.evaluations >= outcome.result.sampling_evaluations);
+        assert_eq!(
+            outcome.result.evaluations - outcome.result.sampling_evaluations,
+            outcome.mpfp.evaluations
+        );
+        // Trace evaluations are cumulative and include the search cost.
+        assert!(outcome.result.trace[0].evaluations >= outcome.mpfp.evaluations);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GIS configuration")]
+    fn invalid_config_rejected() {
+        let _ = GradientImportanceSampling::new(GisConfig {
+            defensive_fraction: 1.5,
+            ..GisConfig::default()
+        });
+    }
+}

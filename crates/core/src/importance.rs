@@ -1,0 +1,511 @@
+//! Shared importance-sampling machinery: proposal distributions, the weighted
+//! estimator/accumulator, and a generic fixed-proposal IS driver.
+//!
+//! The failure probability is written as an expectation under the nominal
+//! standard-normal density `f` of the whitened variation space and re-expressed
+//! under a proposal `q`:
+//!
+//! `P_fail = E_f[ 1_fail(z) ] = E_q[ 1_fail(z) · f(z)/q(z) ]`
+//!
+//! so the estimator is the sample mean of `w(z)·1_fail(z)` with
+//! `w = exp(log f − log q)`. All concrete methods (gradient IS, minimum-norm
+//! IS, scaled-sigma sampling) reduce to choosing `q` — they share the machinery
+//! in this module.
+
+use crate::model::FailureProblem;
+use crate::result::{ConvergencePoint, ExtractionResult};
+use gis_linalg::Vector;
+use gis_stats::{GaussianMixture, MultivariateNormal, RngStream};
+use serde::{Deserialize, Serialize};
+
+/// A proposal distribution for importance sampling in whitened space.
+#[derive(Debug, Clone)]
+pub enum Proposal {
+    /// A single multivariate normal.
+    Gaussian(MultivariateNormal),
+    /// A finite Gaussian mixture (e.g. defensive mixture with the nominal density).
+    Mixture(GaussianMixture),
+}
+
+impl Proposal {
+    /// Mean-shifted standard normal centred at `shift` — the classic
+    /// minimum-norm / mean-shift proposal.
+    pub fn shifted(shift: Vector) -> Self {
+        Proposal::Gaussian(MultivariateNormal::shifted_standard(shift))
+    }
+
+    /// Isotropic Gaussian with standard deviation `scale` centred at the origin
+    /// — the scaled-sigma-sampling proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    pub fn scaled(dim: usize, scale: f64) -> Self {
+        Proposal::Gaussian(MultivariateNormal::isotropic(Vector::zeros(dim), scale))
+    }
+
+    /// Defensive mixture: weight `1 − defensive_fraction` on the shifted
+    /// proposal and `defensive_fraction` on the nominal standard normal. The
+    /// nominal component bounds the importance weights by
+    /// `1/defensive_fraction`, protecting the estimator when the shift is
+    /// imperfect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `defensive_fraction` is not in `(0, 1)`.
+    pub fn defensive_mixture(shift: Vector, defensive_fraction: f64) -> Self {
+        assert!(
+            defensive_fraction > 0.0 && defensive_fraction < 1.0,
+            "defensive fraction must be in (0, 1)"
+        );
+        let dim = shift.len();
+        let shifted = MultivariateNormal::shifted_standard(shift);
+        let nominal = MultivariateNormal::standard(dim);
+        let mixture = GaussianMixture::new(
+            vec![shifted, nominal],
+            vec![1.0 - defensive_fraction, defensive_fraction],
+        )
+        .expect("two valid components with positive weights");
+        Proposal::Mixture(mixture)
+    }
+
+    /// Three-component mixture used for steep or curved failure boundaries:
+    /// the main component at `shift`, a "bridge" component at `bridge`
+    /// (typically a fraction of the shift, covering the region between the
+    /// nominal point and the MPFP), and the nominal density as a defensive
+    /// component. `defensive_fraction` may be zero; the remaining weight is
+    /// assigned to the main component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are outside `[0, 1)` or sum to 1 or more, or if
+    /// the two centres have different dimensions.
+    pub fn bridged_mixture(
+        shift: Vector,
+        bridge: Vector,
+        bridge_fraction: f64,
+        defensive_fraction: f64,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&bridge_fraction)
+                && (0.0..1.0).contains(&defensive_fraction)
+                && bridge_fraction + defensive_fraction < 1.0,
+            "bridge and defensive fractions must be in [0, 1) and sum below 1"
+        );
+        assert_eq!(shift.len(), bridge.len(), "shift and bridge dimensions differ");
+        let dim = shift.len();
+        let main_weight = 1.0 - bridge_fraction - defensive_fraction;
+        let mut components = vec![
+            MultivariateNormal::shifted_standard(shift),
+            MultivariateNormal::shifted_standard(bridge),
+        ];
+        let mut weights = vec![main_weight, bridge_fraction];
+        if defensive_fraction > 0.0 {
+            components.push(MultivariateNormal::standard(dim));
+            weights.push(defensive_fraction);
+        }
+        let mixture =
+            GaussianMixture::new(components, weights).expect("valid components and weights");
+        Proposal::Mixture(mixture)
+    }
+
+    /// Dimensionality of the proposal.
+    pub fn dim(&self) -> usize {
+        match self {
+            Proposal::Gaussian(g) => g.dim(),
+            Proposal::Mixture(m) => m.dim(),
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut RngStream) -> Vector {
+        match self {
+            Proposal::Gaussian(g) => g.sample(rng),
+            Proposal::Mixture(m) => m.sample(rng),
+        }
+    }
+
+    /// Log-density of the proposal at `z`.
+    pub fn log_pdf(&self, z: &Vector) -> f64 {
+        match self {
+            Proposal::Gaussian(g) => g.log_pdf(z).expect("dimension fixed at construction"),
+            Proposal::Mixture(m) => m.log_pdf(z).expect("dimension fixed at construction"),
+        }
+    }
+
+    /// Importance weight `f(z)/q(z)` against the nominal standard normal `f`.
+    pub fn importance_weight(&self, z: &Vector) -> f64 {
+        let log_f: f64 = z.iter().map(|&zi| gis_stats::normal::log_pdf(zi)).sum();
+        (log_f - self.log_pdf(z)).exp()
+    }
+}
+
+/// Streaming accumulator of the unnormalized importance-sampling estimator.
+///
+/// Tracks everything needed for the estimate, its standard error, the effective
+/// sample size and the weight diagnostics — without storing samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IsAccumulator {
+    samples: u64,
+    failures: u64,
+    sum_weighted_indicator: f64,
+    sum_weighted_indicator_sq: f64,
+    sum_weights_failing: f64,
+    sum_weights_sq_failing: f64,
+    max_weight_failing: f64,
+}
+
+impl IsAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        IsAccumulator::default()
+    }
+
+    /// Records one sample with importance weight `weight` and failure indicator
+    /// `failed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn push(&mut self, weight: f64, failed: bool) {
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "importance weight must be non-negative and finite, got {weight}"
+        );
+        self.samples += 1;
+        if failed {
+            self.failures += 1;
+            self.sum_weighted_indicator += weight;
+            self.sum_weighted_indicator_sq += weight * weight;
+            self.sum_weights_failing += weight;
+            self.sum_weights_sq_failing += weight * weight;
+            self.max_weight_failing = self.max_weight_failing.max(weight);
+        }
+    }
+
+    /// Merges another accumulator (e.g. from a different batch or thread).
+    pub fn merge(&mut self, other: &IsAccumulator) {
+        self.samples += other.samples;
+        self.failures += other.failures;
+        self.sum_weighted_indicator += other.sum_weighted_indicator;
+        self.sum_weighted_indicator_sq += other.sum_weighted_indicator_sq;
+        self.sum_weights_failing += other.sum_weights_failing;
+        self.sum_weights_sq_failing += other.sum_weights_sq_failing;
+        self.max_weight_failing = self.max_weight_failing.max(other.max_weight_failing);
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of failing samples recorded.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Unbiased failure-probability estimate `Σ(w·1_fail)/N`.
+    pub fn estimate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_weighted_indicator / self.samples as f64
+        }
+    }
+
+    /// Standard error of the estimate.
+    pub fn standard_error(&self) -> f64 {
+        if self.samples < 2 {
+            return f64::INFINITY;
+        }
+        let n = self.samples as f64;
+        let mean = self.sum_weighted_indicator / n;
+        let second_moment = self.sum_weighted_indicator_sq / n;
+        let variance = (second_moment - mean * mean).max(0.0) / (n - 1.0);
+        variance.sqrt()
+    }
+
+    /// Relative standard error (σ/μ); `inf` until a failure has been observed.
+    pub fn relative_error(&self) -> f64 {
+        let est = self.estimate();
+        if est <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.standard_error() / est
+        }
+    }
+
+    /// Kish effective sample size of the failing-sample weights.
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.sum_weights_sq_failing == 0.0 {
+            0.0
+        } else {
+            self.sum_weights_failing * self.sum_weights_failing / self.sum_weights_sq_failing
+        }
+    }
+
+    /// Largest importance weight observed on a failing sample (weight
+    /// degeneracy diagnostic).
+    pub fn max_weight(&self) -> f64 {
+        self.max_weight_failing
+    }
+}
+
+/// Configuration shared by the importance-sampling methods.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceSamplingConfig {
+    /// Maximum number of sampling-phase evaluations.
+    pub max_samples: u64,
+    /// Samples per batch (between convergence checks / adaptation steps).
+    pub batch_size: u64,
+    /// Target relative standard error.
+    pub target_relative_error: f64,
+    /// Minimum number of failing samples before the stopping rule may fire.
+    pub min_failures: u64,
+}
+
+impl Default for ImportanceSamplingConfig {
+    fn default() -> Self {
+        ImportanceSamplingConfig {
+            max_samples: 50_000,
+            batch_size: 500,
+            target_relative_error: 0.1,
+            min_failures: 20,
+        }
+    }
+}
+
+impl ImportanceSamplingConfig {
+    /// Validates the configuration, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_samples == 0 || self.batch_size == 0 {
+            return Err("sample budget and batch size must be positive".to_string());
+        }
+        if !(self.target_relative_error > 0.0) {
+            return Err("target relative error must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Diagnostics of an importance-sampling run, reported alongside the estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsDiagnostics {
+    /// Effective sample size of the failing-sample weights.
+    pub effective_sample_size: f64,
+    /// Largest importance weight among failing samples.
+    pub max_weight: f64,
+    /// Final shift vector (mean of the proposal's dominant component), if
+    /// applicable to the method.
+    pub shift: Option<Vec<f64>>,
+    /// Norm of the final shift vector (the β distance), if applicable.
+    pub shift_norm: Option<f64>,
+}
+
+/// Runs fixed-proposal importance sampling on `problem` and reports the result
+/// under `method` name, charging `search_evaluations` extra evaluations (spent
+/// earlier, e.g. on an MPFP search) to the total.
+pub fn run_importance_sampling(
+    problem: &FailureProblem,
+    proposal: &Proposal,
+    config: &ImportanceSamplingConfig,
+    rng: &mut RngStream,
+    method: &str,
+    search_evaluations: u64,
+) -> (ExtractionResult, IsDiagnostics) {
+    config.validate().expect("invalid importance sampling configuration");
+    assert_eq!(
+        proposal.dim(),
+        problem.dim(),
+        "proposal dimension must match the problem"
+    );
+
+    let mut acc = IsAccumulator::new();
+    let mut trace = Vec::new();
+    let mut converged = false;
+
+    while acc.samples() < config.max_samples {
+        let batch = config.batch_size.min(config.max_samples - acc.samples());
+        for _ in 0..batch {
+            let z = proposal.sample(rng);
+            let weight = proposal.importance_weight(&z);
+            let failed = problem.is_failure(&z);
+            acc.push(weight, failed);
+        }
+        trace.push(ConvergencePoint {
+            evaluations: search_evaluations + acc.samples(),
+            estimate: acc.estimate(),
+            relative_error: acc.relative_error(),
+        });
+        if acc.failures() >= config.min_failures
+            && acc.relative_error() <= config.target_relative_error
+        {
+            converged = true;
+            break;
+        }
+    }
+
+    let estimate = acc.estimate();
+    let shift = match proposal {
+        Proposal::Gaussian(g) => Some(g.mean().as_slice().to_vec()),
+        Proposal::Mixture(m) => Some(m.components()[0].mean().as_slice().to_vec()),
+    };
+    let shift_norm = shift
+        .as_ref()
+        .map(|s| s.iter().map(|x| x * x).sum::<f64>().sqrt());
+
+    let result = ExtractionResult {
+        method: method.to_string(),
+        failure_probability: estimate,
+        standard_error: acc.standard_error(),
+        sigma_level: ExtractionResult::sigma_from_probability(estimate),
+        evaluations: search_evaluations + acc.samples(),
+        sampling_evaluations: acc.samples(),
+        failures_observed: acc.failures(),
+        converged,
+        trace,
+    };
+    let diagnostics = IsDiagnostics {
+        effective_sample_size: acc.effective_sample_size(),
+        max_weight: acc.max_weight(),
+        shift,
+        shift_norm,
+    };
+    (result, diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FailureProblem, LinearLimitState};
+
+    #[test]
+    fn proposal_constructors_and_weights() {
+        let shift = Vector::from_slice(&[3.0, 0.0]);
+        let p = Proposal::shifted(shift.clone());
+        assert_eq!(p.dim(), 2);
+        // At the shift point the nominal density is much smaller than the
+        // proposal density, so the weight is < 1.
+        assert!(p.importance_weight(&shift) < 1.0);
+        // At the origin the weight is > 1 (proposal rarely goes there).
+        assert!(p.importance_weight(&Vector::zeros(2)) > 1.0);
+
+        let scaled = Proposal::scaled(3, 2.0);
+        assert_eq!(scaled.dim(), 3);
+        // Scaled proposal is wider, so at the origin nominal/scaled > 1.
+        assert!(scaled.importance_weight(&Vector::zeros(3)) > 1.0);
+
+        let defensive = Proposal::defensive_mixture(Vector::from_slice(&[4.0]), 0.2);
+        // Defensive mixture bounds weights by 1/0.2 = 5.
+        for x in [-3.0, 0.0, 2.0, 4.0, 8.0] {
+            let w = defensive.importance_weight(&Vector::from_slice(&[x]));
+            assert!(w <= 5.0 + 1e-9, "weight {w} exceeds the defensive bound");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "defensive fraction")]
+    fn defensive_fraction_validated() {
+        let _ = Proposal::defensive_mixture(Vector::zeros(2), 1.5);
+    }
+
+    #[test]
+    fn accumulator_basics() {
+        let mut acc = IsAccumulator::new();
+        assert_eq!(acc.estimate(), 0.0);
+        assert!(acc.standard_error().is_infinite());
+        acc.push(0.5, true);
+        acc.push(0.1, false);
+        acc.push(0.3, true);
+        acc.push(2.0, false);
+        assert_eq!(acc.samples(), 4);
+        assert_eq!(acc.failures(), 2);
+        assert!((acc.estimate() - 0.2).abs() < 1e-12);
+        assert!(acc.standard_error() > 0.0);
+        assert!(acc.relative_error().is_finite());
+        assert!(acc.effective_sample_size() > 1.0);
+        assert_eq!(acc.max_weight(), 0.5);
+
+        let mut other = IsAccumulator::new();
+        other.push(1.0, true);
+        acc.merge(&other);
+        assert_eq!(acc.samples(), 5);
+        assert_eq!(acc.failures(), 3);
+        assert_eq!(acc.max_weight(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "importance weight must be non-negative")]
+    fn accumulator_rejects_bad_weight() {
+        IsAccumulator::new().push(f64::NAN, true);
+    }
+
+    #[test]
+    fn shifted_is_recovers_exact_tail_probability() {
+        // β = 4: brute force would need ~3e7 samples for 10% error; shifted IS
+        // needs a few thousand.
+        let ls = LinearLimitState::along_first_axis(4, 4.0);
+        let exact = ls.exact_failure_probability();
+        let mpfp = ls.exact_mpfp();
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let proposal = Proposal::shifted(mpfp);
+        let config = ImportanceSamplingConfig {
+            max_samples: 20_000,
+            batch_size: 1_000,
+            target_relative_error: 0.05,
+            min_failures: 50,
+        };
+        let mut rng = RngStream::from_seed(5);
+        let (result, diag) =
+            run_importance_sampling(&problem, &proposal, &config, &mut rng, "mean-shift-is", 0);
+        assert!(result.converged);
+        let rel = (result.failure_probability - exact).abs() / exact;
+        assert!(rel < 0.1, "IS estimate off by {rel}: {result:?}");
+        assert!((result.sigma_level - 4.0).abs() < 0.05);
+        assert!(diag.effective_sample_size > 10.0);
+        assert!(diag.shift_norm.unwrap() > 3.9);
+        assert!(result.sampling_evaluations < 25_000);
+    }
+
+    #[test]
+    fn defensive_mixture_is_also_unbiased() {
+        let ls = LinearLimitState::along_first_axis(3, 3.5);
+        let exact = ls.exact_failure_probability();
+        let mpfp = ls.exact_mpfp();
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let proposal = Proposal::defensive_mixture(mpfp, 0.1);
+        let config = ImportanceSamplingConfig {
+            max_samples: 40_000,
+            batch_size: 2_000,
+            target_relative_error: 0.05,
+            min_failures: 50,
+        };
+        let mut rng = RngStream::from_seed(19);
+        let (result, _) =
+            run_importance_sampling(&problem, &proposal, &config, &mut rng, "defensive-is", 100);
+        let rel = (result.failure_probability - exact).abs() / exact;
+        assert!(rel < 0.12, "defensive IS off by {rel}");
+        // The search cost is charged on top of the sampling cost.
+        assert_eq!(result.evaluations, result.sampling_evaluations + 100);
+    }
+
+    #[test]
+    fn badly_shifted_proposal_does_not_converge_quickly() {
+        // Shift pointing away from the failure region: weights of failing
+        // samples are huge, ESS collapses, and the stopping rule refuses to
+        // declare convergence within a small budget.
+        let ls = LinearLimitState::along_first_axis(2, 4.0);
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let proposal = Proposal::shifted(Vector::from_slice(&[-4.0, 0.0]));
+        let config = ImportanceSamplingConfig {
+            max_samples: 5_000,
+            batch_size: 1_000,
+            target_relative_error: 0.1,
+            min_failures: 10,
+        };
+        let mut rng = RngStream::from_seed(23);
+        let (result, _) =
+            run_importance_sampling(&problem, &proposal, &config, &mut rng, "bad-is", 0);
+        assert!(!result.converged);
+    }
+}

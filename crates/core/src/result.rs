@@ -1,0 +1,158 @@
+//! Common result types reported by every failure-probability estimator.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a convergence trace: the running estimate after a given number
+/// of simulator evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Cumulative number of metric evaluations when the snapshot was taken.
+    pub evaluations: u64,
+    /// Failure-probability estimate at that point.
+    pub estimate: f64,
+    /// Relative standard error (σ/μ) of the estimate at that point; `inf` when
+    /// no failure has been observed yet.
+    pub relative_error: f64,
+}
+
+/// Figure of merit `1 / (ρ² · N)` where `ρ` is the relative standard error
+/// after `N` evaluations — the standard efficiency measure used to compare
+/// rare-event estimators independent of where they were stopped.
+pub fn figure_of_merit(relative_error: f64, evaluations: u64) -> f64 {
+    if relative_error <= 0.0 || !relative_error.is_finite() || evaluations == 0 {
+        return 0.0;
+    }
+    1.0 / (relative_error * relative_error * evaluations as f64)
+}
+
+/// Result of a failure-probability extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionResult {
+    /// Name of the method that produced the result (e.g. `"gradient-is"`).
+    pub method: String,
+    /// Estimated failure probability.
+    pub failure_probability: f64,
+    /// Standard error of the estimate.
+    pub standard_error: f64,
+    /// Equivalent sigma level `Φ⁻¹(1 − P_fail)`; `NaN` if the estimate is zero.
+    pub sigma_level: f64,
+    /// Total number of metric (simulator) evaluations consumed, including any
+    /// search/presampling phase.
+    pub evaluations: u64,
+    /// Number of sampling-phase evaluations only (excludes MPFP search etc.).
+    pub sampling_evaluations: u64,
+    /// Number of observed failing samples.
+    pub failures_observed: u64,
+    /// Whether the configured accuracy target was reached before the evaluation
+    /// budget ran out.
+    pub converged: bool,
+    /// Convergence trace (running estimate vs evaluations).
+    pub trace: Vec<ConvergencePoint>,
+}
+
+impl ExtractionResult {
+    /// Relative standard error σ/μ of the estimate (`inf` when the estimate is zero).
+    pub fn relative_error(&self) -> f64 {
+        if self.failure_probability > 0.0 {
+            self.standard_error / self.failure_probability
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// 90% confidence interval half-width expressed relative to the estimate —
+    /// the stopping quantity quoted in the evaluation tables ("±10% at 90%").
+    pub fn relative_confidence_90(&self) -> f64 {
+        1.6448536269514722 * self.relative_error()
+    }
+
+    /// Figure of merit `1/(ρ²·N)` of this extraction.
+    pub fn figure_of_merit(&self) -> f64 {
+        figure_of_merit(self.relative_error(), self.evaluations)
+    }
+
+    /// Speed-up over a reference result at equal accuracy, computed from the
+    /// figures of merit (`FOM_self / FOM_reference`). Returns `inf` when the
+    /// reference never observed a failure.
+    pub fn speedup_over(&self, reference: &ExtractionResult) -> f64 {
+        let fom_ref = reference.figure_of_merit();
+        if fom_ref == 0.0 {
+            f64::INFINITY
+        } else {
+            self.figure_of_merit() / fom_ref
+        }
+    }
+
+    /// Builds the sigma level from a failure probability, handling edge cases.
+    pub fn sigma_from_probability(p_fail: f64) -> f64 {
+        if p_fail <= 0.0 || p_fail >= 1.0 {
+            f64::NAN
+        } else {
+            gis_stats::normal::sigma_level(p_fail)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(p: f64, se: f64, evals: u64) -> ExtractionResult {
+        ExtractionResult {
+            method: "test".to_string(),
+            failure_probability: p,
+            standard_error: se,
+            sigma_level: ExtractionResult::sigma_from_probability(p),
+            evaluations: evals,
+            sampling_evaluations: evals,
+            failures_observed: 10,
+            converged: true,
+            trace: vec![],
+        }
+    }
+
+    #[test]
+    fn relative_error_and_fom() {
+        let r = result(1e-6, 1e-7, 1000);
+        assert!((r.relative_error() - 0.1).abs() < 1e-12);
+        assert!((r.figure_of_merit() - 1.0 / (0.01 * 1000.0)).abs() < 1e-9);
+        assert!((r.relative_confidence_90() - 0.16448536269514722).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_probability_edge_cases() {
+        let r = result(0.0, 0.0, 1000);
+        assert!(r.relative_error().is_infinite());
+        assert_eq!(r.figure_of_merit(), 0.0);
+        assert!(r.sigma_level.is_nan());
+    }
+
+    #[test]
+    fn speedup_comparison() {
+        // Same accuracy, 100x fewer evaluations → 100x speed-up.
+        let fast = result(1e-6, 1e-7, 1_000);
+        let slow = result(1e-6, 1e-7, 100_000);
+        assert!((fast.speedup_over(&slow) - 100.0).abs() < 1e-9);
+        // Speed-up over a method that found nothing is infinite.
+        let nothing = result(0.0, 0.0, 100);
+        assert!(fast.speedup_over(&nothing).is_infinite());
+    }
+
+    #[test]
+    fn sigma_conversion() {
+        let s = ExtractionResult::sigma_from_probability(
+            gis_stats::normal::upper_tail_probability(4.5),
+        );
+        assert!((s - 4.5).abs() < 1e-3);
+        assert!(ExtractionResult::sigma_from_probability(0.0).is_nan());
+        assert!(ExtractionResult::sigma_from_probability(1.5).is_nan());
+    }
+
+    #[test]
+    fn figure_of_merit_edge_cases() {
+        assert_eq!(figure_of_merit(0.0, 100), 0.0);
+        assert_eq!(figure_of_merit(f64::INFINITY, 100), 0.0);
+        assert_eq!(figure_of_merit(0.1, 0), 0.0);
+        assert!(figure_of_merit(0.1, 100) > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type shared by every factorization and solver in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// What the caller was trying to do, e.g. `"matvec"`.
+        operation: &'static str,
+        /// Dimensions of the left/first operand.
+        left: (usize, usize),
+        /// Dimensions of the right/second operand.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be factored or solved.
+    Singular {
+        /// Pivot index at which singularity was detected.
+        pivot: usize,
+        /// Magnitude of the offending pivot.
+        value: f64,
+    },
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite {
+        /// Diagonal index at which a non-positive pivot appeared.
+        index: usize,
+        /// Value of the offending diagonal entry.
+        value: f64,
+    },
+    /// The matrix is not square but the operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// An argument was empty or otherwise invalid.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular { pivot, value } => {
+                write!(f, "matrix is singular at pivot {pivot} (|pivot| = {value:e})")
+            }
+            LinalgError::NotPositiveDefinite { index, value } => write!(
+                f,
+                "matrix is not positive definite at diagonal {index} (value = {value:e})"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            operation: "matvec",
+            left: (3, 4),
+            right: (5, 1),
+        };
+        assert!(e.to_string().contains("matvec"));
+        assert!(e.to_string().contains("3x4"));
+
+        let e = LinalgError::Singular {
+            pivot: 2,
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("singular"));
+
+        let e = LinalgError::NotPositiveDefinite {
+            index: 1,
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("positive definite"));
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+
+        let e = LinalgError::InvalidArgument("empty".to_string());
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

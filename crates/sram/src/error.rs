@@ -1,0 +1,54 @@
+//! Error type for the SRAM testbench layer.
+
+use gis_circuit::CircuitError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or simulating SRAM testbenches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SramError {
+    /// The cell or testbench configuration is inconsistent.
+    InvalidConfig(String),
+    /// The underlying circuit simulation failed.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for SramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SramError::InvalidConfig(msg) => write!(f, "invalid SRAM configuration: {msg}"),
+            SramError::Circuit(e) => write!(f, "circuit simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SramError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SramError {
+    fn from(e: CircuitError) -> Self {
+        SramError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SramError::InvalidConfig("bad vdd".to_string());
+        assert!(e.to_string().contains("bad vdd"));
+        assert!(e.source().is_none());
+
+        let e: SramError = CircuitError::InvalidAnalysis("x".to_string()).into();
+        assert!(e.to_string().contains("circuit simulation failed"));
+        assert!(e.source().is_some());
+    }
+}

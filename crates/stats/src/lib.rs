@@ -1,0 +1,100 @@
+//! Probability distributions, random streams, sampling plans and summary
+//! statistics for high-sigma statistical extraction.
+//!
+//! The estimators in `gis-core` operate in a *whitened* variation space where
+//! every process parameter is an independent standard normal. This crate
+//! supplies everything that layer needs:
+//!
+//! * accurate standard-normal `Φ`, `Φ⁻¹` and density functions (the tail
+//!   accuracy of `Φ⁻¹` directly controls how well failure probabilities map to
+//!   equivalent sigma levels),
+//! * multivariate normal proposal distributions with arbitrary mean shift and
+//!   covariance (for importance sampling),
+//! * reproducible, splittable random streams,
+//! * space-filling sampling plans (Latin hypercube, uniform-on-sphere shells)
+//!   used by the spherical-presampling baseline, and
+//! * streaming summary statistics (Welford), weighted statistics for
+//!   self-normalized importance sampling, histograms and confidence intervals.
+//!
+//! # Example
+//!
+//! ```
+//! use gis_stats::{normal, RngStream};
+//!
+//! // 3-sigma upper-tail probability, and back.
+//! let p = normal::upper_tail_probability(3.0);
+//! assert!((normal::sigma_level(p) - 3.0).abs() < 1e-9);
+//!
+//! // Reproducible random stream.
+//! let mut stream = RngStream::from_seed(42);
+//! let z = stream.standard_normal();
+//! assert!(z.is_finite());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod histogram;
+pub mod mvn;
+pub mod normal;
+pub mod rng;
+pub mod sampling;
+pub mod summary;
+
+pub use histogram::Histogram;
+pub use mvn::{GaussianMixture, MultivariateNormal};
+pub use rng::RngStream;
+pub use sampling::{halton_sequence, latin_hypercube, uniform_on_sphere};
+pub use summary::{quantile_of, ConfidenceInterval, OnlineStats, WeightedStats};
+
+/// Error type for statistics routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An argument was outside its valid domain.
+    InvalidArgument(String),
+    /// A linear algebra operation failed (e.g. a covariance matrix that is not
+    /// positive definite).
+    Linalg(gis_linalg::LinalgError),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StatsError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gis_linalg::LinalgError> for StatsError {
+    fn from(e: gis_linalg::LinalgError) -> Self {
+        StatsError::Linalg(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = StatsError::InvalidArgument("nope".into());
+        assert!(e.to_string().contains("nope"));
+        let le = gis_linalg::LinalgError::NotSquare { rows: 1, cols: 2 };
+        let e: StatsError = le.into();
+        assert!(e.to_string().contains("linear algebra"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

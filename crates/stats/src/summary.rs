@@ -1,0 +1,457 @@
+//! Streaming and weighted summary statistics.
+//!
+//! Failure-probability estimators accumulate millions of indicator evaluations;
+//! [`OnlineStats`] keeps mean and variance in a numerically stable, single-pass
+//! (Welford) form. Self-normalized importance sampling needs the weighted
+//! counterpart, [`WeightedStats`], along with the effective sample size that
+//! diagnoses weight degeneracy.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming (Welford) accumulator of count, mean and variance.
+///
+/// ```
+/// use gis_stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator); 0 when fewer than two
+    /// observations have been seen.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-approximation confidence interval for the mean at the given
+    /// confidence level (e.g. 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `(0, 1)`.
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        let z = crate::normal::quantile(0.5 + level / 2.0);
+        let half = z * self.standard_error();
+        ConfidenceInterval {
+            lower: self.mean - half,
+            upper: self.mean + half,
+            level,
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Half-width relative to the centre of the interval; `inf` when the centre
+    /// is zero. This is the "relative error" stopping criterion used throughout
+    /// the high-sigma literature (stop when the 90% CI is within ±10%).
+    pub fn relative_half_width(&self) -> f64 {
+        let centre = 0.5 * (self.lower + self.upper);
+        if centre == 0.0 {
+            f64::INFINITY
+        } else {
+            0.5 * self.width() / centre.abs()
+        }
+    }
+
+    /// Returns `true` if `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Weighted streaming statistics for self-normalized importance sampling.
+///
+/// Accumulates `Σw`, `Σw²`, `Σw·h` and `Σw·h²` so that the self-normalized
+/// estimate, its delta-method variance and the effective sample size can all be
+/// reported without storing samples.
+///
+/// ```
+/// use gis_stats::WeightedStats;
+/// let mut s = WeightedStats::new();
+/// s.push(1.0, 2.0);
+/// s.push(3.0, 4.0);
+/// assert!((s.weighted_mean() - 3.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WeightedStats {
+    count: u64,
+    sum_w: f64,
+    sum_w_sq: f64,
+    sum_wh: f64,
+    sum_wh_sq: f64,
+}
+
+impl WeightedStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WeightedStats::default()
+    }
+
+    /// Adds one observation `h` with weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is negative or not finite.
+    pub fn push(&mut self, weight: f64, value: f64) {
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "importance weights must be non-negative and finite, got {weight}"
+        );
+        self.count += 1;
+        self.sum_w += weight;
+        self.sum_w_sq += weight * weight;
+        self.sum_wh += weight * value;
+        self.sum_wh_sq += (weight * value) * (weight * value);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &WeightedStats) {
+        self.count += other.count;
+        self.sum_w += other.sum_w;
+        self.sum_w_sq += other.sum_w_sq;
+        self.sum_wh += other.sum_wh;
+        self.sum_wh_sq += other.sum_wh_sq;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of weights.
+    pub fn sum_weights(&self) -> f64 {
+        self.sum_w
+    }
+
+    /// Unnormalized importance-sampling mean `Σ(w·h)/N`. This is the unbiased
+    /// estimator when the weights are exact density ratios.
+    pub fn unnormalized_mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_wh / self.count as f64
+        }
+    }
+
+    /// Variance of the unnormalized estimator of the mean, estimated from the
+    /// sample: `Var[Σ(w·h)/N] = (E[(w·h)²] − E[w·h]²) / (N − 1)`.
+    pub fn unnormalized_variance_of_mean(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.sum_wh / n;
+        let second_moment = self.sum_wh_sq / n;
+        ((second_moment - mean * mean).max(0.0)) / (n - 1.0)
+    }
+
+    /// Self-normalized importance-sampling mean `Σ(w·h)/Σw`.
+    pub fn weighted_mean(&self) -> f64 {
+        if self.sum_w == 0.0 {
+            0.0
+        } else {
+            self.sum_wh / self.sum_w
+        }
+    }
+
+    /// Kish effective sample size `(Σw)² / Σw²`; `0` when empty.
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.sum_w_sq == 0.0 {
+            0.0
+        } else {
+            self.sum_w * self.sum_w / self.sum_w_sq
+        }
+    }
+
+    /// Fraction of nominal sample size retained, `ESS / N`.
+    pub fn efficiency(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.effective_sample_size() / self.count as f64
+        }
+    }
+}
+
+/// Computes the `q`-quantile (0 ≤ q ≤ 1) of a slice by sorting a copy
+/// (linear interpolation between order statistics).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_of(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [1.5, 2.5, 2.5, 2.75, 3.25, 4.75];
+        let stats: OnlineStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((stats.mean() - mean).abs() < 1e-12);
+        assert!((stats.sample_variance() - var).abs() < 1e-12);
+        assert_eq!(stats.min(), 1.5);
+        assert_eq!(stats.max(), 4.75);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a: OnlineStats = a_data.iter().copied().collect();
+        let b: OnlineStats = b_data.iter().copied().collect();
+        a.merge(&b);
+        let all: OnlineStats = a_data.iter().chain(b_data.iter()).copied().collect();
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-12);
+        assert_eq!(a.count(), 7);
+
+        // Merging into/with empty accumulators.
+        let mut empty = OnlineStats::new();
+        empty.merge(&all);
+        assert_eq!(empty.count(), all.count());
+        let mut full = all.clone();
+        full.merge(&OnlineStats::new());
+        assert_eq!(full.count(), all.count());
+    }
+
+    #[test]
+    fn confidence_interval_behaviour() {
+        let stats: OnlineStats = (0..10_000).map(|i| (i % 2) as f64).collect();
+        let ci = stats.confidence_interval(0.95);
+        assert!(ci.contains(0.5));
+        assert!(ci.width() < 0.03);
+        assert!(ci.relative_half_width() < 0.03);
+        assert!(ci.level == 0.95);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.standard_error(), 0.0);
+        let ci = s.confidence_interval(0.9);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn weighted_mean_and_ess() {
+        let mut s = WeightedStats::new();
+        s.push(1.0, 10.0);
+        s.push(1.0, 20.0);
+        assert!((s.weighted_mean() - 15.0).abs() < 1e-12);
+        // Equal weights: ESS equals N.
+        assert!((s.effective_sample_size() - 2.0).abs() < 1e-12);
+        assert!((s.efficiency() - 1.0).abs() < 1e-12);
+
+        // One dominant weight collapses the ESS towards 1.
+        let mut t = WeightedStats::new();
+        t.push(1000.0, 1.0);
+        t.push(0.001, 0.0);
+        assert!(t.effective_sample_size() < 1.1);
+    }
+
+    #[test]
+    fn unnormalized_mean_for_indicator() {
+        // Importance sampling of an indicator: values are 0/1, weights are
+        // density ratios. Unnormalized mean = Σ w·1 / N.
+        let mut s = WeightedStats::new();
+        s.push(0.5, 1.0);
+        s.push(0.25, 0.0);
+        s.push(0.125, 1.0);
+        s.push(2.0, 0.0);
+        assert!((s.unnormalized_mean() - (0.5 + 0.125) / 4.0).abs() < 1e-12);
+        assert!(s.unnormalized_variance_of_mean() >= 0.0);
+        assert_eq!(s.count(), 4);
+        assert!((s.sum_weights() - 2.875).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "importance weights must be non-negative")]
+    fn negative_weight_rejected() {
+        WeightedStats::new().push(-1.0, 0.0);
+    }
+
+    #[test]
+    fn weighted_merge() {
+        let mut a = WeightedStats::new();
+        a.push(1.0, 1.0);
+        let mut b = WeightedStats::new();
+        b.push(3.0, 0.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.weighted_mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile_of(&data, 0.0), 1.0);
+        assert_eq!(quantile_of(&data, 1.0), 5.0);
+        assert_eq!(quantile_of(&data, 0.5), 3.0);
+        assert!((quantile_of(&data, 0.25) - 2.0).abs() < 1e-12);
+        // Unsorted input is fine.
+        let shuffled = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(quantile_of(&shuffled, 0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty slice")]
+    fn quantile_empty_panics() {
+        let _ = quantile_of(&[], 0.5);
+    }
+}

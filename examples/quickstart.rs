@@ -1,0 +1,74 @@
+//! Quickstart: estimate a high-sigma SRAM read failure probability in a few
+//! lines.
+//!
+//! The example builds the default 45 nm 6T cell surrogate, defines the failure
+//! specification as 1.8× the nominal read access time, runs Gradient Importance
+//! Sampling, and prints the result together with what brute-force Monte Carlo
+//! would have cost for the same accuracy.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use sram_highsigma::highsigma::{
+    default_sram_variation_space, required_samples, FailureProblem, GisConfig,
+    GradientImportanceSampling, Spec, SramMetric, SramSurrogateModel,
+};
+use sram_highsigma::sram::{SramCellConfig, SramSurrogate};
+use sram_highsigma::stats::RngStream;
+use sram_highsigma::variation::PelgromModel;
+
+fn main() {
+    // 1. Describe the cell and its process variation (Pelgrom ΔVth mismatch).
+    let cell = SramCellConfig::typical_45nm();
+    let pelgrom = PelgromModel::typical_45nm();
+    let space = default_sram_variation_space(&cell, &pelgrom);
+    println!("variation space: {} parameters", space.dim());
+    for (name, sigma) in space.names().iter().zip(space.std_devs().iter()) {
+        println!("  {name:<10} sigma = {:.1} mV", sigma * 1e3);
+    }
+
+    // 2. Build the performance model (surrogate for speed; swap in
+    //    `SramTransientModel` for full transient simulation) and the spec.
+    let model = SramSurrogateModel::new(
+        SramSurrogate::typical_45nm(),
+        space,
+        SramMetric::ReadAccessTime,
+    );
+    let nominal = model.nominal_metric();
+    let spec = Spec::UpperLimit(1.8 * nominal);
+    println!(
+        "\nnominal read access time: {:.1} ps, spec limit: {:.1} ps",
+        nominal * 1e12,
+        spec.limit() * 1e12
+    );
+    let problem = FailureProblem::from_model(model, spec);
+
+    // 3. Run Gradient Importance Sampling.
+    let gis = GradientImportanceSampling::new(GisConfig::default());
+    let mut rng = RngStream::from_seed(2024);
+    let outcome = gis.run(&problem, &mut rng);
+
+    // 4. Report.
+    let r = &outcome.result;
+    println!("\n--- Gradient Importance Sampling ---");
+    println!("failure probability : {:.3e}", r.failure_probability);
+    println!("equivalent sigma    : {:.2} sigma", r.sigma_level);
+    println!(
+        "confidence (90%)    : +/- {:.1}%",
+        r.relative_confidence_90() * 100.0
+    );
+    println!("simulator calls     : {}", r.evaluations);
+    println!(
+        "  of which search   : {}",
+        r.evaluations - r.sampling_evaluations
+    );
+    println!("MPFP distance       : {:.2} sigma", outcome.mpfp.beta);
+
+    if r.failure_probability > 0.0 && r.failure_probability < 1.0 {
+        let mc_cost = required_samples(r.failure_probability, 0.1);
+        println!(
+            "\nbrute-force Monte Carlo would need ~{:.1e} simulations for the same accuracy ({}x more)",
+            mc_cost,
+            (mc_cost / r.evaluations as f64).round()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the gradient-importance-sampling SRAM extraction suite.
+//!
+//! This crate re-exports the member crates of the workspace so that examples
+//! and integration tests can refer to a single dependency, mirroring how a
+//! downstream user would consume the suite.
+//!
+//! * [`gis_linalg`] — dense linear algebra kernels.
+//! * [`gis_stats`] — distributions, RNG streams and sampling plans.
+//! * [`gis_variation`] — process-variation modelling (Pelgrom mismatch, corners).
+//! * [`gis_circuit`] — MNA-based transistor-level circuit simulator.
+//! * [`gis_sram`] — 6T bitcell testbenches and dynamic metric extraction.
+//! * [`gis_core`] — gradient importance sampling and the baseline estimators.
+
+pub use gis_circuit as circuit;
+pub use gis_core as highsigma;
+pub use gis_linalg as linalg;
+pub use gis_sram as sram;
+pub use gis_stats as stats;
+pub use gis_variation as variation;

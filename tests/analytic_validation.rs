@@ -1,0 +1,178 @@
+//! Integration tests validating every estimator against analytic limit states
+//! with exactly (or near-exactly) known failure probabilities.
+//!
+//! These are the ground-truth experiments: if an estimator is biased or its
+//! cost accounting is wrong, it shows up here before any SRAM is involved.
+
+use sram_highsigma::highsigma::{
+    required_samples, FailureProblem, GisConfig, GradientImportanceSampling,
+    ImportanceSamplingConfig, LinearLimitState, MinimumNormIs, MnisConfig, MonteCarlo,
+    MonteCarloConfig, QuadraticLimitState, ScaledSigmaSampling, SphericalSampling,
+    SphericalSamplingConfig, SssConfig,
+};
+use sram_highsigma::linalg::Vector;
+use sram_highsigma::stats::RngStream;
+
+fn gis_quick() -> GradientImportanceSampling {
+    GradientImportanceSampling::new(GisConfig {
+        sampling: ImportanceSamplingConfig {
+            max_samples: 40_000,
+            batch_size: 1_000,
+            target_relative_error: 0.05,
+            min_failures: 50,
+        },
+        ..GisConfig::default()
+    })
+}
+
+#[test]
+fn gis_matches_exact_probability_across_sigma_levels() {
+    for (seed, beta) in [(1u64, 3.5_f64), (2, 4.5), (3, 5.5)] {
+        let limit_state =
+            LinearLimitState::new(Vector::from_slice(&[1.0, 0.7, -0.4, 0.2, 1.3, -0.9]), beta);
+        let exact = limit_state.exact_failure_probability();
+        let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+        let outcome = gis_quick().run(&problem, &mut RngStream::from_seed(seed));
+        let rel = (outcome.result.failure_probability - exact).abs() / exact;
+        assert!(
+            rel < 0.15,
+            "beta {beta}: GIS off by {rel:.3} ({:e} vs {exact:e})",
+            outcome.result.failure_probability
+        );
+        assert!(outcome.result.converged, "beta {beta}: did not converge");
+        assert!((outcome.result.sigma_level - beta).abs() < 0.1);
+    }
+}
+
+#[test]
+fn gis_is_orders_of_magnitude_cheaper_than_monte_carlo() {
+    let limit_state = LinearLimitState::along_first_axis(6, 5.0);
+    let exact = limit_state.exact_failure_probability();
+    let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+    let outcome = gis_quick().run(&problem, &mut RngStream::from_seed(11));
+    assert!(outcome.result.converged);
+    let mc_cost = required_samples(exact, 0.05);
+    let speedup = mc_cost / outcome.result.evaluations as f64;
+    assert!(
+        speedup > 100.0,
+        "expected >100x speedup over brute force, got {speedup:.1}"
+    );
+}
+
+#[test]
+fn gis_and_mnis_agree_with_each_other() {
+    let limit_state = LinearLimitState::new(Vector::from_slice(&[0.5, 1.0, 1.0, -0.5]), 4.0);
+    let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+
+    let gis_outcome = gis_quick().run(&problem.fork(), &mut RngStream::from_seed(5));
+    let mnis = MinimumNormIs::new(MnisConfig {
+        sampling: ImportanceSamplingConfig {
+            max_samples: 40_000,
+            batch_size: 1_000,
+            target_relative_error: 0.05,
+            min_failures: 50,
+        },
+        ..MnisConfig::default()
+    });
+    let (mnis_result, _, _) = mnis.run(&problem.fork(), &mut RngStream::from_seed(6));
+
+    let gis_p = gis_outcome.result.failure_probability;
+    let mnis_p = mnis_result.failure_probability;
+    assert!(gis_p > 0.0 && mnis_p > 0.0);
+    let ratio = gis_p / mnis_p;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "GIS ({gis_p:e}) and MNIS ({mnis_p:e}) disagree (ratio {ratio:.2})"
+    );
+    // The gradient search must be cheaper than blind presampling.
+    let gis_search = gis_outcome.result.evaluations - gis_outcome.result.sampling_evaluations;
+    let mnis_search = mnis_result.evaluations - mnis_result.sampling_evaluations;
+    assert!(
+        gis_search < mnis_search,
+        "gradient search ({gis_search}) should be cheaper than presampling ({mnis_search})"
+    );
+}
+
+#[test]
+fn monte_carlo_agrees_at_low_sigma() {
+    // At 2.5 sigma brute force is cheap, so all three of MC, GIS and the exact
+    // value must line up.
+    let limit_state = LinearLimitState::along_first_axis(3, 2.5);
+    let exact = limit_state.exact_failure_probability();
+    let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+
+    let mc = MonteCarlo::new(MonteCarloConfig {
+        max_samples: 400_000,
+        batch_size: 20_000,
+        target_relative_error: 0.05,
+        min_failures: 50,
+    });
+    let mc_result = mc.run(&problem.fork(), &mut RngStream::from_seed(9));
+    let gis_outcome = gis_quick().run(&problem.fork(), &mut RngStream::from_seed(10));
+
+    let mc_rel = (mc_result.failure_probability - exact).abs() / exact;
+    let gis_rel = (gis_outcome.result.failure_probability - exact).abs() / exact;
+    assert!(mc_rel < 0.15, "MC off by {mc_rel}");
+    assert!(gis_rel < 0.15, "GIS off by {gis_rel}");
+}
+
+#[test]
+fn quadratic_limit_state_cross_method_consistency() {
+    let limit_state = QuadraticLimitState::new(5, 4.0, 0.07);
+    let reference = limit_state.reference_failure_probability();
+    let problem = FailureProblem::from_model(limit_state, QuadraticLimitState::spec());
+    let outcome = gis_quick().run(&problem, &mut RngStream::from_seed(21));
+    let rel = (outcome.result.failure_probability - reference).abs() / reference;
+    assert!(
+        rel < 0.25,
+        "GIS on curved boundary off by {rel}: {:e} vs {reference:e}",
+        outcome.result.failure_probability
+    );
+}
+
+#[test]
+fn spherical_and_sss_produce_right_order_of_magnitude() {
+    let limit_state = LinearLimitState::along_first_axis(3, 3.5);
+    let exact = limit_state.exact_failure_probability();
+    let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+
+    let spherical = SphericalSampling::new(SphericalSamplingConfig {
+        directions: 1_500,
+        target_relative_error: 0.05,
+        ..SphericalSamplingConfig::default()
+    });
+    let spherical_result = spherical.run(&problem.fork(), &mut RngStream::from_seed(31));
+    assert!(spherical_result.failure_probability > 0.0);
+    let ratio = spherical_result.failure_probability / exact;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "spherical sampling off by factor {ratio}"
+    );
+
+    let sss = ScaledSigmaSampling::new(SssConfig {
+        samples_per_scale: 20_000,
+        ..SssConfig::default()
+    });
+    let (sss_result, _) = sss.run(&problem.fork(), &mut RngStream::from_seed(32));
+    assert!(sss_result.converged);
+    let ratio = sss_result.failure_probability / exact;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "scaled-sigma sampling off by factor {ratio}"
+    );
+}
+
+#[test]
+fn evaluation_counters_are_charged_to_the_right_method() {
+    let limit_state = LinearLimitState::along_first_axis(4, 4.0);
+    let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+
+    let fork_a = problem.fork();
+    let fork_b = problem.fork();
+    let outcome = gis_quick().run(&fork_a, &mut RngStream::from_seed(41));
+    assert_eq!(fork_a.evaluations(), outcome.result.evaluations);
+    // The fork used by GIS does not pollute the other fork's accounting.
+    assert_eq!(fork_b.evaluations(), 0);
+    // The original problem handle is untouched too (forks have separate counters).
+    assert_eq!(problem.evaluations(), 0);
+}

@@ -1,0 +1,82 @@
+//! Checks that the umbrella crate exposes a coherent public API: everything a
+//! downstream user needs is reachable through `sram_highsigma::*` re-exports,
+//! the central types implement the expected std traits, and serialized results
+//! round-trip.
+
+use sram_highsigma::circuit::{Circuit, MosfetParams, SourceWaveform, GROUND};
+use sram_highsigma::highsigma::{
+    ExtractionResult, FailureProblem, GisConfig, GradientImportanceSampling, LinearLimitState,
+    PerformanceModel, Spec,
+};
+use sram_highsigma::linalg::{Matrix, Vector};
+use sram_highsigma::sram::{SramCellConfig, SramSurrogate, SramTestbench};
+use sram_highsigma::stats::{MultivariateNormal, RngStream};
+use sram_highsigma::variation::{PelgromModel, VariationSpace};
+
+#[test]
+fn core_types_implement_std_traits() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_clone_debug<T: Clone + std::fmt::Debug>() {}
+
+    assert_send_sync::<Vector>();
+    assert_send_sync::<Matrix>();
+    assert_send_sync::<FailureProblem>();
+    assert_send_sync::<SramSurrogate>();
+    assert_send_sync::<SramTestbench>();
+    assert_clone_debug::<GisConfig>();
+    assert_clone_debug::<ExtractionResult>();
+    assert_clone_debug::<SramCellConfig>();
+    assert_clone_debug::<PelgromModel>();
+    assert_clone_debug::<MosfetParams>();
+    assert_clone_debug::<MultivariateNormal>();
+    assert_clone_debug::<VariationSpace>();
+}
+
+#[test]
+fn umbrella_crate_supports_the_full_flow() {
+    // Everything in one place: circuit, variation, stats, extraction.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    ckt.add_voltage_source("V1", a, GROUND, SourceWaveform::dc(1.0));
+    ckt.add_resistor("R1", a, GROUND, 1e3).unwrap();
+    assert_eq!(ckt.num_devices(), 2);
+
+    let limit_state = LinearLimitState::along_first_axis(4, 4.0);
+    let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+    let gis = GradientImportanceSampling::new(GisConfig::default());
+    let outcome = gis.run(&problem, &mut RngStream::from_seed(1));
+    assert!(outcome.result.failure_probability > 0.0);
+}
+
+#[test]
+fn extraction_results_serialize_to_json() {
+    let limit_state = LinearLimitState::along_first_axis(3, 3.5);
+    let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
+    let gis = GradientImportanceSampling::new(GisConfig::default());
+    let outcome = gis.run(&problem, &mut RngStream::from_seed(2));
+
+    let json = serde_json::to_string(&outcome.result).expect("result serializes");
+    assert!(json.contains("failure_probability"));
+    let back: ExtractionResult = serde_json::from_str(&json).expect("result deserializes");
+    assert_eq!(back.method, outcome.result.method);
+    assert_eq!(back.evaluations, outcome.result.evaluations);
+}
+
+#[test]
+fn performance_model_trait_is_object_safe() {
+    // Users compose models dynamically (e.g. picking read vs write at runtime);
+    // the trait must therefore be usable as a trait object.
+    let models: Vec<Box<dyn PerformanceModel>> = vec![
+        Box::new(LinearLimitState::along_first_axis(2, 3.0)),
+        Box::new(sram_highsigma::highsigma::FnModel::new("norm", 2, |z: &Vector| z.norm())),
+    ];
+    for model in &models {
+        let value = model.evaluate(&Vector::zeros(model.dim()));
+        assert!(value.is_finite());
+    }
+    // And boxed models can still power a FailureProblem via Arc.
+    let arc_model: std::sync::Arc<dyn PerformanceModel> =
+        std::sync::Arc::new(LinearLimitState::along_first_axis(2, 3.0));
+    let problem = FailureProblem::new(arc_model, Spec::UpperLimit(0.0));
+    assert_eq!(problem.dim(), 2);
+}

@@ -1,0 +1,171 @@
+//! Property-based tests (proptest) on the core data structures and invariants
+//! of the suite: linear algebra factorizations, distribution round trips,
+//! importance-weight bounds, variation-space transforms and surrogate
+//! monotonicity.
+
+use proptest::prelude::*;
+use sram_highsigma::highsigma::{Proposal, Spec};
+use sram_highsigma::linalg::{Cholesky, LuDecomposition, Matrix, Vector};
+use sram_highsigma::sram::{CellTransistor, SramSurrogate};
+use sram_highsigma::stats::{normal, OnlineStats, RngStream};
+use sram_highsigma::variation::{VariationParameter, VariationSpace};
+
+fn well_conditioned_matrix(values: &[f64], n: usize) -> Matrix {
+    let mut m = Matrix::from_fn(n, n, |i, j| values[i * n + j]);
+    for i in 0..n {
+        m[(i, i)] += n as f64 + 1.0;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solve_produces_small_residual(
+        values in prop::collection::vec(-1.0f64..1.0, 16),
+        rhs in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let a = well_conditioned_matrix(&values, 4);
+        let b = Vector::from_slice(&rhs);
+        let x = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let residual = &a.matvec(&x).unwrap() - &b;
+        prop_assert!(residual.norm() < 1e-8 * (1.0 + b.norm()));
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd_matrices(
+        values in prop::collection::vec(-1.0f64..1.0, 9),
+    ) {
+        // Build an SPD matrix A = B Bᵀ + 4 I.
+        let b = Matrix::from_fn(3, 3, |i, j| values[i * 3 + j]);
+        let mut a = b.matmul(&b.transposed()).unwrap();
+        for i in 0..3 {
+            a[(i, i)] += 4.0;
+        }
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.lower();
+        let reconstructed = l.matmul(&l.transposed()).unwrap();
+        prop_assert!((&reconstructed - &a).norm_frobenius() < 1e-9 * a.norm_frobenius());
+        // Whiten inverts color.
+        let z = Vector::from_slice(&[values[0], values[1], values[2]]);
+        let back = chol.whiten(&chol.color(&z).unwrap()).unwrap();
+        prop_assert!((&back - &z).norm() < 1e-8);
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(x in -6.0f64..6.0) {
+        let p = normal::cdf(x);
+        prop_assert!((normal::quantile(p) - x).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_tail_is_monotone_decreasing(a in 0.0f64..7.0, b in 0.0f64..7.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(normal::upper_tail_probability(hi) <= normal::upper_tail_probability(lo) + 1e-18);
+    }
+
+    #[test]
+    fn defensive_mixture_weights_are_bounded(
+        shift in prop::collection::vec(-5.0f64..5.0, 4),
+        point in prop::collection::vec(-8.0f64..8.0, 4),
+        fraction in 0.05f64..0.5,
+    ) {
+        let proposal = Proposal::defensive_mixture(Vector::from_slice(&shift), fraction);
+        let w = proposal.importance_weight(&Vector::from_slice(&point));
+        prop_assert!(w.is_finite());
+        prop_assert!(w >= 0.0);
+        prop_assert!(w <= 1.0 / fraction + 1e-9, "weight {w} exceeds bound {}", 1.0 / fraction);
+    }
+
+    #[test]
+    fn variation_space_round_trips(
+        sigmas in prop::collection::vec(0.005f64..0.1, 6),
+        z in prop::collection::vec(-6.0f64..6.0, 6),
+    ) {
+        let space = VariationSpace::independent(
+            sigmas.iter().enumerate().map(|(i, &s)| VariationParameter::new(format!("p{i}"), s)),
+        );
+        let z = Vector::from_slice(&z);
+        let physical = space.to_physical(&z);
+        let back = space.to_whitened(&physical);
+        prop_assert!((&back - &z).norm() < 1e-9);
+        // Physical deltas scale with the per-parameter sigma.
+        for i in 0..6 {
+            prop_assert!((physical[i] - sigmas[i] * z[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn surrogate_read_time_is_monotone_in_read_path_vth(
+        base in -0.05f64..0.05,
+        increment in 0.005f64..0.15,
+    ) {
+        let surrogate = SramSurrogate::typical_45nm();
+        let mut weak = [0.0; 6];
+        weak[CellTransistor::PassGateLeft.index()] = base;
+        let mut weaker = weak;
+        weaker[CellTransistor::PassGateLeft.index()] = base + increment;
+        prop_assert!(
+            surrogate.read_access_time(&weaker) >= surrogate.read_access_time(&weak)
+        );
+        // The same monotonicity holds for the pull-down device.
+        let mut weak_pd = [0.0; 6];
+        weak_pd[CellTransistor::PullDownLeft.index()] = base;
+        let mut weaker_pd = weak_pd;
+        weaker_pd[CellTransistor::PullDownLeft.index()] = base + increment;
+        prop_assert!(
+            surrogate.read_access_time(&weaker_pd) >= surrogate.read_access_time(&weak_pd)
+        );
+    }
+
+    #[test]
+    fn surrogate_metrics_are_positive_and_finite(
+        deltas in prop::collection::vec(-0.3f64..0.3, 6),
+    ) {
+        let surrogate = SramSurrogate::typical_45nm();
+        let read = surrogate.read_access_time(&deltas);
+        let write = surrogate.write_delay(&deltas);
+        let disturb = surrogate.read_disturb_voltage(&deltas);
+        prop_assert!(read.is_finite() && read > 0.0);
+        prop_assert!(write.is_finite() && write > 0.0);
+        prop_assert!(disturb.is_finite() && disturb >= 0.0 && disturb <= 1.0);
+    }
+
+    #[test]
+    fn spec_margin_sign_matches_failure_decision(
+        limit in 0.1f64..10.0,
+        metric in 0.0f64..20.0,
+        upper in prop::bool::ANY,
+    ) {
+        let spec = if upper { Spec::UpperLimit(limit) } else { Spec::LowerLimit(limit) };
+        let margin = spec.failure_margin(metric);
+        if margin > 0.0 {
+            prop_assert!(spec.is_failure(metric));
+        }
+        if margin < 0.0 {
+            prop_assert!(!spec.is_failure(metric));
+        }
+    }
+
+    #[test]
+    fn online_stats_match_two_pass_computation(
+        data in prop::collection::vec(-100.0f64..100.0, 2..50),
+    ) {
+        let stats: OnlineStats = data.iter().copied().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let variance = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (data.len() - 1) as f64;
+        prop_assert!((stats.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        prop_assert!((stats.sample_variance() - variance).abs() < 1e-7 * (1.0 + variance));
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in 0u64..u64::MAX, n in 1usize..50) {
+        let mut a = RngStream::from_seed(seed);
+        let mut b = RngStream::from_seed(seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
+        }
+    }
+}
