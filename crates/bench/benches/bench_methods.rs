@@ -8,8 +8,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gis_bench::{problem_with_relative_spec, surrogate_read_model, MASTER_SEED};
 use gis_core::{
-    GisConfig, GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs, MnisConfig,
-    MonteCarlo, MonteCarloConfig, ScaledSigmaSampling, SphericalSampling,
+    Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs,
+    MnisConfig, MonteCarlo, MonteCarloConfig, ScaledSigmaSampling, SphericalSampling,
     SphericalSamplingConfig, SssConfig,
 };
 use gis_stats::RngStream;
@@ -36,7 +36,7 @@ fn bench_methods(c: &mut Criterion) {
                 sampling: sampling_config(),
                 ..GisConfig::default()
             });
-            gis.run(&problem, &mut RngStream::from_seed(MASTER_SEED))
+            gis.estimate(&problem, &mut RngStream::from_seed(MASTER_SEED))
         })
     });
 
@@ -49,7 +49,7 @@ fn bench_methods(c: &mut Criterion) {
                 sampling: sampling_config(),
                 ..MnisConfig::default()
             });
-            mnis.run(&problem, &mut RngStream::from_seed(MASTER_SEED))
+            mnis.estimate(&problem, &mut RngStream::from_seed(MASTER_SEED))
         })
     });
 
@@ -62,7 +62,7 @@ fn bench_methods(c: &mut Criterion) {
                 directions: 500,
                 ..SphericalSamplingConfig::default()
             });
-            spherical.run(&problem, &mut RngStream::from_seed(MASTER_SEED))
+            spherical.estimate(&problem, &mut RngStream::from_seed(MASTER_SEED))
         })
     });
 
@@ -75,7 +75,7 @@ fn bench_methods(c: &mut Criterion) {
                 samples_per_scale: 2_000,
                 ..SssConfig::default()
             });
-            sss.run(&problem, &mut RngStream::from_seed(MASTER_SEED))
+            sss.estimate(&problem, &mut RngStream::from_seed(MASTER_SEED))
         })
     });
 
@@ -90,7 +90,7 @@ fn bench_methods(c: &mut Criterion) {
                 target_relative_error: 0.1,
                 min_failures: 10,
             });
-            mc.run(&problem, &mut RngStream::from_seed(MASTER_SEED))
+            mc.estimate(&problem, &mut RngStream::from_seed(MASTER_SEED))
         })
     });
 

@@ -33,17 +33,38 @@ fn read_waveforms(label: &str, vth_deltas: &[f64; 6]) -> WaveformDump {
 
     let mut ckt = Circuit::new();
     let nodes = build_6t_cell(&mut ckt, &cell, vth_deltas).expect("valid cell");
-    ckt.add_voltage_source("V_VDD", nodes.vdd, Circuit::ground(), SourceWaveform::dc(vdd));
+    ckt.add_voltage_source(
+        "V_VDD",
+        nodes.vdd,
+        Circuit::ground(),
+        SourceWaveform::dc(vdd),
+    );
     ckt.add_voltage_source(
         "V_WL",
         nodes.wordline,
         Circuit::ground(),
-        SourceWaveform::pulse(0.0, vdd, timing.wordline_delay, timing.wordline_edge, timing.wordline_width),
+        SourceWaveform::pulse(
+            0.0,
+            vdd,
+            timing.wordline_delay,
+            timing.wordline_edge,
+            timing.wordline_width,
+        ),
     );
-    ckt.add_capacitor("C_BL", nodes.bitline, Circuit::ground(), cell.bitline_capacitance)
-        .expect("valid capacitor");
-    ckt.add_capacitor("C_BLB", nodes.bitline_bar, Circuit::ground(), cell.bitline_capacitance)
-        .expect("valid capacitor");
+    ckt.add_capacitor(
+        "C_BL",
+        nodes.bitline,
+        Circuit::ground(),
+        cell.bitline_capacitance,
+    )
+    .expect("valid capacitor");
+    ckt.add_capacitor(
+        "C_BLB",
+        nodes.bitline_bar,
+        Circuit::ground(),
+        cell.bitline_capacitance,
+    )
+    .expect("valid capacitor");
 
     let mut ic = vec![0.0; ckt.num_nodes()];
     ic[nodes.vdd] = vdd;
@@ -57,7 +78,10 @@ fn read_waveforms(label: &str, vth_deltas: &[f64; 6]) -> WaveformDump {
     WaveformDump {
         label: label.to_string(),
         times: result.times().to_vec(),
-        wordline: result.node_voltage_samples(nodes.wordline).unwrap().to_vec(),
+        wordline: result
+            .node_voltage_samples(nodes.wordline)
+            .unwrap()
+            .to_vec(),
         bitline: result.node_voltage_samples(nodes.bitline).unwrap().to_vec(),
         q: result.node_voltage_samples(nodes.q).unwrap().to_vec(),
         q_bar: result.node_voltage_samples(nodes.q_bar).unwrap().to_vec(),
@@ -66,7 +90,8 @@ fn read_waveforms(label: &str, vth_deltas: &[f64; 6]) -> WaveformDump {
 
 fn main() {
     let cell = SramCellConfig::typical_45nm();
-    let sigma_pg = PelgromModel::typical_45nm().sigma_vth(cell.pass_gate.width, cell.pass_gate.length);
+    let sigma_pg =
+        PelgromModel::typical_45nm().sigma_vth(cell.pass_gate.width, cell.pass_gate.length);
     println!("pass-gate Vth sigma: {:.1} mV", sigma_pg * 1e3);
 
     let mut dumps = Vec::new();

@@ -8,7 +8,9 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin fig3_metric_distribution`.
 
-use gis_bench::{print_csv, surrogate_read_model, transient_model, write_json_artifact, MASTER_SEED};
+use gis_bench::{
+    print_csv, surrogate_read_model, transient_model, write_json_artifact, MASTER_SEED,
+};
 use gis_core::{PerformanceModel, SramMetric};
 use gis_stats::{quantile_of, Histogram, RngStream};
 use serde::Serialize;

@@ -1,10 +1,12 @@
 //! Figure 4 — Convergence of the failure-probability estimate versus the
 //! number of simulations for each method.
 //!
-//! All methods attack the same surrogate read-access-time problem. The printed
-//! series (one CSV block per method) show the running estimate and its relative
-//! error as a function of cumulative simulator calls; the reference line is a
-//! long fixed-proposal importance-sampling run.
+//! All methods attack the same surrogate read-access-time problem through the
+//! unified [`gis_core::YieldAnalysis`] driver. The printed series (one CSV
+//! block per method) show the running estimate and its relative error as a
+//! function of cumulative simulator calls; the reference line is a long
+//! fixed-proposal importance-sampling run centred on the MPFP the gradient
+//! search found.
 //!
 //! Run with `cargo run --release -p gis-bench --bin fig4_convergence`.
 
@@ -12,9 +14,9 @@ use gis_bench::{
     print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    run_importance_sampling, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig,
-    MinimumNormIs, MnisConfig, MonteCarlo, MonteCarloConfig, Proposal, ScaledSigmaSampling,
-    SphericalSampling, SphericalSamplingConfig, SssConfig,
+    run_importance_sampling, Estimator, GisConfig, GradientImportanceSampling,
+    ImportanceSamplingConfig, MinimumNormIs, MnisConfig, MonteCarlo, MonteCarloConfig, Proposal,
+    ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig, SssConfig, YieldAnalysis,
 };
 use gis_linalg::Vector;
 use gis_stats::RngStream;
@@ -66,15 +68,59 @@ fn main() {
     let nominal = model.nominal_metric();
     let base = problem_with_relative_spec(model, nominal, spec_factor);
     let master = RngStream::from_seed(MASTER_SEED + 7);
-    let mut all_series = Vec::new();
 
-    // Reference value: a long importance-sampling run centred on the MPFP found
-    // by the gradient search (200k samples).
+    // The convergence-focused budgets differ per method, so each estimator is
+    // registered with its own configuration rather than a uniform policy.
+    let sampling = ImportanceSamplingConfig {
+        max_samples: 50_000,
+        batch_size: 500,
+        target_relative_error: 0.02,
+        min_failures: 50,
+    };
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        Box::new(GradientImportanceSampling::new(GisConfig {
+            sampling: sampling.clone(),
+            ..GisConfig::default()
+        })),
+        Box::new(MinimumNormIs::new(MnisConfig {
+            sampling,
+            ..MnisConfig::default()
+        })),
+        Box::new(SphericalSampling::new(SphericalSamplingConfig {
+            directions: 3_000,
+            target_relative_error: 0.02,
+            ..SphericalSamplingConfig::default()
+        })),
+        Box::new(ScaledSigmaSampling::new(SssConfig {
+            samples_per_scale: 10_000,
+            ..SssConfig::default()
+        })),
+        // Brute-force Monte Carlo will not converge at this sigma level; its
+        // trace demonstrates why.
+        Box::new(MonteCarlo::new(MonteCarloConfig {
+            max_samples: 200_000,
+            batch_size: 10_000,
+            target_relative_error: 0.1,
+            min_failures: 10,
+        })),
+    ];
+
+    let report = YieldAnalysis::new()
+        .master_seed(MASTER_SEED + 7)
+        .problem("surrogate-read", base.fork())
+        .estimators(estimators)
+        .run();
+    let problem_report = &report.problems[0];
+
+    // Reference value: a long importance-sampling run centred on the MPFP the
+    // gradient search found (200k samples).
     let reference = {
-        let problem = base.fork();
-        let gis = GradientImportanceSampling::new(GisConfig::default());
-        let outcome = gis.run(&problem, &mut master.split(99));
-        let shift = Vector::from_slice(&outcome.diagnostics.shift.clone().unwrap());
+        let shift = Vector::from_slice(
+            problem_report
+                .method("gradient-is")
+                .and_then(|m| m.outcome.shift())
+                .expect("GIS reports a shift"),
+        );
         let long_problem = base.fork();
         let (result, _) = run_importance_sampling(
             &long_problem,
@@ -93,81 +139,13 @@ fn main() {
     };
     println!("reference P_fail = {reference:.4e} (long importance-sampling run)");
 
-    // Gradient IS.
-    {
-        let problem = base.fork();
-        let gis = GradientImportanceSampling::new(GisConfig {
-            sampling: ImportanceSamplingConfig {
-                max_samples: 50_000,
-                batch_size: 500,
-                target_relative_error: 0.02,
-                min_failures: 50,
-            },
-            ..GisConfig::default()
-        });
-        let outcome = gis.run(&problem, &mut master.split(1));
-        let series = series_from_trace("gradient-is", &outcome.result.trace, outcome.result.failure_probability);
-        print_series(&series);
-        all_series.push(series);
-    }
-
-    // Minimum-norm IS.
-    {
-        let problem = base.fork();
-        let mnis = MinimumNormIs::new(MnisConfig {
-            sampling: ImportanceSamplingConfig {
-                max_samples: 50_000,
-                batch_size: 500,
-                target_relative_error: 0.02,
-                min_failures: 50,
-            },
-            ..MnisConfig::default()
-        });
-        let (result, _, _) = mnis.run(&problem, &mut master.split(2));
-        let series = series_from_trace("minimum-norm-is", &result.trace, result.failure_probability);
-        print_series(&series);
-        all_series.push(series);
-    }
-
-    // Spherical sampling.
-    {
-        let problem = base.fork();
-        let spherical = SphericalSampling::new(SphericalSamplingConfig {
-            directions: 3_000,
-            target_relative_error: 0.02,
-            ..SphericalSamplingConfig::default()
-        });
-        let result = spherical.run(&problem, &mut master.split(3));
-        let series = series_from_trace("spherical-sampling", &result.trace, result.failure_probability);
-        print_series(&series);
-        all_series.push(series);
-    }
-
-    // Scaled-sigma sampling (its trace is per-scale rather than per-batch).
-    {
-        let problem = base.fork();
-        let sss = ScaledSigmaSampling::new(SssConfig {
-            samples_per_scale: 10_000,
-            ..SssConfig::default()
-        });
-        let (result, _) = sss.run(&problem, &mut master.split(4));
-        let series = series_from_trace("scaled-sigma-sampling", &result.trace, result.failure_probability);
-        print_series(&series);
-        all_series.push(series);
-    }
-
-    // Brute-force Monte Carlo (will not converge at this sigma level; its trace
-    // demonstrates why).
-    {
-        let problem = base.fork();
-        let mc = MonteCarlo::new(MonteCarloConfig {
-            max_samples: 200_000,
-            batch_size: 10_000,
-            target_relative_error: 0.1,
-            min_failures: 10,
-        });
-        let result = mc.run(&problem, &mut master.split(5));
-        let series = series_from_trace("monte-carlo", &result.trace, result.failure_probability);
+    let mut all_series = Vec::new();
+    for method in &problem_report.methods {
+        let series = series_from_trace(
+            &method.estimator,
+            &method.outcome.result.trace,
+            method.outcome.result.failure_probability,
+        );
         print_series(&series);
         all_series.push(series);
     }

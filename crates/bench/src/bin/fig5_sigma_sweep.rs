@@ -1,12 +1,13 @@
 //! Figure 5 — Accuracy and cost versus sigma level.
 //!
 //! The specification limit of the surrogate read-access-time problem is swept
-//! so that the true failure probability ranges from roughly 3σ to 5.5σ. At
-//! every point Gradient IS and the minimum-norm baseline are run to a 10%
-//! relative-error target, and their estimate is compared against a
-//! high-budget reference importance-sampling run. The figure shows (a) the
-//! deviation from the reference and (b) the number of simulations, both as a
-//! function of the sigma level.
+//! so that the true failure probability ranges from roughly 3σ to 5.5σ. Every
+//! sweep point is registered as a named problem on one
+//! [`gis_core::YieldAnalysis`] driver running Gradient IS and the minimum-norm
+//! baseline to a 10% relative-error target; their estimates are compared
+//! against a high-budget reference importance-sampling run. The figure shows
+//! (a) the deviation from the reference and (b) the number of simulations,
+//! both as a function of the sigma level.
 //!
 //! Run with `cargo run --release -p gis-bench --bin fig5_sigma_sweep`.
 
@@ -14,8 +15,8 @@ use gis_bench::{
     print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    run_importance_sampling, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig,
-    MinimumNormIs, MnisConfig, Proposal,
+    run_importance_sampling, ConvergencePolicy, Estimator, GisConfig, GradientImportanceSampling,
+    ImportanceSamplingConfig, MinimumNormIs, MnisConfig, Proposal, YieldAnalysis,
 };
 use gis_linalg::Vector;
 use gis_stats::RngStream;
@@ -37,19 +38,45 @@ struct SigmaSweepPoint {
 fn main() {
     let spec_factors = [1.35, 1.5, 1.7, 1.9, 2.2, 2.6];
     let master = RngStream::from_seed(MASTER_SEED + 11);
-    let mut points = Vec::new();
 
-    for (index, &factor) in spec_factors.iter().enumerate() {
+    // One driver, one problem per sweep point, both methods at the production
+    // accuracy target (10% relative error, 60k budget).
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        Box::new(GradientImportanceSampling::new(GisConfig::default())),
+        Box::new(MinimumNormIs::new(MnisConfig::default())),
+    ];
+    let mut analysis = YieldAnalysis::new()
+        .master_seed(MASTER_SEED + 11)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(60_000)
+                .target_relative_error(0.1)
+                .min_failures(30),
+        )
+        .estimators(estimators);
+    for &factor in &spec_factors {
         let model = surrogate_read_model();
         let nominal = model.nominal_metric();
-        let base = problem_with_relative_spec(model, nominal, factor);
+        analysis = analysis.problem(
+            format!("spec-{factor:.2}"),
+            problem_with_relative_spec(model, nominal, factor),
+        );
+    }
+    let report = analysis.run();
 
-        // Reference: gradient MPFP, then a long fixed-proposal IS run.
-        let gis_ref = GradientImportanceSampling::new(GisConfig::default());
-        let ref_outcome = gis_ref.run(&base.fork(), &mut master.split((index * 10) as u64));
-        let shift = Vector::from_slice(&ref_outcome.diagnostics.shift.clone().unwrap());
+    let mut points = Vec::new();
+    for (index, (&factor, problem_report)) in
+        spec_factors.iter().zip(report.problems.iter()).enumerate()
+    {
+        let gis = problem_report.method("gradient-is").expect("GIS ran");
+        let mnis = problem_report.method("minimum-norm-is").expect("MNIS ran");
+
+        // Reference: a long fixed-proposal IS run centred on the MPFP the
+        // gradient search located for this sweep point.
+        let shift = Vector::from_slice(gis.outcome.shift().expect("GIS reports a shift"));
+        let model = surrogate_read_model();
+        let nominal = model.nominal_metric();
         let (reference, _) = run_importance_sampling(
-            &base.fork(),
+            &problem_with_relative_spec(model, nominal, factor),
             &Proposal::defensive_mixture(shift, 0.1),
             &ImportanceSamplingConfig {
                 max_samples: 300_000,
@@ -62,30 +89,6 @@ fn main() {
             0,
         );
 
-        // Gradient IS at the production accuracy target.
-        let gis = GradientImportanceSampling::new(GisConfig {
-            sampling: ImportanceSamplingConfig {
-                max_samples: 60_000,
-                batch_size: 500,
-                target_relative_error: 0.1,
-                min_failures: 30,
-            },
-            ..GisConfig::default()
-        });
-        let gis_outcome = gis.run(&base.fork(), &mut master.split((index * 10 + 2) as u64));
-
-        // Minimum-norm IS at the same target.
-        let mnis = MinimumNormIs::new(MnisConfig {
-            sampling: ImportanceSamplingConfig {
-                max_samples: 60_000,
-                batch_size: 500,
-                target_relative_error: 0.1,
-                min_failures: 30,
-            },
-            ..MnisConfig::default()
-        });
-        let (mnis_result, _, _) = mnis.run(&base.fork(), &mut master.split((index * 10 + 3) as u64));
-
         let deviation = |estimate: f64| {
             if reference.failure_probability > 0.0 && estimate > 0.0 {
                 (estimate - reference.failure_probability).abs() / reference.failure_probability
@@ -97,12 +100,12 @@ fn main() {
             spec_factor: factor,
             reference_probability: reference.failure_probability,
             reference_sigma: reference.sigma_level,
-            gis_probability: gis_outcome.result.failure_probability,
-            gis_deviation: deviation(gis_outcome.result.failure_probability),
-            gis_evaluations: gis_outcome.result.evaluations,
-            mnis_probability: mnis_result.failure_probability,
-            mnis_deviation: deviation(mnis_result.failure_probability),
-            mnis_evaluations: mnis_result.evaluations,
+            gis_probability: gis.row.failure_probability,
+            gis_deviation: deviation(gis.row.failure_probability),
+            gis_evaluations: gis.row.evaluations,
+            mnis_probability: mnis.row.failure_probability,
+            mnis_deviation: deviation(mnis.row.failure_probability),
+            mnis_evaluations: mnis.row.evaluations,
         };
         println!(
             "spec {:>4.2}x: sigma {:>5.2}, ref {:.3e} | GIS {:.3e} (dev {:>5.1}%, {:>6} sims) | MNIS {:.3e} (dev {:>5.1}%, {:>6} sims)",

@@ -85,19 +85,31 @@ fn main() {
         LinearLimitState::along_first_axis(6, 4.5),
         LinearLimitState::spec(),
     );
-    traces.push(trace_problem("linear_4p5_sigma", &analytic, MASTER_SEED + 20));
+    traces.push(trace_problem(
+        "linear_4p5_sigma",
+        &analytic,
+        MASTER_SEED + 20,
+    ));
 
     // Surrogate read problem.
     let read = surrogate_read_model();
     let read_nominal = read.nominal_metric();
     let read_problem = problem_with_relative_spec(read, read_nominal, 2.0);
-    traces.push(trace_problem("surrogate_read", &read_problem, MASTER_SEED + 21));
+    traces.push(trace_problem(
+        "surrogate_read",
+        &read_problem,
+        MASTER_SEED + 21,
+    ));
 
     // Transient write problem (each gradient evaluation is a real simulation).
     let write = transient_model(SramMetric::WriteDelay);
     let write_nominal = write.nominal_metric();
     let write_problem = problem_with_relative_spec(write, write_nominal, 3.0);
-    traces.push(trace_problem("transient_write", &write_problem, MASTER_SEED + 22));
+    traces.push(trace_problem(
+        "transient_write",
+        &write_problem,
+        MASTER_SEED + 22,
+    ));
 
     write_json_artifact("fig6_mpfp_trace", &traces);
 }

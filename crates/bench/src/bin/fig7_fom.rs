@@ -11,7 +11,7 @@ use gis_bench::{
     print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    figure_of_merit, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig,
+    figure_of_merit, Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig,
     MinimumNormIs, MnisConfig, MonteCarlo, MonteCarloConfig, SphericalSampling,
     SphericalSamplingConfig,
 };
@@ -67,7 +67,7 @@ fn main() {
             sampling: sampling.clone(),
             ..GisConfig::default()
         });
-        let outcome = gis.run(&base.fork(), &mut master.split(1));
+        let outcome = gis.estimate(&base.fork(), &mut master.split(1));
         all.push(fom_series("gradient-is", &outcome.result.trace));
     }
     {
@@ -75,7 +75,7 @@ fn main() {
             sampling: sampling.clone(),
             ..MnisConfig::default()
         });
-        let (result, _, _) = mnis.run(&base.fork(), &mut master.split(2));
+        let result = mnis.estimate(&base.fork(), &mut master.split(2)).result;
         all.push(fom_series("minimum-norm-is", &result.trace));
     }
     {
@@ -84,7 +84,9 @@ fn main() {
             target_relative_error: 0.02,
             ..SphericalSamplingConfig::default()
         });
-        let result = spherical.run(&base.fork(), &mut master.split(3));
+        let result = spherical
+            .estimate(&base.fork(), &mut master.split(3))
+            .result;
         all.push(fom_series("spherical-sampling", &result.trace));
     }
     {
@@ -94,7 +96,7 @@ fn main() {
             target_relative_error: 0.02,
             min_failures: 10,
         });
-        let result = mc.run(&base.fork(), &mut master.split(4));
+        let result = mc.estimate(&base.fork(), &mut master.split(4)).result;
         all.push(fom_series("monte-carlo", &result.trace));
     }
 
@@ -102,7 +104,10 @@ fn main() {
     for series in &all {
         let last = series.figure_of_merit.last().copied().unwrap_or(0.0);
         let evals = series.evaluations.last().copied().unwrap_or(0);
-        println!("{:<24} {:>12.3e}  (after {} sims)", series.method, last, evals);
+        println!(
+            "{:<24} {:>12.3e}  (after {} sims)",
+            series.method, last, evals
+        );
     }
 
     write_json_artifact("fig7_fom", &all);

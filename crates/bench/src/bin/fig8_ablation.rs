@@ -17,8 +17,8 @@ use gis_bench::{
     print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    run_importance_sampling, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig,
-    MpfpConfig, Proposal,
+    run_importance_sampling, Estimator, GisConfig, GradientImportanceSampling,
+    ImportanceSamplingConfig, MpfpConfig, Proposal,
 };
 use gis_linalg::Vector;
 use gis_stats::RngStream;
@@ -53,8 +53,8 @@ fn main() {
     // Reference from a long run.
     let reference = {
         let gis = GradientImportanceSampling::new(GisConfig::default());
-        let outcome = gis.run(&base.fork(), &mut master.split(999));
-        let shift = Vector::from_slice(&outcome.diagnostics.shift.unwrap());
+        let outcome = gis.estimate(&base.fork(), &mut master.split(999));
+        let shift = Vector::from_slice(outcome.shift().expect("GIS reports a shift"));
         let (result, _) = run_importance_sampling(
             &base.fork(),
             &Proposal::defensive_mixture(shift, 0.1),
@@ -133,7 +133,7 @@ fn main() {
     for (index, (name, mut config)) in variants.into_iter().enumerate() {
         config.sampling = base_sampling();
         let gis = GradientImportanceSampling::new(config);
-        let outcome = gis.run(&base.fork(), &mut master.split(index as u64));
+        let outcome = gis.estimate(&base.fork(), &mut master.split(index as u64));
         let deviation = if reference > 0.0 {
             (outcome.result.failure_probability - reference).abs() / reference
         } else {
@@ -145,7 +145,10 @@ fn main() {
             deviation_from_reference: deviation,
             relative_confidence_90: outcome.result.relative_confidence_90(),
             evaluations: outcome.result.evaluations,
-            effective_sample_size: outcome.diagnostics.effective_sample_size,
+            effective_sample_size: outcome
+                .is_diagnostics()
+                .map(|d| d.effective_sample_size)
+                .unwrap_or(0.0),
             converged: outcome.result.converged,
         };
         println!(

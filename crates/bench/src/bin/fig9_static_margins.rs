@@ -11,8 +11,8 @@
 
 use gis_bench::{print_csv, write_json_artifact, MASTER_SEED};
 use gis_core::{
-    default_sram_variation_space, FailureProblem, FnModel, GisConfig, GradientImportanceSampling,
-    ImportanceSamplingConfig, MpfpConfig, Spec,
+    default_sram_variation_space, Estimator, FailureProblem, FnModel, GisConfig,
+    GradientImportanceSampling, ImportanceSamplingConfig, MpfpConfig, Spec,
 };
 use gis_sram::{SramCellConfig, StaticAnalysis};
 use gis_stats::{OnlineStats, RngStream};
@@ -56,9 +56,7 @@ fn main() {
     let mut values = Vec::new();
     for _ in 0..mc_samples {
         let (_, deltas) = space.sample(&mut rng);
-        let snm = analysis
-            .read_snm(deltas.as_slice())
-            .unwrap_or(0.0);
+        let snm = analysis.read_snm(deltas.as_slice()).unwrap_or(0.0);
         stats.push(snm);
         values.push(snm);
     }
@@ -97,7 +95,7 @@ fn main() {
         },
         ..GisConfig::default()
     });
-    let outcome = gis.run(&problem, &mut rng);
+    let outcome = gis.estimate(&problem, &mut rng);
     println!(
         "P(read SNM < {:.1} mV) = {:.3e} ({:.2} sigma) using {} DC-sweep evaluations",
         snm_limit * 1e3,

@@ -6,110 +6,110 @@
 //! specification (a fixed multiple of the nominal access time). Every method is
 //! charged for all simulator calls it makes, including its search phase.
 //!
+//! All four methods run through the unified [`gis_core::YieldAnalysis`]
+//! driver, which derives a deterministic seed per method from the master seed.
+//!
 //! Run with `cargo run --release -p gis-bench --bin table1_read_failure`.
 
 use gis_bench::{
     print_comparison_table, problem_with_relative_spec, transient_model, write_json_artifact,
-    ComparisonRow, MASTER_SEED,
+    MASTER_SEED,
 };
 use gis_core::{
-    GisConfig, GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs, MnisConfig,
-    ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig, SramMetric, SssConfig,
+    Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs,
+    MnisConfig, ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig, SramMetric,
+    SssConfig, YieldAnalysis,
 };
-use gis_stats::RngStream;
 
 fn main() {
     let spec_factor = 2.0;
     let model = transient_model(SramMetric::ReadAccessTime);
     let nominal = model.nominal_metric();
     println!("nominal read access time: {:.4e} s", nominal);
-    println!("specification (upper limit): {:.4e} s ({spec_factor}x nominal)", nominal * spec_factor);
+    println!(
+        "specification (upper limit): {:.4e} s ({spec_factor}x nominal)",
+        nominal * spec_factor
+    );
 
-    let base_problem = problem_with_relative_spec(model, nominal, spec_factor);
-    let master = RngStream::from_seed(MASTER_SEED);
-    let mut rows = Vec::new();
-
-    // Gradient Importance Sampling (proposed).
-    {
-        let problem = base_problem.fork();
-        let gis = GradientImportanceSampling::new(GisConfig {
-            sampling: ImportanceSamplingConfig {
-                max_samples: 4_000,
-                batch_size: 250,
-                target_relative_error: 0.1,
-                min_failures: 30,
-            },
+    let sampling = ImportanceSamplingConfig {
+        max_samples: 4_000,
+        batch_size: 250,
+        target_relative_error: 0.1,
+        min_failures: 30,
+    };
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        Box::new(GradientImportanceSampling::new(GisConfig {
+            sampling: sampling.clone(),
             ..GisConfig::default()
-        });
-        let outcome = gis.run(&problem, &mut master.split(1));
-        println!(
-            "[gradient-is] MPFP beta = {:.3} sigma after {} search simulations",
-            outcome.mpfp.beta, outcome.mpfp.evaluations
-        );
-        rows.push(ComparisonRow::from_result(&outcome.result));
-    }
-
-    // Minimum-norm importance sampling.
-    {
-        let problem = base_problem.fork();
-        let mnis = MinimumNormIs::new(MnisConfig {
+        })),
+        Box::new(MinimumNormIs::new(MnisConfig {
             presamples_per_round: 1_500,
             presample_scales: vec![2.0, 2.5, 3.0],
-            sampling: ImportanceSamplingConfig {
-                max_samples: 4_000,
-                batch_size: 250,
-                target_relative_error: 0.1,
-                min_failures: 30,
-            },
+            sampling,
             ..MnisConfig::default()
-        });
-        let (result, _, search) = mnis.run(&problem, &mut master.split(2));
-        println!(
-            "[minimum-norm-is] search beta = {:.3} sigma after {} simulations",
-            search.beta, search.evaluations
-        );
-        rows.push(ComparisonRow::from_result(&result));
-    }
-
-    // Spherical sampling.
-    {
-        let problem = base_problem.fork();
-        let spherical = SphericalSampling::new(SphericalSamplingConfig {
+        })),
+        Box::new(SphericalSampling::new(SphericalSamplingConfig {
             directions: 200,
             max_radius: 8.0,
             bisection_steps: 12,
             target_relative_error: 0.1,
             min_failing_directions: 10,
-        });
-        let result = spherical.run(&problem, &mut master.split(3));
-        rows.push(ComparisonRow::from_result(&result));
-    }
-
-    // Scaled-sigma sampling.
-    {
-        let problem = base_problem.fork();
-        let sss = ScaledSigmaSampling::new(SssConfig {
+        })),
+        Box::new(ScaledSigmaSampling::new(SssConfig {
             scales: vec![1.6, 2.0, 2.4, 2.8, 3.2],
             samples_per_scale: 1_600,
             min_failures_per_scale: 10,
-        });
-        let (result, points) = sss.run(&problem, &mut master.split(4));
-        for p in &points {
+        })),
+    ];
+
+    let report = YieldAnalysis::new()
+        .master_seed(MASTER_SEED)
+        .problem(
+            "read-access-time",
+            problem_with_relative_spec(model, nominal, spec_factor),
+        )
+        .estimators(estimators)
+        .run();
+
+    let problem_report = &report.problems[0];
+    if let Some(mpfp) = problem_report
+        .method("gradient-is")
+        .and_then(|m| m.outcome.mpfp())
+    {
+        println!(
+            "[gradient-is] MPFP beta = {:.3} sigma after {} search simulations",
+            mpfp.beta, mpfp.evaluations
+        );
+    }
+    if let Some(search) = problem_report
+        .method("minimum-norm-is")
+        .and_then(|m| m.outcome.search())
+    {
+        println!(
+            "[minimum-norm-is] search beta = {:.3} sigma after {} simulations",
+            search.beta, search.evaluations
+        );
+    }
+    if let Some(points) = problem_report
+        .method("scaled-sigma-sampling")
+        .and_then(|m| m.outcome.scale_points())
+    {
+        for p in points {
             println!(
                 "[scaled-sigma] s = {:.1}: {} / {} failures (P = {:.3e})",
                 p.scale, p.failures, p.samples, p.probability
             );
         }
-        rows.push(ComparisonRow::from_result(&result));
     }
 
+    let rows = problem_report.rows();
     print_comparison_table(
         "Table 1: 6T read-access-time failure (transient testbench)",
         &rows,
     );
     println!(
         "\nBrute-force Monte Carlo reference cost (10% rel. error) at the GIS estimate: {:.3e} simulations",
-        gis_core::required_samples(rows[0].failure_probability.max(1e-12).min(0.5), 0.1)
+        gis_core::required_samples(rows[0].failure_probability.clamp(1e-12, 0.5), 0.1)
     );
-    write_json_artifact("table1_read_failure", &rows);
+    write_json_artifact("table1_read_failure", &report);
 }

@@ -6,19 +6,20 @@
 //! wordline pulse width); samples whose cell never flips are censored at the
 //! simulation window and therefore always fail.
 //!
+//! All four methods run through the unified [`gis_core::YieldAnalysis`]
+//! driver, which derives a deterministic seed per method from the master seed.
+//!
 //! Run with `cargo run --release -p gis-bench --bin table2_write_failure`.
 
 use gis_bench::{
-    print_comparison_table, problem_with_relative_spec, write_json_artifact, ComparisonRow,
-    MASTER_SEED,
+    print_comparison_table, problem_with_relative_spec, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    default_sram_variation_space, GisConfig, GradientImportanceSampling,
+    default_sram_variation_space, Estimator, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, MinimumNormIs, MnisConfig, ScaledSigmaSampling, SphericalSampling,
-    SphericalSamplingConfig, SramMetric, SramTransientModel, SssConfig,
+    SphericalSamplingConfig, SramMetric, SramTransientModel, SssConfig, YieldAnalysis,
 };
 use gis_sram::{SramCellConfig, SramTestbench, TestbenchTiming};
-use gis_stats::RngStream;
 use gis_variation::PelgromModel;
 
 fn main() {
@@ -42,84 +43,85 @@ fn main() {
         nominal * spec_factor
     );
 
-    let base_problem = problem_with_relative_spec(model, nominal, spec_factor);
-    let master = RngStream::from_seed(MASTER_SEED + 2);
-    let mut rows = Vec::new();
-
-    {
-        let problem = base_problem.fork();
-        let gis = GradientImportanceSampling::new(GisConfig {
-            sampling: ImportanceSamplingConfig {
-                max_samples: 6_000,
-                batch_size: 250,
-                target_relative_error: 0.1,
-                min_failures: 30,
-            },
+    let sampling = ImportanceSamplingConfig {
+        max_samples: 6_000,
+        batch_size: 250,
+        target_relative_error: 0.1,
+        min_failures: 30,
+    };
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        Box::new(GradientImportanceSampling::new(GisConfig {
+            sampling: sampling.clone(),
             ..GisConfig::default()
-        });
-        let outcome = gis.run(&problem, &mut master.split(1));
-        println!(
-            "[gradient-is] MPFP beta = {:.3} sigma after {} search simulations",
-            outcome.mpfp.beta, outcome.mpfp.evaluations
-        );
-        rows.push(ComparisonRow::from_result(&outcome.result));
-    }
-
-    {
-        let problem = base_problem.fork();
-        let mnis = MinimumNormIs::new(MnisConfig {
+        })),
+        Box::new(MinimumNormIs::new(MnisConfig {
             presamples_per_round: 1_000,
             presample_scales: vec![2.0, 2.5, 3.0],
-            sampling: ImportanceSamplingConfig {
-                max_samples: 6_000,
-                batch_size: 250,
-                target_relative_error: 0.1,
-                min_failures: 30,
-            },
+            sampling,
             ..MnisConfig::default()
-        });
-        let (result, _, search) = mnis.run(&problem, &mut master.split(2));
-        println!(
-            "[minimum-norm-is] search beta = {:.3} sigma after {} simulations",
-            search.beta, search.evaluations
-        );
-        rows.push(ComparisonRow::from_result(&result));
-    }
-
-    {
-        let problem = base_problem.fork();
-        let spherical = SphericalSampling::new(SphericalSamplingConfig {
+        })),
+        Box::new(SphericalSampling::new(SphericalSamplingConfig {
             directions: 150,
             max_radius: 8.0,
             bisection_steps: 12,
             target_relative_error: 0.1,
             min_failing_directions: 10,
-        });
-        let result = spherical.run(&problem, &mut master.split(3));
-        rows.push(ComparisonRow::from_result(&result));
-    }
-
-    {
-        let problem = base_problem.fork();
-        let sss = ScaledSigmaSampling::new(SssConfig {
+        })),
+        Box::new(ScaledSigmaSampling::new(SssConfig {
             scales: vec![1.6, 2.0, 2.4, 2.8, 3.2],
             samples_per_scale: 800,
             min_failures_per_scale: 10,
-        });
-        let (result, points) = sss.run(&problem, &mut master.split(4));
-        for p in &points {
+        })),
+    ];
+
+    let report = YieldAnalysis::new()
+        .master_seed(MASTER_SEED + 2)
+        .problem(
+            "write-delay",
+            problem_with_relative_spec(model, nominal, spec_factor),
+        )
+        .estimators(estimators)
+        .run();
+
+    let problem_report = &report.problems[0];
+    if let Some(mpfp) = problem_report
+        .method("gradient-is")
+        .and_then(|m| m.outcome.mpfp())
+    {
+        println!(
+            "[gradient-is] MPFP beta = {:.3} sigma after {} search simulations",
+            mpfp.beta, mpfp.evaluations
+        );
+    }
+    if let Some(search) = problem_report
+        .method("minimum-norm-is")
+        .and_then(|m| m.outcome.search())
+    {
+        println!(
+            "[minimum-norm-is] search beta = {:.3} sigma after {} simulations",
+            search.beta, search.evaluations
+        );
+    }
+    if let Some(points) = problem_report
+        .method("scaled-sigma-sampling")
+        .and_then(|m| m.outcome.scale_points())
+    {
+        for p in points {
             println!(
                 "[scaled-sigma] s = {:.1}: {} / {} failures (P = {:.3e})",
                 p.scale, p.failures, p.samples, p.probability
             );
         }
-        rows.push(ComparisonRow::from_result(&result));
     }
 
-    print_comparison_table("Table 2: 6T write-failure extraction (transient testbench)", &rows);
+    let rows = problem_report.rows();
+    print_comparison_table(
+        "Table 2: 6T write-failure extraction (transient testbench)",
+        &rows,
+    );
     println!(
         "\nBrute-force Monte Carlo reference cost (10% rel. error) at the GIS estimate: {:.3e} simulations",
-        gis_core::required_samples(rows[0].failure_probability.max(1e-12).min(0.5), 0.1)
+        gis_core::required_samples(rows[0].failure_probability.clamp(1e-12, 0.5), 0.1)
     );
-    write_json_artifact("table2_write_failure", &rows);
+    write_json_artifact("table2_write_failure", &report);
 }

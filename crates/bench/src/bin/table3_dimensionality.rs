@@ -10,7 +10,7 @@
 
 use gis_bench::{problem_with_relative_spec, write_json_artifact, MASTER_SEED};
 use gis_core::{
-    default_sram_variation_space, GisConfig, GradientImportanceSampling,
+    default_sram_variation_space, Estimator, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, MinimumNormIs, MnisConfig, SphericalSampling,
     SphericalSamplingConfig, SramMetric, SramSurrogateModel,
 };
@@ -69,7 +69,7 @@ fn main() {
                 },
                 ..GisConfig::default()
             });
-            let outcome = gis.run(&fork, &mut master.split((index * 10 + 1) as u64));
+            let outcome = gis.estimate(&fork, &mut master.split((index * 10 + 1) as u64));
             rows.push(DimensionalityRow {
                 dimension: dim,
                 method: "gradient-is".to_string(),
@@ -94,7 +94,9 @@ fn main() {
                 },
                 ..MnisConfig::default()
             });
-            let (result, _, _) = mnis.run(&fork, &mut master.split((index * 10 + 2) as u64));
+            let result = mnis
+                .estimate(&fork, &mut master.split((index * 10 + 2) as u64))
+                .result;
             rows.push(DimensionalityRow {
                 dimension: dim,
                 method: "minimum-norm-is".to_string(),
@@ -115,7 +117,9 @@ fn main() {
                 target_relative_error: 0.1,
                 min_failing_directions: 10,
             });
-            let result = spherical.run(&fork, &mut master.split((index * 10 + 3) as u64));
+            let result = spherical
+                .estimate(&fork, &mut master.split((index * 10 + 3) as u64))
+                .result;
             rows.push(DimensionalityRow {
                 dimension: dim,
                 method: "spherical-sampling".to_string(),

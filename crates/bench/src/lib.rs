@@ -9,13 +9,15 @@
 //! artifacts.
 
 use gis_core::{
-    default_sram_variation_space, FailureProblem, PerformanceModel, Spec, SramMetric,
-    SramSurrogateModel, SramTransientModel,
+    default_sram_variation_space, AnalysisReport, FailureProblem, PerformanceModel, Spec,
+    SramMetric, SramSurrogateModel, SramTransientModel,
 };
 use gis_sram::{SramCellConfig, SramSurrogate, SramTestbench};
 use gis_variation::PelgromModel;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
+
+pub use gis_core::ComparisonRow;
 
 /// Master seed from which every experiment derives its random streams, so the
 /// whole evaluation is reproducible end to end.
@@ -29,7 +31,11 @@ pub const RESULTS_DIR: &str = "results";
 pub fn surrogate_read_model() -> SramSurrogateModel {
     let cell = SramCellConfig::typical_45nm();
     let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
-    SramSurrogateModel::new(SramSurrogate::typical_45nm(), space, SramMetric::ReadAccessTime)
+    SramSurrogateModel::new(
+        SramSurrogate::typical_45nm(),
+        space,
+        SramMetric::ReadAccessTime,
+    )
 }
 
 /// Builds the default surrogate-backed write-delay model.
@@ -55,55 +61,9 @@ where
     FailureProblem::from_model(model, Spec::UpperLimit(nominal * spec_factor))
 }
 
-/// One row of a method-comparison table.
-#[derive(Debug, Clone, Serialize)]
-pub struct ComparisonRow {
-    /// Method name.
-    pub method: String,
-    /// Estimated failure probability.
-    pub failure_probability: f64,
-    /// Equivalent sigma level.
-    pub sigma_level: f64,
-    /// Relative 90% confidence half-width.
-    pub relative_confidence_90: f64,
-    /// Total simulator evaluations spent.
-    pub evaluations: u64,
-    /// Speed-up versus the brute-force Monte Carlo cost required for the same
-    /// accuracy (analytical `required_samples` when MC itself was not run to
-    /// convergence).
-    pub speedup_vs_monte_carlo: f64,
-    /// Whether the method converged to its accuracy target.
-    pub converged: bool,
-}
-
-impl ComparisonRow {
-    /// Builds a row from an extraction result, measuring speed-up against the
-    /// analytical brute-force cost for the same probability and 10% accuracy.
-    pub fn from_result(result: &gis_core::ExtractionResult) -> ComparisonRow {
-        let mc_cost = if result.failure_probability > 0.0 && result.failure_probability < 1.0 {
-            gis_core::required_samples(result.failure_probability, 0.1)
-        } else {
-            f64::NAN
-        };
-        let speedup = if result.evaluations > 0 && mc_cost.is_finite() {
-            mc_cost / result.evaluations as f64
-        } else {
-            f64::NAN
-        };
-        ComparisonRow {
-            method: result.method.clone(),
-            failure_probability: result.failure_probability,
-            sigma_level: result.sigma_level,
-            relative_confidence_90: result.relative_confidence_90(),
-            evaluations: result.evaluations,
-            speedup_vs_monte_carlo: speedup,
-            converged: result.converged,
-        }
-    }
-}
-
 /// Prints a comparison table in the fixed-width format used by every
-/// table-generating binary.
+/// table-generating binary. The rows come straight from a
+/// [`gis_core::YieldAnalysis`] report (or [`ComparisonRow::from_result`]).
 pub fn print_comparison_table(title: &str, rows: &[ComparisonRow]) {
     println!("\n=== {title} ===");
     println!(
@@ -121,6 +81,14 @@ pub fn print_comparison_table(title: &str, rows: &[ComparisonRow]) {
             row.speedup_vs_monte_carlo,
             row.converged
         );
+    }
+}
+
+/// Prints every problem of a [`gis_core::YieldAnalysis`] report as a
+/// comparison table.
+pub fn print_analysis_report(report: &AnalysisReport) {
+    for problem in &report.problems {
+        print_comparison_table(&problem.problem, &problem.rows());
     }
 }
 
@@ -173,7 +141,7 @@ pub fn print_csv(name: &str, header: &str, rows: &[String]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gis_core::{GisConfig, GradientImportanceSampling, ImportanceSamplingConfig};
+    use gis_core::{Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig};
     use gis_stats::RngStream;
 
     #[test]
@@ -196,11 +164,31 @@ mod tests {
             },
             ..GisConfig::default()
         });
-        let outcome = gis.run(&problem, &mut RngStream::from_seed(MASTER_SEED));
+        let outcome = gis.estimate(&problem, &mut RngStream::from_seed(MASTER_SEED));
         let row = ComparisonRow::from_result(&outcome.result);
         assert_eq!(row.method, "gradient-is");
         assert!(row.evaluations > 0);
         print_comparison_table("smoke", &[row]);
+    }
+
+    #[test]
+    fn analysis_report_prints_and_serializes() {
+        let read = surrogate_read_model();
+        let nominal = read.nominal_metric();
+        let report = gis_core::YieldAnalysis::new()
+            .master_seed(MASTER_SEED)
+            .convergence_policy(gis_core::ConvergencePolicy::with_budget(2_000))
+            .problem(
+                "surrogate-read",
+                problem_with_relative_spec(read, nominal, 2.0),
+            )
+            .estimator(Box::new(GradientImportanceSampling::new(
+                GisConfig::default(),
+            )))
+            .run();
+        print_analysis_report(&report);
+        write_json_artifact("unit_test_report", &report);
+        assert!(results_dir().join("unit_test_report.json").exists());
     }
 
     #[test]

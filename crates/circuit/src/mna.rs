@@ -165,7 +165,12 @@ impl<'a> MnaSystem<'a> {
 
         for (dev_index, device) in self.circuit.devices().iter().enumerate() {
             match device {
-                Device::Resistor { a: na, b: nb, resistance, .. } => {
+                Device::Resistor {
+                    a: na,
+                    b: nb,
+                    resistance,
+                    ..
+                } => {
                     self.stamp_conductance(*na, *nb, 1.0 / resistance, &mut a);
                 }
                 Device::Capacitor {
@@ -266,7 +271,11 @@ impl<'a> MnaSystem<'a> {
         let ieq = sign * (op.id - op.gm * vgs - op.gds * vds - op.gmb * vbs);
 
         // Terminals in the normalized (possibly swapped) frame.
-        let (eff_drain, eff_source) = if swapped { (source, drain) } else { (drain, source) };
+        let (eff_drain, eff_source) = if swapped {
+            (source, drain)
+        } else {
+            (drain, source)
+        };
 
         // In the normalized frame current `id` flows from eff_drain to eff_source
         // inside the device. For PMOS (sign = −1) the real current direction is
@@ -333,14 +342,11 @@ impl<'a> MnaSystem<'a> {
         let mut last_delta = f64::INFINITY;
         for iteration in 0..max_iterations {
             let (a, z) = self.assemble(&x, time, dynamic);
-            let lu = LuDecomposition::new(&a).map_err(|source| CircuitError::SingularSystem {
-                time,
-                source,
-            })?;
-            let x_new = lu.solve(&z).map_err(|source| CircuitError::SingularSystem {
-                time,
-                source,
-            })?;
+            let lu = LuDecomposition::new(&a)
+                .map_err(|source| CircuitError::SingularSystem { time, source })?;
+            let x_new = lu
+                .solve(&z)
+                .map_err(|source| CircuitError::SingularSystem { time, source })?;
 
             // Damped update: limit per-iteration voltage change. If the
             // iteration has not settled after half the budget (typically a
@@ -454,7 +460,11 @@ mod tests {
         // KCL check: resistor current equals transistor current.
         let i_r = (1.0 - vd) / 10e3;
         let op = MosfetParams::nmos_45nm().evaluate_normalized(1.0, vd, 0.0);
-        assert!((i_r - op.id).abs() / i_r < 0.02, "KCL violated: {i_r} vs {}", op.id);
+        assert!(
+            (i_r - op.id).abs() / i_r < 0.02,
+            "KCL violated: {i_r} vs {}",
+            op.id
+        );
     }
 
     #[test]
@@ -465,15 +475,8 @@ mod tests {
         let vdd = ckt.node("vdd");
         let out = ckt.node("out");
         ckt.add_voltage_source("VDD", vdd, GROUND, SourceWaveform::dc(1.0));
-        ckt.add_mosfet(
-            "MP",
-            out,
-            GROUND,
-            vdd,
-            vdd,
-            MosfetParams::pmos_45nm(),
-        )
-        .unwrap();
+        ckt.add_mosfet("MP", out, GROUND, vdd, vdd, MosfetParams::pmos_45nm())
+            .unwrap();
         ckt.add_resistor("RL", out, GROUND, 100e3).unwrap();
         let sys = MnaSystem::new(&ckt).unwrap();
         let x = sys.dc_operating_point(None).unwrap();

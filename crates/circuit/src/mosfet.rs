@@ -296,7 +296,10 @@ mod tests {
         // 100 mV / (n · φt · ln 10) ≈ 1.2 decades for n = 1.4.
         let expected = 10f64.powf(0.1 / (p.subthreshold_slope * THERMAL_VOLTAGE * 10f64.ln()));
         let rel = (decade_ratio - expected).abs() / expected;
-        assert!(rel < 0.1, "subthreshold slope off: {decade_ratio} vs {expected}");
+        assert!(
+            rel < 0.1,
+            "subthreshold slope off: {decade_ratio} vs {expected}"
+        );
     }
 
     #[test]
@@ -314,7 +317,10 @@ mod tests {
         let vov = vgs - p.vth0;
         let below = p.evaluate_normalized(vgs, vov - 1e-6, 0.0).id;
         let above = p.evaluate_normalized(vgs, vov + 1e-6, 0.0).id;
-        assert!((below - above).abs() / above < 1e-3, "discontinuity at vdsat");
+        assert!(
+            (below - above).abs() / above < 1e-3,
+            "discontinuity at vdsat"
+        );
         let low = p.evaluate_normalized(vgs, 0.05, 0.0).id;
         let high = p.evaluate_normalized(vgs, 0.3, 0.0).id;
         assert!(high > low);

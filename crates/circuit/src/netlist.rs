@@ -416,10 +416,12 @@ impl Circuit {
         for node in [drain, gate, source, body] {
             self.check_node(node)?;
         }
-        params.validate().map_err(|reason| CircuitError::InvalidDevice {
-            device: name.to_string(),
-            reason,
-        })?;
+        params
+            .validate()
+            .map_err(|reason| CircuitError::InvalidDevice {
+                device: name.to_string(),
+                reason,
+            })?;
         self.devices.push(Device::Mosfet {
             name: name.to_string(),
             drain,

@@ -141,8 +141,16 @@ mod tests {
         let sweep = dc_sweep(&ckt, "VIN", &values, Some(&[0.0, 1.0, 0.0, 1.0])).unwrap();
         assert_eq!(sweep.num_points(), 51);
         let vtc = sweep.node_voltage_samples(out).unwrap();
-        assert!(vtc[0] > 0.95, "output should be high at Vin = 0, got {}", vtc[0]);
-        assert!(vtc[50] < 0.05, "output should be low at Vin = 1, got {}", vtc[50]);
+        assert!(
+            vtc[0] > 0.95,
+            "output should be high at Vin = 0, got {}",
+            vtc[0]
+        );
+        assert!(
+            vtc[50] < 0.05,
+            "output should be low at Vin = 1, got {}",
+            vtc[50]
+        );
         for pair in vtc.windows(2) {
             assert!(pair[1] <= pair[0] + 1e-6, "VTC must be non-increasing");
         }

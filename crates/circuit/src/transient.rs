@@ -318,8 +318,8 @@ mod tests {
         ckt.add_mosfet("MN", out, input, GROUND, GROUND, MosfetParams::nmos_45nm())
             .unwrap();
         ckt.add_capacitor("CL", out, GROUND, 2e-15).unwrap();
-        let cfg = TransientConfig::new(3e-9, 2e-12)
-            .with_initial_conditions(vec![0.0, 1.0, 0.0, 1.0]);
+        let cfg =
+            TransientConfig::new(3e-9, 2e-12).with_initial_conditions(vec![0.0, 1.0, 0.0, 1.0]);
         let result = transient_analysis(&ckt, &cfg).unwrap();
         let win = result.waveform(input).unwrap();
         let wout = result.waveform(out).unwrap();

@@ -196,11 +196,8 @@ mod tests {
     use super::*;
 
     fn ramp() -> Waveform {
-        Waveform::from_samples(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 1.0, 2.0, 1.0, 0.0],
-        )
-        .unwrap()
+        Waveform::from_samples(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 1.0, 2.0, 1.0, 0.0])
+            .unwrap()
     }
 
     #[test]
@@ -250,7 +247,9 @@ mod tests {
             .crossing_time(1.5, CrossingDirection::Either, 2.0)
             .unwrap();
         assert!((t - 2.5).abs() < 1e-12);
-        assert!(w.crossing_time(5.0, CrossingDirection::Rising, 0.0).is_err());
+        assert!(w
+            .crossing_time(5.0, CrossingDirection::Rising, 0.0)
+            .is_err());
         assert!(w
             .crossing_time(1.5, CrossingDirection::Rising, 3.0)
             .is_err());

@@ -131,7 +131,10 @@ mod tests {
         assert!((exact - approx).abs() < 1e-6, "{exact} vs {approx}");
         // Edge cases.
         assert_eq!(array.yield_probability(0.0), 1.0);
-        assert_eq!(ArrayYield::without_redundancy(0).yield_probability(0.5), 1.0);
+        assert_eq!(
+            ArrayYield::without_redundancy(0).yield_probability(0.5),
+            1.0
+        );
         assert!((array.expected_failures(p) - 0.1).abs() < 1e-12);
     }
 
@@ -143,7 +146,10 @@ mod tests {
         let y_plain = plain.yield_probability(p);
         let y_repaired = repaired.yield_probability(p);
         assert!(y_repaired > y_plain);
-        assert!(y_repaired > 0.9, "4 spare cells should rescue the yield, got {y_repaired}");
+        assert!(
+            y_repaired > 0.9,
+            "4 spare cells should rescue the yield, got {y_repaired}"
+        );
         // With enough spares the yield approaches 1.
         let generous = ArrayYield::with_redundancy(1 << 20, 64);
         assert!(generous.yield_probability(p) > 0.999999);

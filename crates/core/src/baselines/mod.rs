@@ -13,6 +13,6 @@ pub mod mnis;
 pub mod spherical;
 pub mod sss;
 
-pub use mnis::{MinimumNormIs, MnisConfig};
+pub use mnis::{MinimumNormIs, MnisConfig, MnisSearchOutcome};
 pub use spherical::{SphericalSampling, SphericalSamplingConfig};
-pub use sss::{ScaledSigmaSampling, SssConfig};
+pub use sss::{ScalePoint, ScaledSigmaSampling, SssConfig};

@@ -16,6 +16,7 @@
 //! is — but it degrades in high dimensions, where most random directions miss
 //! the failure cone entirely.
 
+use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
 use crate::special::chi_survival;
@@ -91,11 +92,7 @@ impl SphericalSampling {
 
     /// Finds the failure-boundary radius along `direction` by bisection.
     /// Returns `None` if the direction does not fail even at the maximum radius.
-    fn boundary_radius(
-        &self,
-        problem: &FailureProblem,
-        direction: &Vector,
-    ) -> Option<f64> {
+    fn boundary_radius(&self, problem: &FailureProblem, direction: &Vector) -> Option<f64> {
         let max_point = direction.scaled(self.config.max_radius);
         if !problem.is_failure(&max_point) {
             return None;
@@ -114,7 +111,21 @@ impl SphericalSampling {
     }
 
     /// Runs the estimation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
+    )]
     pub fn run(&self, problem: &FailureProblem, rng: &mut RngStream) -> ExtractionResult {
+        Estimator::estimate(self, problem, rng).result
+    }
+}
+
+impl Estimator for SphericalSampling {
+    fn name(&self) -> &str {
+        "spherical-sampling"
+    }
+
+    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
         let start_evals = problem.evaluations();
         let mut tail_stats = OnlineStats::new();
@@ -157,17 +168,29 @@ impl SphericalSampling {
         }
 
         let estimate = tail_stats.mean();
-        ExtractionResult {
-            method: "spherical-sampling".to_string(),
-            failure_probability: estimate,
-            standard_error: tail_stats.standard_error(),
-            sigma_level: ExtractionResult::sigma_from_probability(estimate),
-            evaluations: problem.evaluations() - start_evals,
-            sampling_evaluations: problem.evaluations() - start_evals,
-            failures_observed: failing_directions as u64,
-            converged,
-            trace,
+        EstimatorOutcome {
+            result: ExtractionResult {
+                method: "spherical-sampling".to_string(),
+                failure_probability: estimate,
+                standard_error: tail_stats.standard_error(),
+                sigma_level: ExtractionResult::sigma_from_probability(estimate),
+                evaluations: problem.evaluations() - start_evals,
+                sampling_evaluations: problem.evaluations() - start_evals,
+                failures_observed: failing_directions as u64,
+                converged,
+                trace,
+            },
+            diagnostics: Diagnostics::SphericalSampling,
         }
+    }
+
+    fn configure(&mut self, policy: &ConvergencePolicy) {
+        // Each probed direction costs one boundary check plus, when it fails,
+        // a full bisection; budget directions accordingly.
+        let per_direction = 1 + self.config.bisection_steps as u64;
+        self.config.directions = (policy.max_evaluations / per_direction).max(1) as usize;
+        self.config.target_relative_error = policy.target_relative_error;
+        self.config.min_failing_directions = policy.min_failures.max(1) as usize;
     }
 }
 
@@ -191,7 +214,7 @@ mod tests {
             ..SphericalSamplingConfig::default()
         });
         let mut rng = RngStream::from_seed(41);
-        let result = spherical.run(&problem, &mut rng);
+        let result = spherical.estimate(&problem, &mut rng).result;
         assert!(result.failure_probability > 0.0);
         let ratio = result.failure_probability / exact;
         assert!(
@@ -216,7 +239,7 @@ mod tests {
             ..SphericalSamplingConfig::default()
         });
         let mut rng = RngStream::from_seed(13);
-        let result = spherical.run(&problem, &mut rng);
+        let result = spherical.estimate(&problem, &mut rng).result;
         let rel = (result.failure_probability - exact).abs() / exact;
         assert!(rel < 0.02, "symmetric-region estimate off by {rel}");
     }
@@ -231,7 +254,7 @@ mod tests {
             ..SphericalSamplingConfig::default()
         });
         let mut rng = RngStream::from_seed(2);
-        let result = spherical.run(&problem, &mut rng);
+        let result = spherical.estimate(&problem, &mut rng).result;
         assert_eq!(result.failure_probability, 0.0);
         assert!(!result.converged);
         assert_eq!(result.failures_observed, 0);
@@ -251,7 +274,7 @@ mod tests {
                 ..SphericalSamplingConfig::default()
             });
             let mut rng = RngStream::from_seed(55);
-            let result = spherical.run(&problem, &mut rng);
+            let result = spherical.estimate(&problem, &mut rng).result;
             result.failures_observed
         };
         let low_dim_hits = run_dim(2);

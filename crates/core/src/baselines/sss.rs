@@ -17,6 +17,7 @@
 //! the distance between the largest affordable scale and 1 — visible in the
 //! comparison tables as a wider confidence band at equal cost.
 
+use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
 use gis_linalg::{least_squares, Matrix, Vector};
@@ -95,11 +96,29 @@ impl ScaledSigmaSampling {
     }
 
     /// Runs the estimation, returning the result and the per-scale measurements.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
+    )]
     pub fn run(
         &self,
         problem: &FailureProblem,
         rng: &mut RngStream,
     ) -> (ExtractionResult, Vec<ScalePoint>) {
+        let outcome = Estimator::estimate(self, problem, rng);
+        match outcome.diagnostics {
+            Diagnostics::ScaledSigmaSampling { scale_points } => (outcome.result, scale_points),
+            _ => unreachable!("SSS produces SSS diagnostics"),
+        }
+    }
+}
+
+impl Estimator for ScaledSigmaSampling {
+    fn name(&self) -> &str {
+        "scaled-sigma-sampling"
+    }
+
+    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
         let start_evals = problem.evaluations();
         let mut points = Vec::with_capacity(self.config.scales.len());
@@ -172,9 +191,8 @@ impl ScaledSigmaSampling {
                         smallest.failures,
                         smallest.samples,
                     );
-                    let ln_uncertainty = (residual_std * residual_std
-                        + binomial_rel * binomial_rel)
-                        .sqrt();
+                    let ln_uncertainty =
+                        (residual_std * residual_std + binomial_rel * binomial_rel).sqrt();
                     let standard_error = estimate * (ln_uncertainty.exp() - 1.0);
                     (estimate, standard_error, true)
                 }
@@ -196,7 +214,19 @@ impl ScaledSigmaSampling {
             converged,
             trace,
         };
-        (result, points)
+        EstimatorOutcome {
+            result,
+            diagnostics: Diagnostics::ScaledSigmaSampling {
+                scale_points: points,
+            },
+        }
+    }
+
+    fn configure(&mut self, policy: &ConvergencePolicy) {
+        // The whole budget is split evenly across the scale factors; the
+        // stopping-rule fields have no SSS equivalent (it never stops early).
+        let scales = (self.config.scales.len() as u64).max(1);
+        self.config.samples_per_scale = (policy.max_evaluations / scales).max(1);
     }
 }
 
@@ -217,7 +247,8 @@ mod tests {
             ..SssConfig::default()
         });
         let mut rng = RngStream::from_seed(8);
-        let (result, points) = sss.run(&problem, &mut rng);
+        let outcome = sss.estimate(&problem, &mut rng);
+        let (result, points) = (&outcome.result, outcome.scale_points().unwrap());
         assert!(result.converged);
         assert_eq!(points.len(), 5);
         let ratio = result.failure_probability / exact;
@@ -248,7 +279,7 @@ mod tests {
             ..SssConfig::default()
         });
         let mut rng = RngStream::from_seed(9);
-        let (result, _) = sss.run(&problem, &mut rng);
+        let result = sss.estimate(&problem, &mut rng).result;
         assert!(!result.converged);
         assert_eq!(result.failure_probability, 0.0);
     }
@@ -258,8 +289,12 @@ mod tests {
         let ls = LinearLimitState::along_first_axis(3, 3.5);
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let sss = ScaledSigmaSampling::new(SssConfig::default());
-        let (a, _) = sss.run(&problem.fork(), &mut RngStream::from_seed(4));
-        let (b, _) = sss.run(&problem.fork(), &mut RngStream::from_seed(4));
+        let a = sss
+            .estimate(&problem.fork(), &mut RngStream::from_seed(4))
+            .result;
+        let b = sss
+            .estimate(&problem.fork(), &mut RngStream::from_seed(4))
+            .result;
         assert_eq!(a.failure_probability, b.failure_probability);
     }
 

@@ -20,6 +20,7 @@
 //! equivalent sigma level, and the full cost accounting used by the
 //! evaluation tables.
 
+use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
 use crate::importance::{ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal};
 use crate::model::FailureProblem;
 use crate::mpfp::{GradientMpfpSearch, MpfpConfig, MpfpResult};
@@ -155,7 +156,34 @@ impl GradientImportanceSampling {
 
     /// Runs the full GIS flow (gradient MPFP search, then adaptive importance
     /// sampling) on `problem`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
+    )]
     pub fn run(&self, problem: &FailureProblem, rng: &mut RngStream) -> GisOutcome {
+        let outcome = Estimator::estimate(self, problem, rng);
+        match outcome.diagnostics {
+            Diagnostics::GradientImportanceSampling {
+                is,
+                mpfp,
+                shift_history,
+            } => GisOutcome {
+                result: outcome.result,
+                diagnostics: is,
+                mpfp,
+                shift_history,
+            },
+            _ => unreachable!("GIS produces GIS diagnostics"),
+        }
+    }
+}
+
+impl Estimator for GradientImportanceSampling {
+    fn name(&self) -> &str {
+        "gradient-is"
+    }
+
+    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
         let start_evals = problem.evaluations();
 
@@ -181,7 +209,9 @@ impl GradientImportanceSampling {
         let mut batches_since_recenter = 0usize;
 
         while acc.samples() < sampling.max_samples {
-            let batch = sampling.batch_size.min(sampling.max_samples - acc.samples());
+            let batch = sampling
+                .batch_size
+                .min(sampling.max_samples - acc.samples());
             for _ in 0..batch {
                 let z = proposal.sample(rng);
                 let weight = proposal.importance_weight(&z);
@@ -246,12 +276,20 @@ impl GradientImportanceSampling {
             shift: Some(shift.as_slice().to_vec()),
             shift_norm: Some(shift.norm()),
         };
-        GisOutcome {
+        EstimatorOutcome {
             result,
-            diagnostics,
-            mpfp,
-            shift_history,
+            diagnostics: Diagnostics::GradientImportanceSampling {
+                is: diagnostics,
+                mpfp,
+                shift_history,
+            },
         }
+    }
+
+    fn configure(&mut self, policy: &ConvergencePolicy) {
+        self.config.sampling.max_samples = policy.max_evaluations.max(1);
+        self.config.sampling.target_relative_error = policy.target_relative_error;
+        self.config.sampling.min_failures = policy.min_failures;
     }
 }
 
@@ -275,13 +313,17 @@ mod tests {
     #[test]
     fn recovers_linear_tail_probability_at_high_sigma() {
         for beta in [4.0_f64, 5.0, 6.0] {
-            let ls = LinearLimitState::new(Vector::from_slice(&[1.0, -0.5, 2.0, 0.3, 1.0, -1.0]), beta);
+            let ls =
+                LinearLimitState::new(Vector::from_slice(&[1.0, -0.5, 2.0, 0.3, 1.0, -1.0]), beta);
             let exact = ls.exact_failure_probability();
             let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
             let gis = GradientImportanceSampling::new(quick_config());
             let mut rng = RngStream::from_seed(100 + beta as u64);
-            let outcome = gis.run(&problem, &mut rng);
-            assert!(outcome.result.converged, "GIS did not converge at beta {beta}");
+            let outcome = gis.estimate(&problem, &mut rng);
+            assert!(
+                outcome.result.converged,
+                "GIS did not converge at beta {beta}"
+            );
             let rel = (outcome.result.failure_probability - exact).abs() / exact;
             assert!(
                 rel < 0.15,
@@ -296,9 +338,9 @@ mod tests {
                 "GIS used {} evaluations, brute force needs {mc_cost:.0}",
                 outcome.result.evaluations
             );
-            assert!(outcome.mpfp.beta > beta - 0.3);
-            assert!(outcome.diagnostics.shift_norm.unwrap() > beta - 0.5);
-            assert!(!outcome.shift_history.is_empty());
+            assert!(outcome.mpfp().unwrap().beta > beta - 0.3);
+            assert!(outcome.is_diagnostics().unwrap().shift_norm.unwrap() > beta - 0.5);
+            assert!(!outcome.shift_history().unwrap().is_empty());
         }
     }
 
@@ -309,7 +351,7 @@ mod tests {
         let problem = FailureProblem::from_model(q, QuadraticLimitState::spec());
         let gis = GradientImportanceSampling::new(quick_config());
         let mut rng = RngStream::from_seed(7);
-        let outcome = gis.run(&problem, &mut rng);
+        let outcome = gis.estimate(&problem, &mut rng);
         let rel = (outcome.result.failure_probability - reference).abs() / reference;
         assert!(
             rel < 0.25,
@@ -330,10 +372,10 @@ mod tests {
         };
         let gis = GradientImportanceSampling::new(config);
         let mut rng = RngStream::from_seed(13);
-        let outcome = gis.run(&problem, &mut rng);
+        let outcome = gis.estimate(&problem, &mut rng);
         let rel = (outcome.result.failure_probability - exact).abs() / exact;
         assert!(rel < 0.15, "pure mean shift off by {rel}");
-        assert_eq!(outcome.shift_history.len(), 1);
+        assert_eq!(outcome.shift_history().unwrap().len(), 1);
     }
 
     #[test]
@@ -348,7 +390,7 @@ mod tests {
         };
         let gis = GradientImportanceSampling::new(config);
         let mut rng = RngStream::from_seed(77);
-        let outcome = gis.run(&problem, &mut rng);
+        let outcome = gis.estimate(&problem, &mut rng);
         let rel = (outcome.result.failure_probability - exact).abs() / exact;
         assert!(rel < 0.2, "bridged GIS off by {rel}");
     }
@@ -376,9 +418,10 @@ mod tests {
         };
         let gis = GradientImportanceSampling::new(config);
         let mut rng = RngStream::from_seed(21);
-        let outcome = gis.run(&problem, &mut rng);
-        assert!(outcome.shift_history.len() >= 2, "no adaptation happened");
-        for shift in &outcome.shift_history {
+        let outcome = gis.estimate(&problem, &mut rng);
+        let shift_history = outcome.shift_history().unwrap();
+        assert!(shift_history.len() >= 2, "no adaptation happened");
+        for shift in shift_history {
             assert!(shift.is_finite());
         }
     }
@@ -389,15 +432,29 @@ mod tests {
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let gis = GradientImportanceSampling::new(quick_config());
         let mut rng = RngStream::from_seed(5);
-        let outcome = gis.run(&problem, &mut rng);
+        let outcome = gis.estimate(&problem, &mut rng);
+        let mpfp = outcome.mpfp().unwrap();
         assert_eq!(problem.evaluations(), outcome.result.evaluations);
         assert!(outcome.result.evaluations >= outcome.result.sampling_evaluations);
         assert_eq!(
             outcome.result.evaluations - outcome.result.sampling_evaluations,
-            outcome.mpfp.evaluations
+            mpfp.evaluations
         );
         // Trace evaluations are cumulative and include the search cost.
-        assert!(outcome.result.trace[0].evaluations >= outcome.mpfp.evaluations);
+        assert!(outcome.result.trace[0].evaluations >= mpfp.evaluations);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_shim_matches_estimate() {
+        let ls = LinearLimitState::along_first_axis(3, 3.5);
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let gis = GradientImportanceSampling::new(quick_config());
+        let legacy = gis.run(&problem.fork(), &mut RngStream::from_seed(33));
+        let unified = gis.estimate(&problem.fork(), &mut RngStream::from_seed(33));
+        assert_eq!(legacy.result, unified.result);
+        assert_eq!(&legacy.mpfp, unified.mpfp().unwrap());
+        assert_eq!(legacy.shift_history, unified.shift_history().unwrap());
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl Proposal {
                 && bridge_fraction + defensive_fraction < 1.0,
             "bridge and defensive fractions must be in [0, 1) and sum below 1"
         );
-        assert_eq!(shift.len(), bridge.len(), "shift and bridge dimensions differ");
+        assert_eq!(
+            shift.len(),
+            bridge.len(),
+            "shift and bridge dimensions differ"
+        );
         let dim = shift.len();
         let main_weight = 1.0 - bridge_fraction - defensive_fraction;
         let mut components = vec![
@@ -313,7 +317,9 @@ pub fn run_importance_sampling(
     method: &str,
     search_evaluations: u64,
 ) -> (ExtractionResult, IsDiagnostics) {
-    config.validate().expect("invalid importance sampling configuration");
+    config
+        .validate()
+        .expect("invalid importance sampling configuration");
     assert_eq!(
         proposal.dim(),
         problem.dim(),

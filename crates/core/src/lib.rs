@@ -23,11 +23,21 @@
 //! in [`sram_models`]; analytic limit states with exactly known probabilities
 //! (used for validation everywhere) are in [`model`].
 //!
-//! # Quick example
+//! # The unified `Estimator` API
+//!
+//! Every method implements the object-safe [`Estimator`] trait and returns an
+//! [`EstimatorOutcome`]: the shared [`ExtractionResult`] plus a typed
+//! [`Diagnostics`] payload with the method's extras (MPFP trace, search
+//! outcome, scale points). Comparisons across methods go through the
+//! [`YieldAnalysis`] driver, which handles problem registration, per-method
+//! deterministic seeding from a master seed, uniform budgets via
+//! [`ConvergencePolicy`], and serde-serializable reports.
+//!
+//! # Quick example: one method
 //!
 //! ```
 //! use gis_core::{
-//!     FailureProblem, GisConfig, GradientImportanceSampling, LinearLimitState,
+//!     Estimator, FailureProblem, GisConfig, GradientImportanceSampling, LinearLimitState,
 //! };
 //! use gis_stats::RngStream;
 //!
@@ -38,17 +48,49 @@
 //!
 //! let gis = GradientImportanceSampling::new(GisConfig::default());
 //! let mut rng = RngStream::from_seed(7);
-//! let outcome = gis.run(&problem, &mut rng);
+//! let outcome = gis.estimate(&problem, &mut rng);
 //!
 //! let relative_error = (outcome.result.failure_probability - exact).abs() / exact;
 //! assert!(relative_error < 0.2);
 //! assert!(outcome.result.evaluations < 100_000); // brute force would need ~3e7
+//! assert!(outcome.mpfp().unwrap().beta > 4.0); // the gradient search found the MPFP
+//! ```
+//!
+//! # Quick example: comparing all five methods
+//!
+//! ```
+//! use gis_core::{
+//!     standard_estimators, ConvergencePolicy, FailureProblem, LinearLimitState, YieldAnalysis,
+//! };
+//!
+//! let report = YieldAnalysis::new()
+//!     .master_seed(20180319)
+//!     .convergence_policy(ConvergencePolicy::with_budget(20_000))
+//!     .problem(
+//!         "linear-4-sigma",
+//!         FailureProblem::from_model(
+//!             LinearLimitState::along_first_axis(6, 4.0),
+//!             LinearLimitState::spec(),
+//!         ),
+//!     )
+//!     .estimators(standard_estimators())
+//!     .run();
+//!
+//! for method in &report.problems[0].methods {
+//!     println!(
+//!         "{:<22} P_fail = {:.3e} after {} simulations",
+//!         method.estimator, method.row.failure_probability, method.row.evaluations
+//!     );
+//! }
+//! # assert_eq!(report.problems[0].methods.len(), 5);
 //! ```
 
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod array_yield;
 pub mod baselines;
+pub mod estimator;
 pub mod gis;
 pub mod importance;
 pub mod model;
@@ -58,11 +100,15 @@ pub mod result;
 pub mod special;
 pub mod sram_models;
 
+pub use analysis::{
+    standard_estimators, AnalysisReport, ComparisonRow, MethodReport, ProblemReport, YieldAnalysis,
+};
 pub use array_yield::ArrayYield;
 pub use baselines::{
-    MinimumNormIs, MnisConfig, ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig,
-    SssConfig,
+    MinimumNormIs, MnisConfig, MnisSearchOutcome, ScalePoint, ScaledSigmaSampling,
+    SphericalSampling, SphericalSamplingConfig, SssConfig,
 };
+pub use estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
 pub use gis::{GisConfig, GisOutcome, GradientImportanceSampling};
 pub use importance::{
     run_importance_sampling, ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal,

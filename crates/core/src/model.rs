@@ -265,10 +265,7 @@ impl LinearLimitState {
 
     /// Axis-aligned variant: failure plane perpendicular to the first axis.
     pub fn along_first_axis(dim: usize, beta: f64) -> Self {
-        LinearLimitState::new(
-            Vector::basis(dim, 0).expect("dim must be at least 1"),
-            beta,
-        )
+        LinearLimitState::new(Vector::basis(dim, 0).expect("dim must be at least 1"), beta)
     }
 
     /// The exact failure probability of this limit state under the standard

@@ -5,6 +5,7 @@
 //! nominal standard normal density of the whitened variation space; the
 //! estimator is the failure fraction with its binomial standard error.
 
+use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
 use gis_stats::RngStream;
@@ -70,7 +71,9 @@ impl MonteCarlo {
     /// Panics if the configuration is invalid (zero budget, non-positive
     /// tolerance).
     pub fn new(config: MonteCarloConfig) -> Self {
-        config.validate().expect("invalid Monte Carlo configuration");
+        config
+            .validate()
+            .expect("invalid Monte Carlo configuration");
         MonteCarlo { config }
     }
 
@@ -80,7 +83,21 @@ impl MonteCarlo {
     }
 
     /// Runs the estimation on `problem`, drawing randomness from `rng`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
+    )]
     pub fn run(&self, problem: &FailureProblem, rng: &mut RngStream) -> ExtractionResult {
+        Estimator::estimate(self, problem, rng).result
+    }
+}
+
+impl Estimator for MonteCarlo {
+    fn name(&self) -> &str {
+        "monte-carlo"
+    }
+
+    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
         let start_evals = problem.evaluations();
         let mut samples = 0u64;
@@ -117,17 +134,26 @@ impl MonteCarlo {
 
         let estimate = failures as f64 / samples as f64;
         let standard_error = binomial_standard_error(failures, samples);
-        ExtractionResult {
-            method: "monte-carlo".to_string(),
-            failure_probability: estimate,
-            standard_error,
-            sigma_level: ExtractionResult::sigma_from_probability(estimate),
-            evaluations: problem.evaluations() - start_evals,
-            sampling_evaluations: samples,
-            failures_observed: failures,
-            converged,
-            trace,
+        EstimatorOutcome {
+            result: ExtractionResult {
+                method: "monte-carlo".to_string(),
+                failure_probability: estimate,
+                standard_error,
+                sigma_level: ExtractionResult::sigma_from_probability(estimate),
+                evaluations: problem.evaluations() - start_evals,
+                sampling_evaluations: samples,
+                failures_observed: failures,
+                converged,
+                trace,
+            },
+            diagnostics: Diagnostics::MonteCarlo,
         }
+    }
+
+    fn configure(&mut self, policy: &ConvergencePolicy) {
+        self.config.max_samples = policy.max_evaluations.max(1);
+        self.config.target_relative_error = policy.target_relative_error;
+        self.config.min_failures = policy.min_failures;
     }
 }
 
@@ -185,7 +211,7 @@ mod tests {
             min_failures: 10,
         });
         let mut rng = RngStream::from_seed(11);
-        let result = mc.run(&problem, &mut rng);
+        let result = mc.estimate(&problem, &mut rng).result;
         assert!(result.converged);
         let rel = (result.failure_probability - exact).abs() / exact;
         assert!(rel < 0.15, "MC estimate off by {rel}");
@@ -207,7 +233,7 @@ mod tests {
             min_failures: 10,
         });
         let mut rng = RngStream::from_seed(3);
-        let result = mc.run(&problem, &mut rng);
+        let result = mc.estimate(&problem, &mut rng).result;
         assert!(!result.converged);
         assert_eq!(result.sampling_evaluations, 20_000);
         assert!(result.failure_probability < 1e-3);
@@ -224,7 +250,7 @@ mod tests {
             min_failures: 10,
         });
         let mut rng = RngStream::from_seed(7);
-        let result = mc.run(&problem, &mut rng);
+        let result = mc.estimate(&problem, &mut rng).result;
         for pair in result.trace.windows(2) {
             assert!(pair[1].evaluations > pair[0].evaluations);
         }
@@ -235,10 +261,18 @@ mod tests {
         let ls = LinearLimitState::along_first_axis(2, 2.0);
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let mc = MonteCarlo::new(MonteCarloConfig::with_budget(10_000));
-        let a = mc.run(&problem.fork(), &mut RngStream::from_seed(42));
-        let b = mc.run(&problem.fork(), &mut RngStream::from_seed(42));
+        let a = mc
+            .estimate(&problem.fork(), &mut RngStream::from_seed(42))
+            .result;
+        let b = mc
+            .estimate(&problem.fork(), &mut RngStream::from_seed(42))
+            .result;
         assert_eq!(a.failure_probability, b.failure_probability);
         assert_eq!(a.failures_observed, b.failures_observed);
+        // The deprecated shim forwards to the same implementation.
+        #[allow(deprecated)]
+        let legacy = mc.run(&problem.fork(), &mut RngStream::from_seed(42));
+        assert_eq!(legacy, a);
     }
 
     #[test]

@@ -183,8 +183,8 @@ impl GradientMpfpSearch {
 
             // Damped HL–RF update:
             // z_new = [ (∇g·z − g) / ‖∇g‖² ] ∇g
-            let projection = (gradient.dot(&z).expect("same dim") - margin)
-                / (gradient_norm * gradient_norm);
+            let projection =
+                (gradient.dot(&z).expect("same dim") - margin) / (gradient_norm * gradient_norm);
             let target = gradient.scaled(projection);
             let mut step = &target - &z;
             let step_norm = step.norm();
@@ -242,9 +242,7 @@ impl GradientMpfpSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{
-        FailureProblem, LinearLimitState, QuadraticLimitState,
-    };
+    use crate::model::{FailureProblem, LinearLimitState, QuadraticLimitState};
 
     #[test]
     fn finds_exact_mpfp_of_linear_limit_state() {
@@ -284,7 +282,11 @@ mod tests {
         assert!(result.converged);
         // The curved boundary still has its closest point near z0 = beta along
         // the first axis (curvature only helps), so beta <= 4.
-        assert!(result.beta <= 4.05 && result.beta > 3.0, "beta {}", result.beta);
+        assert!(
+            result.beta <= 4.05 && result.beta > 3.0,
+            "beta {}",
+            result.beta
+        );
         assert!(result.mpfp[0] > 3.0);
     }
 
@@ -334,13 +336,17 @@ mod tests {
     fn plateau_fallback_still_returns_a_point() {
         // A metric that is completely flat (censored) in the passing region and
         // fails only beyond 3.5 sigma along the first axis.
-        let model = crate::model::FnModel::new("censored", 3, |z: &Vector| {
-            if z[0] > 3.5 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let model = crate::model::FnModel::new(
+            "censored",
+            3,
+            |z: &Vector| {
+                if z[0] > 3.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let problem = FailureProblem::from_model(model, crate::model::Spec::UpperLimit(0.5));
         let search = GradientMpfpSearch::new(MpfpConfig {
             max_iterations: 120,

@@ -198,9 +198,7 @@ mod tests {
     fn chi_survival_relationship() {
         for dof in [1usize, 3, 6, 12] {
             for &r in &[0.5, 1.5, 3.0, 5.0] {
-                assert!(
-                    (chi_survival(dof, r) - chi_square_survival(dof, r * r)).abs() < 1e-15
-                );
+                assert!((chi_survival(dof, r) - chi_square_survival(dof, r * r)).abs() < 1e-15);
             }
         }
         // In 1D the chi tail is the two-sided normal tail.

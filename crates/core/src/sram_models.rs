@@ -321,15 +321,14 @@ mod tests {
         let w = write.evaluate(&Vector::zeros(6));
         let d = disturb.evaluate(&Vector::zeros(6));
         assert!(w > 0.0 && w < 2e-9);
-        assert!(d >= 0.0 && d < 0.5);
+        assert!((0.0..0.5).contains(&d));
     }
 
     #[test]
     #[should_panic(expected = "6-parameter variation space")]
     fn wrong_space_dimension_rejected() {
-        let bad_space = VariationSpace::independent([
-            gis_variation::VariationParameter::new("only-one", 0.03),
-        ]);
+        let bad_space =
+            VariationSpace::independent([gis_variation::VariationParameter::new("only-one", 0.03)]);
         let _ = SramSurrogateModel::new(
             SramSurrogate::typical_45nm(),
             bad_space,

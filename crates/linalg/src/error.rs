@@ -53,7 +53,10 @@ impl fmt::Display for LinalgError {
                 left.0, left.1, right.0, right.1
             ),
             LinalgError::Singular { pivot, value } => {
-                write!(f, "matrix is singular at pivot {pivot} (|pivot| = {value:e})")
+                write!(
+                    f,
+                    "matrix is singular at pivot {pivot} (|pivot| = {value:e})"
+                )
             }
             LinalgError::NotPositiveDefinite { index, value } => write!(
                 f,

@@ -169,10 +169,12 @@ pub fn build_6t_cell(
             reason: format!("expected 6 threshold deltas, got {}", vth_deltas.len()),
         });
     }
-    config.validate().map_err(|reason| CircuitError::InvalidDevice {
-        device: "6T cell".to_string(),
-        reason,
-    })?;
+    config
+        .validate()
+        .map_err(|reason| CircuitError::InvalidDevice {
+            device: "6T cell".to_string(),
+            reason,
+        })?;
 
     let vdd = circuit.node("vdd");
     let wordline = circuit.node("wl");
@@ -191,8 +193,11 @@ pub fn build_6t_cell(
         q_bar,
     };
 
-    let param =
-        |which: CellTransistor| config.nominal_params(which).with_vth_shift(vth_deltas[which.index()]);
+    let param = |which: CellTransistor| {
+        config
+            .nominal_params(which)
+            .with_vth_shift(vth_deltas[which.index()])
+    };
 
     // Left half: storage node Q.
     circuit.add_mosfet(

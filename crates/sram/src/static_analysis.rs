@@ -72,10 +72,7 @@ fn half_cell_vtc(
 /// Side of the largest square that fits between a voltage transfer curve
 /// `y = f1(x)` and the mirrored curve `x = f2(y)` — the standard graphical
 /// static-noise-margin construction, evaluated in the 45°-rotated frame.
-fn largest_square_side(
-    curve1: (&[f64], &[f64]),
-    curve2: (&[f64], &[f64]),
-) -> f64 {
+fn largest_square_side(curve1: (&[f64], &[f64]), curve2: (&[f64], &[f64])) -> f64 {
     // Rotate both curves by −45°: u = (x + y)/√2, v = (y − x)/√2. In this frame
     // the separation between the first curve and the *mirrored* second curve
     // along v, maximized over u, gives √2 × (largest square side).
@@ -117,7 +114,7 @@ fn largest_square_side(
                 });
             }
         }
-        best.map(|v| v)
+        best
     };
 
     let mut max_gap: f64 = 0.0;
@@ -320,8 +317,10 @@ mod tests {
         let drv = analysis
             .data_retention_voltage(&[0.0; 6], 0.05, 0.1)
             .unwrap();
-        assert!(drv <= 1.0 && drv >= 0.2, "data retention voltage {drv}");
-        assert!(analysis.data_retention_voltage(&[0.0; 6], -1.0, 0.1).is_err());
+        assert!((0.2..=1.0).contains(&drv), "data retention voltage {drv}");
+        assert!(analysis
+            .data_retention_voltage(&[0.0; 6], -1.0, 0.1)
+            .is_err());
     }
 
     #[test]

@@ -95,8 +95,7 @@ impl SramSurrogate {
             vth_n: testbench.cell().pass_gate.vth0,
             vth_p: testbench.cell().pull_up.vth0,
             beta_ratio: testbench.cell().pull_down.k_prime / testbench.cell().pass_gate.k_prime,
-            contention_ratio: testbench.cell().pull_up.k_prime
-                / testbench.cell().pass_gate.k_prime,
+            contention_ratio: testbench.cell().pull_up.k_prime / testbench.cell().pass_gate.k_prime,
             ..SramSurrogate::typical_45nm()
         };
         let nominal_read = testbench.read(&[0.0; 6])?;

@@ -167,7 +167,12 @@ impl SramTestbench {
         let vdd = self.cell.vdd;
         let mut ckt = Circuit::new();
         let nodes = build_6t_cell(&mut ckt, &self.cell, vth_deltas)?;
-        ckt.add_voltage_source("V_VDD", nodes.vdd, Circuit::ground(), SourceWaveform::dc(vdd));
+        ckt.add_voltage_source(
+            "V_VDD",
+            nodes.vdd,
+            Circuit::ground(),
+            SourceWaveform::dc(vdd),
+        );
         ckt.add_voltage_source(
             "V_WL",
             nodes.wordline,
@@ -234,7 +239,12 @@ impl SramTestbench {
         let vdd = self.cell.vdd;
         let mut ckt = Circuit::new();
         let nodes = build_6t_cell(&mut ckt, &self.cell, vth_deltas)?;
-        ckt.add_voltage_source("V_VDD", nodes.vdd, Circuit::ground(), SourceWaveform::dc(vdd));
+        ckt.add_voltage_source(
+            "V_VDD",
+            nodes.vdd,
+            Circuit::ground(),
+            SourceWaveform::dc(vdd),
+        );
         ckt.add_voltage_source(
             "V_WL",
             nodes.wordline,
@@ -297,14 +307,20 @@ mod tests {
     #[test]
     fn timing_validation() {
         assert!(TestbenchTiming::default().validate().is_ok());
-        let mut t = TestbenchTiming::default();
-        t.time_step = -1.0;
+        let t = TestbenchTiming {
+            time_step: -1.0,
+            ..TestbenchTiming::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = TestbenchTiming::default();
-        t.stop_time = 1e-12;
+        let t = TestbenchTiming {
+            stop_time: 1e-12,
+            ..TestbenchTiming::default()
+        };
         assert!(t.validate().is_err());
-        let mut t = TestbenchTiming::default();
-        t.sense_margin = 0.0;
+        let t = TestbenchTiming {
+            sense_margin: 0.0,
+            ..TestbenchTiming::default()
+        };
         assert!(t.validate().is_err());
     }
 

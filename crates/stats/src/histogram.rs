@@ -32,7 +32,7 @@ impl Histogram {
     /// Returns `None` if `bins == 0`, `low >= high`, or either bound is not
     /// finite.
     pub fn new(low: f64, high: f64, bins: usize) -> Option<Self> {
-        if bins == 0 || !(low < high) || !low.is_finite() || !high.is_finite() {
+        if bins == 0 || low >= high || !low.is_finite() || !high.is_finite() {
             return None;
         }
         Some(Histogram {

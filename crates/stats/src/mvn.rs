@@ -4,7 +4,7 @@
 //! factor of the covariance) and evaluating log-densities, which together give
 //! the importance weights `w(x) = f(x) / q(x)`.
 
-use crate::{RngStream, Result, StatsError};
+use crate::{Result, RngStream, StatsError};
 use gis_linalg::{Cholesky, Matrix, Vector};
 
 /// A multivariate normal distribution `N(μ, Σ)`.
@@ -172,7 +172,7 @@ impl GaussianMixture {
                 "all mixture components must have the same dimension".to_string(),
             ));
         }
-        if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
+        if weights.iter().any(|&w| w <= 0.0 || !w.is_finite()) {
             return Err(StatsError::InvalidArgument(
                 "mixture weights must be positive and finite".to_string(),
             ));
@@ -336,9 +336,7 @@ mod tests {
         let mix = GaussianMixture::new(vec![c1, c2], vec![1.0, 4.0]).unwrap();
         let mut rng = RngStream::from_seed(17);
         let n = 20_000;
-        let right = (0..n)
-            .filter(|_| mix.sample(&mut rng)[0] > 0.0)
-            .count() as f64;
+        let right = (0..n).filter(|_| mix.sample(&mut rng)[0] > 0.0).count() as f64;
         assert!((right / n as f64 - 0.8).abs() < 0.02);
     }
 

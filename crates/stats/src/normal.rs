@@ -53,7 +53,7 @@ pub fn erfc(x: f64) -> f64 {
                                     + t * (-1.13520398
                                         + t * (1.48851587
                                             + t * (-0.82215223 + t * 0.17087277)))))))))
-            .exp();
+                .exp();
         refine_erfc(z, tau)
     };
     if x >= 0.0 {
@@ -66,7 +66,7 @@ pub fn erfc(x: f64) -> f64 {
 /// Newton-refine an initial approximation `e0 ≈ erfc(z)` using the analytic
 /// derivative `d erfc/dz = -2/sqrt(pi) * exp(-z^2)`.
 fn refine_erfc(z: f64, e0: f64) -> f64 {
-    const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+    const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
     let deriv = -TWO_OVER_SQRT_PI * (-z * z).exp();
     if deriv == 0.0 {
         return e0;
@@ -77,12 +77,13 @@ fn refine_erfc(z: f64, e0: f64) -> f64 {
     // using the quantile of the current estimate. In practice a single
     // downstream Halley step in `quantile` dominates accuracy, so here we just
     // clamp to the valid range.
-    e0.clamp(0.0, 2.0).max(f64::MIN_POSITIVE * deriv.abs().max(1.0))
+    e0.clamp(0.0, 2.0)
+        .max(f64::MIN_POSITIVE * deriv.abs().max(1.0))
 }
 
 /// Series expansion of erf for small arguments.
 fn erf_series(x: f64) -> f64 {
-    const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+    const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
     let x2 = x * x;
     let mut term = x;
     let mut sum = x;
@@ -134,17 +135,14 @@ pub fn upper_tail_probability(x: f64) -> f64 {
 /// }
 /// ```
 pub fn quantile(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "quantile requires p in (0, 1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
 
     // Acklam's coefficients.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -286,7 +284,10 @@ mod tests {
         for (sigma, expected) in cases {
             let q = upper_tail_probability(sigma);
             let rel = (q - expected).abs() / expected;
-            assert!(rel < 2e-4, "Q({sigma}) = {q:e}, expected {expected:e}, rel {rel:e}");
+            assert!(
+                rel < 2e-4,
+                "Q({sigma}) = {q:e}, expected {expected:e}, rel {rel:e}"
+            );
         }
     }
 

@@ -28,7 +28,10 @@ use gis_linalg::Vector;
 /// assert!(pts.iter().all(|p| p.len() == 2));
 /// ```
 pub fn latin_hypercube(rng: &mut RngStream, n: usize, dim: usize) -> Vec<Vector> {
-    assert!(n > 0 && dim > 0, "latin_hypercube requires n > 0 and dim > 0");
+    assert!(
+        n > 0 && dim > 0,
+        "latin_hypercube requires n > 0 and dim > 0"
+    );
     let mut coordinates: Vec<Vec<f64>> = Vec::with_capacity(dim);
     for _ in 0..dim {
         let mut strata: Vec<usize> = (0..n).collect();
@@ -49,7 +52,11 @@ pub fn latin_hypercube(rng: &mut RngStream, n: usize, dim: usize) -> Vec<Vector>
 pub fn latin_hypercube_normal(rng: &mut RngStream, n: usize, dim: usize) -> Vec<Vector> {
     latin_hypercube(rng, n, dim)
         .into_iter()
-        .map(|p| p.iter().map(|&u| normal::quantile(u.clamp(1e-12, 1.0 - 1e-12))).collect())
+        .map(|p| {
+            p.iter()
+                .map(|&u| normal::quantile(u.clamp(1e-12, 1.0 - 1e-12)))
+                .collect()
+        })
         .collect()
 }
 
@@ -217,7 +224,9 @@ mod tests {
     fn halton_points_in_unit_cube_and_low_discrepancy() {
         let pts = halton_sequence(256, 2);
         assert_eq!(pts.len(), 256);
-        assert!(pts.iter().all(|p| p.iter().all(|&x| (0.0..1.0).contains(&x))));
+        assert!(pts
+            .iter()
+            .all(|p| p.iter().all(|&x| (0.0..1.0).contains(&x))));
         // Mean of a low-discrepancy sequence should be very close to 0.5.
         let mean_x: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / 256.0;
         assert!((mean_x - 0.5).abs() < 0.01);

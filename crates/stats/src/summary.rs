@@ -64,8 +64,7 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -132,7 +131,10 @@ impl OnlineStats {
     ///
     /// Panics if `level` is not in `(0, 1)`.
     pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
-        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must be in (0,1)"
+        );
         let z = crate::normal::quantile(0.5 + level / 2.0);
         let half = z * self.standard_error();
         ConfidenceInterval {

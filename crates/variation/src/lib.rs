@@ -335,9 +335,12 @@ pub fn sram_6t_variation_space(
     const NAMES: [&str; 6] = [
         "PGL.dVth", "PDL.dVth", "PUL.dVth", "PGR.dVth", "PDR.dVth", "PUR.dVth",
     ];
-    VariationSpace::independent(NAMES.iter().zip(widths_lengths.iter()).map(
-        |(name, (w, l))| VariationParameter::new(*name, pelgrom.sigma_vth(*w, *l)),
-    ))
+    VariationSpace::independent(
+        NAMES
+            .iter()
+            .zip(widths_lengths.iter())
+            .map(|(name, (w, l))| VariationParameter::new(*name, pelgrom.sigma_vth(*w, *l))),
+    )
 }
 
 #[cfg(test)]

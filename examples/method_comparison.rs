@@ -1,20 +1,25 @@
 //! Side-by-side comparison of every extraction method in the library.
 //!
 //! All five estimators attack the same problem — the surrogate read-access-time
-//! failure at roughly 4.5σ — with comparable budgets, and the example prints a
-//! table in the style of the paper's evaluation: estimate, sigma level,
-//! confidence, simulator calls and speed-up versus brute-force Monte Carlo.
+//! failure at roughly 4.5σ — with comparable budgets, driven by the unified
+//! [`YieldAnalysis`] API: the estimators are registered as `Box<dyn Estimator>`,
+//! a uniform convergence policy caps every method's budget, and each method's
+//! RNG stream is derived deterministically from one master seed. The example
+//! prints a table in the style of the paper's evaluation: estimate, sigma
+//! level, confidence, simulator calls and speed-up versus brute-force Monte
+//! Carlo.
 //!
 //! Run with `cargo run --release --example method_comparison`.
+//!
+//! [`YieldAnalysis`]: sram_highsigma::highsigma::YieldAnalysis
 
 use sram_highsigma::highsigma::{
-    default_sram_variation_space, required_samples, ExtractionResult, FailureProblem, GisConfig,
-    GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs, MnisConfig, MonteCarlo,
-    MonteCarloConfig, ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig, Spec,
-    SramMetric, SramSurrogateModel, SssConfig,
+    default_sram_variation_space, ComparisonRow, ConvergencePolicy, Estimator, FailureProblem,
+    GisConfig, GradientImportanceSampling, MinimumNormIs, MnisConfig, MonteCarlo, MonteCarloConfig,
+    ScaledSigmaSampling, Spec, SphericalSampling, SphericalSamplingConfig, SramMetric,
+    SramSurrogateModel, SssConfig, YieldAnalysis,
 };
 use sram_highsigma::sram::{SramCellConfig, SramSurrogate};
-use sram_highsigma::stats::RngStream;
 use sram_highsigma::variation::PelgromModel;
 
 fn build_problem() -> FailureProblem {
@@ -29,86 +34,76 @@ fn build_problem() -> FailureProblem {
     FailureProblem::from_model(model, Spec::UpperLimit(2.0 * nominal))
 }
 
-fn print_row(result: &ExtractionResult) {
-    let mc_cost = if result.failure_probability > 0.0 && result.failure_probability < 1.0 {
-        required_samples(result.failure_probability, 0.1)
-    } else {
-        f64::NAN
-    };
-    let speedup = if result.evaluations > 0 {
-        mc_cost / result.evaluations as f64
-    } else {
-        f64::NAN
-    };
+fn print_row(row: &ComparisonRow) {
     println!(
         "{:<24} {:>12.3e} {:>8.2} {:>10.1} {:>12} {:>10.0} {:>10}",
-        result.method,
-        result.failure_probability,
-        result.sigma_level,
-        result.relative_confidence_90() * 100.0,
-        result.evaluations,
-        speedup,
-        result.converged
+        row.method,
+        row.failure_probability,
+        row.sigma_level,
+        row.relative_confidence_90 * 100.0,
+        row.evaluations,
+        row.speedup_vs_monte_carlo,
+        row.converged
     );
 }
 
 fn main() {
-    let base = build_problem();
     println!("problem: surrogate 6T read access time > 2.0x nominal");
     println!(
         "\n{:<24} {:>12} {:>8} {:>10} {:>12} {:>10} {:>10}",
         "method", "P_fail", "sigma", "+/-90% [%]", "#sims", "speedup", "converged"
     );
 
-    let sampling = ImportanceSamplingConfig {
-        max_samples: 20_000,
-        batch_size: 500,
-        target_relative_error: 0.1,
-        min_failures: 30,
-    };
+    // All five methods behind the same trait, each with its own budget (the
+    // IS methods keep their 50k defaults; Monte Carlo gets 500k). The second
+    // table below shows the same line-up under one uniform policy instead.
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        Box::new(GradientImportanceSampling::new(GisConfig::default())),
+        Box::new(MinimumNormIs::new(MnisConfig::default())),
+        Box::new(SphericalSampling::new(SphericalSamplingConfig {
+            directions: 1_000,
+            ..SphericalSamplingConfig::default()
+        })),
+        Box::new(ScaledSigmaSampling::new(SssConfig {
+            samples_per_scale: 4_000,
+            ..SssConfig::default()
+        })),
+        // Brute-force Monte Carlo with a 500k budget: demonstrates why it
+        // cannot reach high sigma.
+        Box::new(MonteCarlo::new(MonteCarloConfig {
+            max_samples: 500_000,
+            batch_size: 50_000,
+            target_relative_error: 0.1,
+            min_failures: 10,
+        })),
+    ];
 
-    // Gradient Importance Sampling (proposed).
-    let gis = GradientImportanceSampling::new(GisConfig {
-        sampling: sampling.clone(),
-        ..GisConfig::default()
-    });
-    let outcome = gis.run(&base.fork(), &mut RngStream::from_seed(1));
-    print_row(&outcome.result);
+    let report = YieldAnalysis::new()
+        .master_seed(2018)
+        .problem("surrogate-read", build_problem())
+        .estimators(estimators)
+        .run();
 
-    // Minimum-norm importance sampling.
-    let mnis = MinimumNormIs::new(MnisConfig {
-        sampling: sampling.clone(),
-        ..MnisConfig::default()
-    });
-    let (mnis_result, _, _) = mnis.run(&base.fork(), &mut RngStream::from_seed(2));
-    print_row(&mnis_result);
+    for row in report.problems[0].rows() {
+        print_row(&row);
+    }
 
-    // Spherical sampling.
-    let spherical = SphericalSampling::new(SphericalSamplingConfig {
-        directions: 1_000,
-        ..SphericalSamplingConfig::default()
-    });
-    let spherical_result = spherical.run(&base.fork(), &mut RngStream::from_seed(3));
-    print_row(&spherical_result);
-
-    // Scaled-sigma sampling.
-    let sss = ScaledSigmaSampling::new(SssConfig {
-        samples_per_scale: 4_000,
-        ..SssConfig::default()
-    });
-    let (sss_result, _) = sss.run(&base.fork(), &mut RngStream::from_seed(4));
-    print_row(&sss_result);
-
-    // Brute-force Monte Carlo with a 500k budget: demonstrates why it cannot
-    // reach high sigma.
-    let mc = MonteCarlo::new(MonteCarloConfig {
-        max_samples: 500_000,
-        batch_size: 50_000,
-        target_relative_error: 0.1,
-        min_failures: 10,
-    });
-    let mc_result = mc.run(&base.fork(), &mut RngStream::from_seed(5));
-    print_row(&mc_result);
+    // The same comparison under one uniform budget, via the convergence
+    // policy: every estimator is capped at 20k sampling evaluations.
+    println!("\nsame line-up under a uniform 20k-evaluation policy:");
+    let report = YieldAnalysis::new()
+        .master_seed(2018)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(20_000)
+                .target_relative_error(0.1)
+                .min_failures(30),
+        )
+        .problem("surrogate-read", build_problem())
+        .estimators(sram_highsigma::highsigma::standard_estimators())
+        .run();
+    for row in report.problems[0].rows() {
+        print_row(&row);
+    }
 
     println!(
         "\nnote: speed-up is measured against the analytical brute-force cost for 10% relative error\n      at each method's own estimate; `NaN` means the method produced no usable estimate."

@@ -9,7 +9,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use sram_highsigma::highsigma::{
-    default_sram_variation_space, required_samples, FailureProblem, GisConfig,
+    default_sram_variation_space, required_samples, Estimator, FailureProblem, GisConfig,
     GradientImportanceSampling, Spec, SramMetric, SramSurrogateModel,
 };
 use sram_highsigma::sram::{SramCellConfig, SramSurrogate};
@@ -42,10 +42,10 @@ fn main() {
     );
     let problem = FailureProblem::from_model(model, spec);
 
-    // 3. Run Gradient Importance Sampling.
+    // 3. Run Gradient Importance Sampling through the unified Estimator API.
     let gis = GradientImportanceSampling::new(GisConfig::default());
     let mut rng = RngStream::from_seed(2024);
-    let outcome = gis.run(&problem, &mut rng);
+    let outcome = gis.estimate(&problem, &mut rng);
 
     // 4. Report.
     let r = &outcome.result;
@@ -61,7 +61,8 @@ fn main() {
         "  of which search   : {}",
         r.evaluations - r.sampling_evaluations
     );
-    println!("MPFP distance       : {:.2} sigma", outcome.mpfp.beta);
+    let mpfp = outcome.mpfp().expect("GIS reports its MPFP search");
+    println!("MPFP distance       : {:.2} sigma", mpfp.beta);
 
     if r.failure_probability > 0.0 && r.failure_probability < 1.0 {
         let mc_cost = required_samples(r.failure_probability, 0.1);

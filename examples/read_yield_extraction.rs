@@ -13,7 +13,7 @@
 //! Run with `cargo run --release --example read_yield_extraction`.
 
 use sram_highsigma::highsigma::{
-    default_sram_variation_space, FailureProblem, GisConfig, GradientImportanceSampling,
+    default_sram_variation_space, Estimator, FailureProblem, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, Spec, SramMetric, SramTransientModel,
 };
 use sram_highsigma::sram::{SramCellConfig, SramTestbench};
@@ -31,7 +31,10 @@ fn main() {
         nominal_read.access_time * 1e12,
         nominal_read.disturb_peak * 1e3
     );
-    println!("write delay      : {:.1} ps", nominal_write.write_delay * 1e12);
+    println!(
+        "write delay      : {:.1} ps",
+        nominal_write.write_delay * 1e12
+    );
 
     // Step 2: specification — the sense amplifier fires 2x the nominal access
     // time after wordline rise; any cell slower than that reads wrong data.
@@ -54,14 +57,21 @@ fn main() {
         ..GisConfig::default()
     });
     let mut rng = RngStream::from_seed(7);
-    let outcome = gis.run(&problem, &mut rng);
+    let outcome = gis.estimate(&problem, &mut rng);
     let p_cell = outcome.result.failure_probability;
     println!("\n--- gradient importance sampling (transient-backed) ---");
     println!("per-cell failure probability : {:.3e}", p_cell);
-    println!("equivalent sigma             : {:.2}", outcome.result.sigma_level);
-    println!("transient simulations used   : {}", outcome.result.evaluations);
-    println!("MPFP found at                : {:.2} sigma", outcome.mpfp.beta);
-    if let Some(shift) = &outcome.diagnostics.shift {
+    println!(
+        "equivalent sigma             : {:.2}",
+        outcome.result.sigma_level
+    );
+    println!(
+        "transient simulations used   : {}",
+        outcome.result.evaluations
+    );
+    let mpfp = outcome.mpfp().expect("GIS reports its MPFP search");
+    println!("MPFP found at                : {:.2} sigma", mpfp.beta);
+    if let Some(shift) = outcome.shift() {
         println!("dominant variation direction (whitened shift vector):");
         let names = ["PGL", "PDL", "PUL", "PGR", "PDR", "PUR"];
         for (name, value) in names.iter().zip(shift.iter()) {
@@ -71,7 +81,10 @@ fn main() {
 
     // Step 4: array-level yield.
     println!("\n--- array-level read yield ---");
-    println!("{:<12} {:>14} {:>12}", "array size", "P(any fail)", "yield [%]");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "array size", "P(any fail)", "yield [%]"
+    );
     for &bits in &[64 * 1024u64, 1024 * 1024, 8 * 1024 * 1024, 64 * 1024 * 1024] {
         let p_any = 1.0 - (1.0 - p_cell).powf(bits as f64);
         println!(

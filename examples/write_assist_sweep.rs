@@ -1,20 +1,23 @@
 //! Design-space exploration: how write-assist (wordline pulse stretching) and
 //! cell sizing trade off against write yield.
 //!
-//! For each candidate design point the example re-derives the write-delay
-//! specification, runs Gradient Importance Sampling on the surrogate model and
-//! reports the achievable sigma level — the kind of sweep a designer runs when
-//! choosing between a boosted wordline, a longer write pulse or a wider pass
-//! gate.
+//! Every candidate design point becomes a named problem on one
+//! [`YieldAnalysis`] driver running Gradient Importance Sampling; the report
+//! then reads out the achievable sigma level per design — the kind of sweep a
+//! designer runs when choosing between a boosted wordline, a longer write
+//! pulse or a wider pass gate. The driver derives a deterministic RNG stream
+//! per design point from the master seed, so adding a design never perturbs
+//! the others.
 //!
 //! Run with `cargo run --release --example write_assist_sweep`.
+//!
+//! [`YieldAnalysis`]: sram_highsigma::highsigma::YieldAnalysis
 
 use sram_highsigma::highsigma::{
-    default_sram_variation_space, FailureProblem, GisConfig, GradientImportanceSampling,
-    ImportanceSamplingConfig, Spec, SramMetric, SramSurrogateModel,
+    default_sram_variation_space, ConvergencePolicy, FailureProblem, GisConfig,
+    GradientImportanceSampling, Spec, SramMetric, SramSurrogateModel, YieldAnalysis,
 };
 use sram_highsigma::sram::{SramCellConfig, SramSurrogate};
-use sram_highsigma::stats::RngStream;
 use sram_highsigma::variation::PelgromModel;
 
 /// One candidate design point of the sweep.
@@ -24,6 +27,25 @@ struct DesignPoint {
     pass_gate_strength: f64,
     /// Write pulse budget expressed as a multiple of the nominal write delay.
     pulse_budget_factor: f64,
+}
+
+/// Builds the write-delay failure problem for one design point.
+fn design_problem(design: &DesignPoint) -> FailureProblem {
+    // A stronger pass gate is modelled as a larger W (the Pelgrom sigma of
+    // that device shrinks accordingly), which both speeds the write and
+    // tightens its variability.
+    let mut cell = SramCellConfig::typical_45nm();
+    cell.pass_gate = cell.pass_gate.with_width_factor(design.pass_gate_strength);
+
+    let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
+    let mut surrogate = SramSurrogate::typical_45nm();
+    surrogate.contention_ratio = cell.pull_up.k_prime / cell.pass_gate.k_prime;
+    surrogate.beta_ratio = cell.pull_down.k_prime / cell.pass_gate.k_prime;
+
+    let model = SramSurrogateModel::new(surrogate, space, SramMetric::WriteDelay);
+    let nominal = model.nominal_metric();
+    let spec = Spec::UpperLimit(nominal * design.pulse_budget_factor);
+    FailureProblem::from_model(model, spec)
 }
 
 fn main() {
@@ -50,47 +72,36 @@ fn main() {
         },
     ];
 
+    // One driver: every design point is a problem, GIS is the estimator, and
+    // the policy gives each extraction the same 40k budget and 10% target.
+    let mut analysis = YieldAnalysis::new()
+        .master_seed(100)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(40_000)
+                .target_relative_error(0.1)
+                .min_failures(30),
+        )
+        .estimator(Box::new(GradientImportanceSampling::new(
+            GisConfig::default(),
+        )));
+    for design in &designs {
+        analysis = analysis.problem(design.label, design_problem(design));
+    }
+    let report = analysis.run();
+
     println!(
         "{:<22} {:>12} {:>8} {:>10} {:>10}",
         "design", "P_fail", "sigma", "#sims", "converged"
     );
-
-    for (index, design) in designs.iter().enumerate() {
-        // A stronger pass gate is modelled as a larger W (the Pelgrom sigma of
-        // that device shrinks accordingly), which both speeds the write and
-        // tightens its variability.
-        let mut cell = SramCellConfig::typical_45nm();
-        cell.pass_gate = cell.pass_gate.with_width_factor(design.pass_gate_strength);
-
-        let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
-        let mut surrogate = SramSurrogate::typical_45nm();
-        surrogate.contention_ratio = cell.pull_up.k_prime / cell.pass_gate.k_prime;
-        surrogate.beta_ratio = cell.pull_down.k_prime / cell.pass_gate.k_prime;
-
-        let model = SramSurrogateModel::new(surrogate, space, SramMetric::WriteDelay);
-        let nominal = model.nominal_metric();
-        let spec = Spec::UpperLimit(nominal * design.pulse_budget_factor);
-        let problem = FailureProblem::from_model(model, spec);
-
-        let gis = GradientImportanceSampling::new(GisConfig {
-            sampling: ImportanceSamplingConfig {
-                max_samples: 40_000,
-                batch_size: 500,
-                target_relative_error: 0.1,
-                min_failures: 30,
-            },
-            ..GisConfig::default()
-        });
-        let outcome = gis.run(&problem, &mut RngStream::from_seed(100 + index as u64));
+    for (design, problem_report) in designs.iter().zip(report.problems.iter()) {
+        let row = &problem_report.methods[0].row;
         println!(
             "{:<22} {:>12.3e} {:>8.2} {:>10} {:>10}",
-            design.label,
-            outcome.result.failure_probability,
-            outcome.result.sigma_level,
-            outcome.result.evaluations,
-            outcome.result.converged
+            design.label, row.failure_probability, row.sigma_level, row.evaluations, row.converged
         );
     }
 
-    println!("\nhigher sigma = better write yield; the sweep quantifies how much each assist buys.");
+    println!(
+        "\nhigher sigma = better write yield; the sweep quantifies how much each assist buys."
+    );
 }

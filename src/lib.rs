@@ -10,6 +10,33 @@
 //! * [`gis_circuit`] — MNA-based transistor-level circuit simulator.
 //! * [`gis_sram`] — 6T bitcell testbenches and dynamic metric extraction.
 //! * [`gis_core`] — gradient importance sampling and the baseline estimators.
+//!
+//! # Entry point: the unified estimator API
+//!
+//! All five extraction methods implement the object-safe
+//! [`Estimator`](gis_core::Estimator) trait, and the
+//! [`YieldAnalysis`](gis_core::YieldAnalysis) driver runs any set of them on
+//! any set of named failure problems with deterministic per-method seeding:
+//!
+//! ```
+//! use sram_highsigma::highsigma::{
+//!     standard_estimators, ConvergencePolicy, FailureProblem, LinearLimitState, YieldAnalysis,
+//! };
+//!
+//! let report = YieldAnalysis::new()
+//!     .master_seed(7)
+//!     .convergence_policy(ConvergencePolicy::with_budget(20_000))
+//!     .problem(
+//!         "linear-4-sigma",
+//!         FailureProblem::from_model(
+//!             LinearLimitState::along_first_axis(6, 4.0),
+//!             LinearLimitState::spec(),
+//!         ),
+//!     )
+//!     .estimators(standard_estimators())
+//!     .run();
+//! assert_eq!(report.problems[0].methods.len(), 5);
+//! ```
 
 pub use gis_circuit as circuit;
 pub use gis_core as highsigma;

@@ -5,7 +5,7 @@
 //! cost accounting is wrong, it shows up here before any SRAM is involved.
 
 use sram_highsigma::highsigma::{
-    required_samples, FailureProblem, GisConfig, GradientImportanceSampling,
+    required_samples, Estimator, FailureProblem, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, LinearLimitState, MinimumNormIs, MnisConfig, MonteCarlo,
     MonteCarloConfig, QuadraticLimitState, ScaledSigmaSampling, SphericalSampling,
     SphericalSamplingConfig, SssConfig,
@@ -32,7 +32,7 @@ fn gis_matches_exact_probability_across_sigma_levels() {
             LinearLimitState::new(Vector::from_slice(&[1.0, 0.7, -0.4, 0.2, 1.3, -0.9]), beta);
         let exact = limit_state.exact_failure_probability();
         let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
-        let outcome = gis_quick().run(&problem, &mut RngStream::from_seed(seed));
+        let outcome = gis_quick().estimate(&problem, &mut RngStream::from_seed(seed));
         let rel = (outcome.result.failure_probability - exact).abs() / exact;
         assert!(
             rel < 0.15,
@@ -49,7 +49,7 @@ fn gis_is_orders_of_magnitude_cheaper_than_monte_carlo() {
     let limit_state = LinearLimitState::along_first_axis(6, 5.0);
     let exact = limit_state.exact_failure_probability();
     let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
-    let outcome = gis_quick().run(&problem, &mut RngStream::from_seed(11));
+    let outcome = gis_quick().estimate(&problem, &mut RngStream::from_seed(11));
     assert!(outcome.result.converged);
     let mc_cost = required_samples(exact, 0.05);
     let speedup = mc_cost / outcome.result.evaluations as f64;
@@ -64,7 +64,7 @@ fn gis_and_mnis_agree_with_each_other() {
     let limit_state = LinearLimitState::new(Vector::from_slice(&[0.5, 1.0, 1.0, -0.5]), 4.0);
     let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
 
-    let gis_outcome = gis_quick().run(&problem.fork(), &mut RngStream::from_seed(5));
+    let gis_outcome = gis_quick().estimate(&problem.fork(), &mut RngStream::from_seed(5));
     let mnis = MinimumNormIs::new(MnisConfig {
         sampling: ImportanceSamplingConfig {
             max_samples: 40_000,
@@ -74,7 +74,9 @@ fn gis_and_mnis_agree_with_each_other() {
         },
         ..MnisConfig::default()
     });
-    let (mnis_result, _, _) = mnis.run(&problem.fork(), &mut RngStream::from_seed(6));
+    let mnis_result = mnis
+        .estimate(&problem.fork(), &mut RngStream::from_seed(6))
+        .result;
 
     let gis_p = gis_outcome.result.failure_probability;
     let mnis_p = mnis_result.failure_probability;
@@ -107,8 +109,10 @@ fn monte_carlo_agrees_at_low_sigma() {
         target_relative_error: 0.05,
         min_failures: 50,
     });
-    let mc_result = mc.run(&problem.fork(), &mut RngStream::from_seed(9));
-    let gis_outcome = gis_quick().run(&problem.fork(), &mut RngStream::from_seed(10));
+    let mc_result = mc
+        .estimate(&problem.fork(), &mut RngStream::from_seed(9))
+        .result;
+    let gis_outcome = gis_quick().estimate(&problem.fork(), &mut RngStream::from_seed(10));
 
     let mc_rel = (mc_result.failure_probability - exact).abs() / exact;
     let gis_rel = (gis_outcome.result.failure_probability - exact).abs() / exact;
@@ -121,7 +125,7 @@ fn quadratic_limit_state_cross_method_consistency() {
     let limit_state = QuadraticLimitState::new(5, 4.0, 0.07);
     let reference = limit_state.reference_failure_probability();
     let problem = FailureProblem::from_model(limit_state, QuadraticLimitState::spec());
-    let outcome = gis_quick().run(&problem, &mut RngStream::from_seed(21));
+    let outcome = gis_quick().estimate(&problem, &mut RngStream::from_seed(21));
     let rel = (outcome.result.failure_probability - reference).abs() / reference;
     assert!(
         rel < 0.25,
@@ -141,7 +145,9 @@ fn spherical_and_sss_produce_right_order_of_magnitude() {
         target_relative_error: 0.05,
         ..SphericalSamplingConfig::default()
     });
-    let spherical_result = spherical.run(&problem.fork(), &mut RngStream::from_seed(31));
+    let spherical_result = spherical
+        .estimate(&problem.fork(), &mut RngStream::from_seed(31))
+        .result;
     assert!(spherical_result.failure_probability > 0.0);
     let ratio = spherical_result.failure_probability / exact;
     assert!(
@@ -153,7 +159,9 @@ fn spherical_and_sss_produce_right_order_of_magnitude() {
         samples_per_scale: 20_000,
         ..SssConfig::default()
     });
-    let (sss_result, _) = sss.run(&problem.fork(), &mut RngStream::from_seed(32));
+    let sss_result = sss
+        .estimate(&problem.fork(), &mut RngStream::from_seed(32))
+        .result;
     assert!(sss_result.converged);
     let ratio = sss_result.failure_probability / exact;
     assert!(
@@ -169,7 +177,7 @@ fn evaluation_counters_are_charged_to_the_right_method() {
 
     let fork_a = problem.fork();
     let fork_b = problem.fork();
-    let outcome = gis_quick().run(&fork_a, &mut RngStream::from_seed(41));
+    let outcome = gis_quick().estimate(&fork_a, &mut RngStream::from_seed(41));
     assert_eq!(fork_a.evaluations(), outcome.result.evaluations);
     // The fork used by GIS does not pollute the other fork's accounting.
     assert_eq!(fork_b.evaluations(), 0);

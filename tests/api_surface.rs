@@ -5,8 +5,9 @@
 
 use sram_highsigma::circuit::{Circuit, MosfetParams, SourceWaveform, GROUND};
 use sram_highsigma::highsigma::{
+    standard_estimators, ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome,
     ExtractionResult, FailureProblem, GisConfig, GradientImportanceSampling, LinearLimitState,
-    PerformanceModel, Spec,
+    MonteCarlo, MonteCarloConfig, PerformanceModel, Spec,
 };
 use sram_highsigma::linalg::{Matrix, Vector};
 use sram_highsigma::sram::{SramCellConfig, SramSurrogate, SramTestbench};
@@ -33,6 +34,38 @@ fn core_types_implement_std_traits() {
 }
 
 #[test]
+fn estimator_trait_is_object_safe() {
+    // The unified API hinges on `Estimator` being usable as a trait object:
+    // drivers hold `Box<dyn Estimator>`, never concrete method types. This is
+    // primarily a compile test — if the trait loses object safety, the
+    // coercions below stop compiling.
+    let boxed: Box<dyn Estimator> = Box::new(GradientImportanceSampling::new(GisConfig::default()));
+    let _by_ref: &dyn Estimator = &MonteCarlo::new(MonteCarloConfig::with_budget(1_000));
+    let mut fleet: Vec<Box<dyn Estimator>> = standard_estimators();
+    fleet.push(boxed);
+    assert_eq!(fleet.len(), 6);
+
+    // Trait objects are callable, mutable (policy configuration), Send + Sync.
+    fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+    assert_send_sync::<dyn Estimator>();
+    let policy = ConvergencePolicy::with_budget(500);
+    for estimator in &mut fleet {
+        estimator.configure(&policy);
+        assert!(!estimator.name().is_empty());
+    }
+    let problem = FailureProblem::from_model(
+        LinearLimitState::along_first_axis(2, 2.0),
+        LinearLimitState::spec(),
+    );
+    let outcome: EstimatorOutcome =
+        fleet[0].estimate(&problem.fork(), &mut RngStream::from_seed(1));
+    assert!(matches!(
+        outcome.diagnostics,
+        Diagnostics::GradientImportanceSampling { .. }
+    ));
+}
+
+#[test]
 fn umbrella_crate_supports_the_full_flow() {
     // Everything in one place: circuit, variation, stats, extraction.
     let mut ckt = Circuit::new();
@@ -44,7 +77,7 @@ fn umbrella_crate_supports_the_full_flow() {
     let limit_state = LinearLimitState::along_first_axis(4, 4.0);
     let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
     let gis = GradientImportanceSampling::new(GisConfig::default());
-    let outcome = gis.run(&problem, &mut RngStream::from_seed(1));
+    let outcome = gis.estimate(&problem, &mut RngStream::from_seed(1));
     assert!(outcome.result.failure_probability > 0.0);
 }
 
@@ -53,7 +86,7 @@ fn extraction_results_serialize_to_json() {
     let limit_state = LinearLimitState::along_first_axis(3, 3.5);
     let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
     let gis = GradientImportanceSampling::new(GisConfig::default());
-    let outcome = gis.run(&problem, &mut RngStream::from_seed(2));
+    let outcome = gis.estimate(&problem, &mut RngStream::from_seed(2));
 
     let json = serde_json::to_string(&outcome.result).expect("result serializes");
     assert!(json.contains("failure_probability"));
@@ -68,7 +101,11 @@ fn performance_model_trait_is_object_safe() {
     // the trait must therefore be usable as a trait object.
     let models: Vec<Box<dyn PerformanceModel>> = vec![
         Box::new(LinearLimitState::along_first_axis(2, 3.0)),
-        Box::new(sram_highsigma::highsigma::FnModel::new("norm", 2, |z: &Vector| z.norm())),
+        Box::new(sram_highsigma::highsigma::FnModel::new(
+            "norm",
+            2,
+            |z: &Vector| z.norm(),
+        )),
     ];
     for model in &models {
         let value = model.evaluate(&Vector::zeros(model.dim()));

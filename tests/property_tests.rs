@@ -129,7 +129,7 @@ proptest! {
         let disturb = surrogate.read_disturb_voltage(&deltas);
         prop_assert!(read.is_finite() && read > 0.0);
         prop_assert!(write.is_finite() && write > 0.0);
-        prop_assert!(disturb.is_finite() && disturb >= 0.0 && disturb <= 1.0);
+        prop_assert!(disturb.is_finite() && (0.0..=1.0).contains(&disturb));
     }
 
     #[test]

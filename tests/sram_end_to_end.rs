@@ -2,7 +2,7 @@
 //! testbench / surrogate → failure problem → extraction.
 
 use sram_highsigma::highsigma::{
-    default_sram_variation_space, FailureProblem, GisConfig, GradientImportanceSampling,
+    default_sram_variation_space, Estimator, FailureProblem, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, MonteCarlo, MonteCarloConfig, MpfpConfig, Spec, SramMetric,
     SramSurrogateModel, SramTransientModel,
 };
@@ -32,8 +32,13 @@ fn gis_agrees_with_brute_force_at_moderate_sigma_on_surrogate() {
         target_relative_error: 0.05,
         min_failures: 100,
     });
-    let mc_result = mc.run(&problem.fork(), &mut RngStream::from_seed(1));
-    assert!(mc_result.failures_observed >= 100, "spec too tight for the MC reference");
+    let mc_result = mc
+        .estimate(&problem.fork(), &mut RngStream::from_seed(1))
+        .result;
+    assert!(
+        mc_result.failures_observed >= 100,
+        "spec too tight for the MC reference"
+    );
 
     let gis = GradientImportanceSampling::new(GisConfig {
         sampling: ImportanceSamplingConfig {
@@ -44,7 +49,7 @@ fn gis_agrees_with_brute_force_at_moderate_sigma_on_surrogate() {
         },
         ..GisConfig::default()
     });
-    let gis_outcome = gis.run(&problem.fork(), &mut RngStream::from_seed(2));
+    let gis_outcome = gis.estimate(&problem.fork(), &mut RngStream::from_seed(2));
 
     let mc_p = mc_result.failure_probability;
     let gis_p = gis_outcome.result.failure_probability;
@@ -65,8 +70,12 @@ fn high_sigma_read_extraction_on_surrogate_is_consistent_and_cheap() {
     let problem = FailureProblem::from_model(model, Spec::UpperLimit(1.6 * nominal));
 
     let gis = GradientImportanceSampling::new(GisConfig::default());
-    let outcome = gis.run(&problem, &mut RngStream::from_seed(3));
-    assert!(outcome.result.converged, "GIS did not converge: {:?}", outcome.result);
+    let outcome = gis.estimate(&problem, &mut RngStream::from_seed(3));
+    assert!(
+        outcome.result.converged,
+        "GIS did not converge: {:?}",
+        outcome.result
+    );
     // The failure probability must be genuinely high-sigma for this spec.
     assert!(outcome.result.failure_probability < 1e-3);
     assert!(outcome.result.failure_probability > 1e-12);
@@ -75,7 +84,7 @@ fn high_sigma_read_extraction_on_surrogate_is_consistent_and_cheap() {
     assert!(outcome.result.evaluations < 100_000);
     // The MPFP must point towards a weaker read path (positive shifts on the
     // pass-gate / pull-down parameters).
-    let shift = outcome.diagnostics.shift.clone().unwrap();
+    let shift = outcome.shift().unwrap().to_vec();
     assert!(
         shift[CellTransistor::PassGateLeft.index()] > 0.0
             || shift[CellTransistor::PullDownLeft.index()] > 0.0,
@@ -103,7 +112,7 @@ fn write_and_disturb_metrics_are_extractable() {
             },
             ..GisConfig::default()
         });
-        let outcome = gis.run(&problem, &mut RngStream::from_seed(7));
+        let outcome = gis.estimate(&problem, &mut RngStream::from_seed(7));
         assert!(
             outcome.result.failure_probability > 0.0,
             "{metric:?}: no failures found"
@@ -138,10 +147,13 @@ fn transient_and_surrogate_rank_variation_directions_identically() {
     // A weaker pull-up barely matters for the read path in either model.
     let mut deltas = [0.0; 6];
     deltas[CellTransistor::PullUpLeft.index()] = probe;
-    let tb_change = (tb.read(&deltas).unwrap().access_time - tb.read(&[0.0; 6]).unwrap().access_time)
-        .abs()
-        / tb.read(&[0.0; 6]).unwrap().access_time;
-    assert!(tb_change < 0.2, "pull-up should be a second-order effect, saw {tb_change}");
+    let tb_change =
+        (tb.read(&deltas).unwrap().access_time - tb.read(&[0.0; 6]).unwrap().access_time).abs()
+            / tb.read(&[0.0; 6]).unwrap().access_time;
+    assert!(
+        tb_change < 0.2,
+        "pull-up should be a second-order effect, saw {tb_change}"
+    );
 }
 
 #[test]
@@ -173,12 +185,12 @@ fn gis_runs_against_the_full_transient_simulator() {
         },
         ..GisConfig::default()
     });
-    let outcome = gis.run(&problem, &mut RngStream::from_seed(13));
+    let outcome = gis.estimate(&problem, &mut RngStream::from_seed(13));
     assert!(outcome.result.evaluations > 0);
     assert!(outcome.result.failure_probability >= 0.0);
-    assert!(outcome.mpfp.beta > 0.0);
+    assert!(outcome.mpfp().unwrap().beta > 0.0);
     // The proposal shift must describe a weakened read path, as with the surrogate.
-    let shift = Vector::from_slice(&outcome.diagnostics.shift.unwrap());
+    let shift = Vector::from_slice(outcome.shift().unwrap());
     assert!(shift.norm() > 1.0);
 }
 

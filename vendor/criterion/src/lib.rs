@@ -1,0 +1,137 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro/API surface the workspace benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `Bencher::iter` — with a simple
+//! wall-clock timer instead of criterion's statistical machinery. Each
+//! benchmark is warmed up once, then timed over a capped number of
+//! iterations, and the mean time per iteration is printed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a value (re-export of `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmarking group `{name}`");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+            max_iterations: self.sample_size as u64,
+            budget: self.measurement_time,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iterations > 0 {
+            bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "  {}/{id}: {:.1} ns/iter ({} iterations)",
+            self.name, per_iter, bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    max_iterations: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while iterations < self.max_iterations && start.elapsed() < self.budget {
+            black_box(routine());
+            iterations += 1;
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,395 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serialization framework (see `vendor/serde`) whose traits are
+//! shaped like serde's but serialize through an owned [`serde::Value`] tree.
+//! This proc-macro crate supplies the matching `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implementations.
+//!
+//! Supported shapes (everything this workspace uses):
+//! * structs with named fields,
+//! * enums with unit variants (optionally with explicit discriminants),
+//! * enums with tuple variants, and
+//! * enums with struct variants.
+//!
+//! Generics, tuple structs and unit structs are rejected with a compile error.
+//! The JSON layout matches serde's externally-tagged default: structs are
+//! objects, unit variants are strings, and data-carrying variants are
+//! single-key objects `{"Variant": ...}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field list of a struct or struct variant.
+type Fields = Vec<String>;
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Fields),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Skips `#[...]` attribute pairs starting at `*i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Consumes tokens of a type (or expression) until a top-level `,`, tracking
+/// `<...>` nesting so commas inside generics do not terminate the field.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i64 = 0;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name: Type, name: Type, ...` (named fields of a struct or struct
+/// variant), returning the field names in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Fields, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the top-level comma-separated items in a tuple variant's payload.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i64 = 0;
+    let mut saw_item_after_comma = true;
+    for token in &tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    saw_item_after_comma = false;
+                    count += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_item_after_comma = true;
+    }
+    if !saw_item_after_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i)?;
+        let kind = match tokens.get(i) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                i += 1;
+                VariantKind::Unit
+            }
+            // Explicit discriminant: `Name = expr,`
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                skip_until_top_level_comma(&tokens, &mut i);
+                VariantKind::Unit
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+                VariantKind::Struct(fields)
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Parses the derive input down to (type name, body shape).
+fn parse_item(input: TokenStream) -> Result<(String, Body), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i)?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{kind}`"));
+    }
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive Serialize/Deserialize for generic type `{name}` with the vendored serde stub"
+        ));
+    }
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => {
+            return Err(format!(
+                "expected braced body for `{name}` (tuple/unit types unsupported), found {other:?}"
+            ))
+        }
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(group.stream())?)
+    } else {
+        Body::Enum(parse_variants(group.stream())?)
+    };
+    Ok((name, body))
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("f{k}")).collect()
+}
+
+fn generate_serialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::Struct(fields) => {
+            let mut code = String::from(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for field in fields {
+                code.push_str(&format!(
+                    "fields.push((::std::string::String::from({field:?}), ::serde::Serialize::to_value(&self.{field})));\n"
+                ));
+            }
+            code.push_str("::serde::Value::Object(fields)");
+            code
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?})),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![(::std::string::String::from({vname:?}), ::serde::Serialize::to_value(f0))]),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds = tuple_bindings(*n).join(", ");
+                        let items = tuple_bindings(*n)
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(::std::string::String::from({vname:?}), ::serde::Value::Array(vec![{items}]))]),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut inner: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for field in fields {
+                            inner.push_str(&format!(
+                                "inner.push((::std::string::String::from({field:?}), ::serde::Serialize::to_value({field})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ {inner} ::serde::Value::Object(vec![(::std::string::String::from({vname:?}), ::serde::Value::Object(inner))]) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{\n {body_code}\n }}\n}}\n"
+    )
+}
+
+fn generate_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::Struct(fields) => {
+            let mut init = String::new();
+            for field in fields {
+                init.push_str(&format!(
+                    "{field}: ::serde::from_field(value, {field:?})?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{init}}})")
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|k| format!("::serde::from_index(inner, {k})?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}({items})),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut init = String::new();
+                        for field in fields {
+                            init.push_str(&format!(
+                                "{field}: ::serde::from_field(inner, {field:?})?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{\n{init}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other)),\n}},\n\
+                 ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other)),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(concat!(\"invalid value for enum \", stringify!({name})))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n {body_code}\n }}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, body)) => generate_serialize(&name, &body)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, body)) => generate_deserialize(&name, &body)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

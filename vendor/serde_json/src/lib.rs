@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` value
+//! tree. Supports the subset the workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`] and [`Value`].
+//!
+//! Mirrors serde_json behaviour where it matters:
+//! * non-finite floats serialize as `null`,
+//! * object key order is preserved,
+//! * parsing accepts arbitrary whitespace and the full JSON escape set.
+
+pub use serde::Value;
+
+/// JSON serialization/parsing error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a value of type `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses a JSON string into a value of type `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value).map_err(Error::from)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Keep the float-ness visible in the output, as serde_json does.
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        let abs = x.abs();
+        if abs >= 1e-5 && abs < 1e16 {
+            out.push_str(&format!("{x}"));
+        } else {
+            out.push_str(&format!("{x:e}"));
+        }
+    }
+}
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{literal}` at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected character {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self.pos < self.bytes.len()
+                && self.bytes[self.pos] != b'"'
+                && self.bytes[self.pos] != b'\\'
+            {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error(e.to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".to_string()))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                                out.push(
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| Error("invalid surrogate".to_string()))?,
+                                );
+                            } else {
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error("invalid codepoint".to_string()))?,
+                                );
+                            }
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error("unterminated string".to_string())),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".to_string()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|e| Error(e.to_string()))?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|e| Error(e.to_string()))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error("expected `,` or `]`".to_string())),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error("expected `,` or `}`".to_string())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let value = Value::Object(vec![
+            ("name".to_string(), Value::String("x\n\"y\"".to_string())),
+            ("count".to_string(), Value::UInt(42)),
+            ("neg".to_string(), Value::Int(-3)),
+            ("pi".to_string(), Value::Float(3.5)),
+            ("tiny".to_string(), Value::Float(2.9e-7)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            (
+                "list".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::Float(0.25)]),
+            ),
+        ]);
+        let compact = to_string(&value).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, value);
+        let pretty = to_string_pretty(&value).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn float_shortest_repr_round_trips() {
+        for x in [1.0e-300, 123456.789, 2.9e-7, 1e22, -0.1] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back, x, "round trip of {x} via {json}");
+        }
+    }
+}
