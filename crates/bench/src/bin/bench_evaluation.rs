@@ -1,0 +1,210 @@
+//! Evaluation-engine performance harness.
+//!
+//! Runs every estimator on the three canonical problem classes (linear limit
+//! state, quadratic limit state, transient SRAM read) twice — once strictly
+//! serial, once at the configured thread count — and records wall-time,
+//! evaluations/second, and the parallel speedup. The determinism contract of
+//! the batched evaluation engine is asserted on the way: both runs must
+//! produce bit-identical estimates and identical evaluation counts.
+//!
+//! The workload per method is pinned (no early stopping), so the two runs do
+//! exactly the same work and the speedup column is a clean wall-clock ratio.
+//!
+//! Output: `BENCH_evaluation.json` at the workspace root.
+//!
+//! Run with `cargo run --release -p gis-bench --bin bench_evaluation`
+//! (`-- --fast` for a CI smoke run with reduced budgets). The parallel thread
+//! count comes from `GIS_THREADS`, falling back to the machine's available
+//! parallelism (capped at 8).
+
+use gis_bench::{problem_with_relative_spec, transient_model, MASTER_SEED};
+use gis_core::{
+    standard_estimators, ConvergencePolicy, EstimatorOutcome, ExecutionConfig, FailureProblem,
+    LinearLimitState, QuadraticLimitState, SramMetric, YieldAnalysis,
+};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Serialize)]
+struct BenchEntry {
+    problem: String,
+    method: String,
+    /// Worker threads of the parallel run.
+    threads: usize,
+    /// Metric evaluations performed (identical in both runs).
+    evaluations: u64,
+    /// Failure-probability estimate (bit-identical in both runs).
+    failure_probability: f64,
+    wall_time_seconds_1thread: f64,
+    wall_time_seconds: f64,
+    evaluations_per_second_1thread: f64,
+    evaluations_per_second: f64,
+    /// Wall-clock ratio serial / parallel.
+    speedup_vs_1thread: f64,
+    /// Whether the serial and parallel runs agreed bit for bit (must be true;
+    /// recorded so a regression is visible in the artifact).
+    bit_identical_across_threads: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    master_seed: u64,
+    threads: usize,
+    /// Physical parallelism of the machine the bench ran on. Speedups are
+    /// bounded by this: on a single-core host `speedup_vs_1thread` hovers
+    /// around 1.0 regardless of the configured thread count.
+    available_parallelism: usize,
+    fast_mode: bool,
+    entries: Vec<BenchEntry>,
+}
+
+/// One benchmark problem plus the fixed evaluation budget its methods run to.
+struct BenchProblem {
+    name: &'static str,
+    problem: FailureProblem,
+    budget: u64,
+}
+
+fn bench_problems(fast: bool) -> Vec<BenchProblem> {
+    let transient = transient_model(SramMetric::ReadAccessTime);
+    let transient_nominal = transient.nominal_metric();
+    vec![
+        BenchProblem {
+            name: "linear-6d-4sigma",
+            problem: FailureProblem::from_model(
+                LinearLimitState::along_first_axis(6, 4.0),
+                LinearLimitState::spec(),
+            ),
+            budget: if fast { 5_000 } else { 50_000 },
+        },
+        BenchProblem {
+            name: "quadratic-6d",
+            problem: FailureProblem::from_model(
+                QuadraticLimitState::new(6, 4.0, 0.05),
+                QuadraticLimitState::spec(),
+            ),
+            budget: if fast { 5_000 } else { 50_000 },
+        },
+        BenchProblem {
+            name: "sram-transient-read",
+            // 1.3x the nominal access time: failures are reachable by every
+            // method within a small simulation budget.
+            problem: problem_with_relative_spec(transient, transient_nominal, 1.3),
+            budget: if fast { 160 } else { 2_000 },
+        },
+    ]
+}
+
+/// Runs all estimators on one problem at a fixed thread count. The policy
+/// disables early stopping (unreachable accuracy target) so both runs perform
+/// the identical, budget-pinned workload.
+fn run_all(bench: &BenchProblem, threads: usize) -> Vec<(String, EstimatorOutcome, f64)> {
+    let report = YieldAnalysis::new()
+        .master_seed(MASTER_SEED + 29)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(bench.budget)
+                .target_relative_error(1e-12)
+                .min_failures(u64::MAX),
+        )
+        .execution(ExecutionConfig::with_threads(threads))
+        .problem(bench.name, bench.problem.fork())
+        .estimators(standard_estimators())
+        .run();
+    report.problems[0]
+        .methods
+        .iter()
+        .map(|m| {
+            (
+                m.estimator.clone(),
+                m.outcome.clone(),
+                m.row.wall_time_seconds,
+            )
+        })
+        .collect()
+}
+
+/// Resolves the workspace root (the directory holding the top-level
+/// `Cargo.toml`), whether the binary is run from the root or from the crate.
+fn workspace_root() -> PathBuf {
+    let candidates = [
+        Path::new(".").to_path_buf(),
+        Path::new("../..").to_path_buf(),
+    ];
+    for dir in candidates {
+        if dir.join("Cargo.toml").exists() && dir.join("ROADMAP.md").exists() {
+            return dir;
+        }
+    }
+    Path::new(".").to_path_buf()
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // An explicit GIS_THREADS wins outright (even when lower than the core
+    // count); only an unset/invalid variable falls back to the machine's
+    // parallelism, capped at 8.
+    let threads = gis_core::exec::threads_from_env().unwrap_or_else(|| available.min(8));
+    println!(
+        "bench_evaluation: {threads} threads vs 1 thread \
+         ({available} cores available, fast = {fast})"
+    );
+
+    let mut entries = Vec::new();
+    for bench in bench_problems(fast) {
+        let serial = run_all(&bench, 1);
+        let parallel = run_all(&bench, threads);
+        for ((method, outcome_1, wall_1), (_, outcome_n, wall_n)) in
+            serial.into_iter().zip(parallel)
+        {
+            let identical = outcome_1.result.failure_probability.to_bits()
+                == outcome_n.result.failure_probability.to_bits()
+                && outcome_1.result.evaluations == outcome_n.result.evaluations
+                && outcome_1.result.failures_observed == outcome_n.result.failures_observed;
+            assert!(
+                identical,
+                "{}/{method}: parallel run diverged from the serial run",
+                bench.name
+            );
+            let evaluations = outcome_1.result.evaluations;
+            let entry = BenchEntry {
+                problem: bench.name.to_string(),
+                method,
+                threads,
+                evaluations,
+                failure_probability: outcome_1.result.failure_probability,
+                wall_time_seconds_1thread: wall_1,
+                wall_time_seconds: wall_n,
+                evaluations_per_second_1thread: evaluations as f64 / wall_1.max(1e-12),
+                evaluations_per_second: evaluations as f64 / wall_n.max(1e-12),
+                speedup_vs_1thread: wall_1 / wall_n.max(1e-12),
+                bit_identical_across_threads: identical,
+            };
+            println!(
+                "{:<22} {:<22} {:>8} evals | 1T {:>8.3}s | {}T {:>8.3}s | speedup {:>5.2}x",
+                entry.problem,
+                entry.method,
+                entry.evaluations,
+                entry.wall_time_seconds_1thread,
+                entry.threads,
+                entry.wall_time_seconds,
+                entry.speedup_vs_1thread
+            );
+            entries.push(entry);
+        }
+    }
+
+    let report = BenchReport {
+        master_seed: MASTER_SEED + 29,
+        threads,
+        available_parallelism: available,
+        fast_mode: fast,
+        entries,
+    };
+    let path = workspace_root().join("BENCH_evaluation.json");
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    std::fs::write(&path, json).expect("bench report is writable");
+    println!("[artifact] {}", path.display());
+}

@@ -14,7 +14,7 @@ use gis_bench::{
     print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    run_importance_sampling, Estimator, GisConfig, GradientImportanceSampling,
+    run_importance_sampling, Estimator, Executor, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, MinimumNormIs, MnisConfig, MonteCarlo, MonteCarloConfig, Proposal,
     ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig, SssConfig, YieldAnalysis,
 };
@@ -132,6 +132,7 @@ fn main() {
                 min_failures: 500,
             },
             &mut master.split(100),
+            &Executor::from_env(),
             "reference-is",
             0,
         );

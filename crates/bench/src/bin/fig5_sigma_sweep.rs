@@ -15,8 +15,9 @@ use gis_bench::{
     print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    run_importance_sampling, ConvergencePolicy, Estimator, GisConfig, GradientImportanceSampling,
-    ImportanceSamplingConfig, MinimumNormIs, MnisConfig, Proposal, YieldAnalysis,
+    run_importance_sampling, ConvergencePolicy, Estimator, Executor, GisConfig,
+    GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs, MnisConfig, Proposal,
+    YieldAnalysis,
 };
 use gis_linalg::Vector;
 use gis_stats::RngStream;
@@ -85,6 +86,7 @@ fn main() {
                 min_failures: 1_000,
             },
             &mut master.split((index * 10 + 1) as u64),
+            &Executor::from_env(),
             "reference-is",
             0,
         );

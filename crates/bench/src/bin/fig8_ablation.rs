@@ -17,7 +17,7 @@ use gis_bench::{
     print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    run_importance_sampling, Estimator, GisConfig, GradientImportanceSampling,
+    run_importance_sampling, Estimator, Executor, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, MpfpConfig, Proposal,
 };
 use gis_linalg::Vector;
@@ -65,6 +65,7 @@ fn main() {
                 min_failures: 1_000,
             },
             &mut master.split(1000),
+            &Executor::from_env(),
             "reference-is",
             0,
         );

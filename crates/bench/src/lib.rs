@@ -67,19 +67,29 @@ where
 pub fn print_comparison_table(title: &str, rows: &[ComparisonRow]) {
     println!("\n=== {title} ===");
     println!(
-        "{:<24} {:>12} {:>8} {:>10} {:>12} {:>12} {:>10}",
-        "method", "P_fail", "sigma", "rel90[%]", "#sims", "speedup", "converged"
+        "{:<24} {:>12} {:>8} {:>10} {:>12} {:>12} {:>10} {:>8} {:>10}",
+        "method",
+        "P_fail",
+        "sigma",
+        "rel90[%]",
+        "#sims",
+        "speedup",
+        "converged",
+        "threads",
+        "wall[s]"
     );
     for row in rows {
         println!(
-            "{:<24} {:>12.4e} {:>8.3} {:>10.1} {:>12} {:>12.1} {:>10}",
+            "{:<24} {:>12.4e} {:>8.3} {:>10.1} {:>12} {:>12.1} {:>10} {:>8} {:>10.3}",
             row.method,
             row.failure_probability,
             row.sigma_level,
             row.relative_confidence_90 * 100.0,
             row.evaluations,
             row.speedup_vs_monte_carlo,
-            row.converged
+            row.converged,
+            row.threads,
+            row.wall_time_seconds
         );
     }
 }

@@ -44,16 +44,35 @@ use crate::baselines::{
     SssConfig,
 };
 use crate::estimator::{ConvergencePolicy, Estimator, EstimatorOutcome};
+use crate::exec::ExecutionConfig;
 use crate::gis::{GisConfig, GradientImportanceSampling};
 use crate::model::FailureProblem;
 use crate::montecarlo::{required_samples, MonteCarlo, MonteCarloConfig};
 use crate::result::ExtractionResult;
 use gis_stats::RngStream;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// One row of a method-comparison table, in the format of the paper's
-/// evaluation tables.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// evaluation tables, extended with execution metadata (worker threads,
+/// wall-clock time).
+///
+/// Equality deliberately ignores `threads` and `wall_time_seconds`: the
+/// determinism contract of [`crate::exec`] guarantees that the *statistical*
+/// content is identical at every thread count, and `PartialEq` compares
+/// exactly that content — so reports produced at different parallelism levels
+/// (or on machines of different speeds) compare equal.
+///
+/// `wall_time_seconds` is excluded from the serialized form (it is restored
+/// as `NaN`, "not measured"): the JSON artifacts the table binaries write
+/// must stay byte-reproducible run over run for a fixed configuration, and a
+/// wall-clock can't be. `threads` *is* serialized — it is deterministic for a
+/// fixed configuration, so artifacts remain reproducible; runs at different
+/// thread counts produce artifacts differing in this one metadata field while
+/// every statistical field stays byte-identical. Timing artifacts belong to
+/// the perf harness (`bench_evaluation`), which records wall-clock through
+/// its own schema.
+#[derive(Debug, Clone)]
 pub struct ComparisonRow {
     /// Method name.
     pub method: String,
@@ -71,11 +90,72 @@ pub struct ComparisonRow {
     pub speedup_vs_monte_carlo: f64,
     /// Whether the method converged to its accuracy target.
     pub converged: bool,
+    /// Worker threads the run was configured with (0 when unknown, e.g. a row
+    /// built directly from an [`ExtractionResult`]).
+    pub threads: usize,
+    /// Wall-clock seconds the extraction took (`NaN` when not measured).
+    pub wall_time_seconds: f64,
+}
+
+impl Serialize for ComparisonRow {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("method".to_string(), self.method.to_value()),
+            (
+                "failure_probability".to_string(),
+                self.failure_probability.to_value(),
+            ),
+            ("sigma_level".to_string(), self.sigma_level.to_value()),
+            (
+                "relative_confidence_90".to_string(),
+                self.relative_confidence_90.to_value(),
+            ),
+            ("evaluations".to_string(), self.evaluations.to_value()),
+            (
+                "speedup_vs_monte_carlo".to_string(),
+                self.speedup_vs_monte_carlo.to_value(),
+            ),
+            ("converged".to_string(), self.converged.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ComparisonRow {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ComparisonRow {
+            method: serde::from_field(value, "method")?,
+            failure_probability: serde::from_field(value, "failure_probability")?,
+            sigma_level: serde::from_field(value, "sigma_level")?,
+            relative_confidence_90: serde::from_field(value, "relative_confidence_90")?,
+            evaluations: serde::from_field(value, "evaluations")?,
+            speedup_vs_monte_carlo: serde::from_field(value, "speedup_vs_monte_carlo")?,
+            converged: serde::from_field(value, "converged")?,
+            // Rows serialized before the execution metadata existed load as
+            // "unknown threads".
+            threads: serde::from_field(value, "threads").unwrap_or(0),
+            wall_time_seconds: f64::NAN,
+        })
+    }
+}
+
+impl PartialEq for ComparisonRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.method == other.method
+            && self.failure_probability.to_bits() == other.failure_probability.to_bits()
+            && self.sigma_level.to_bits() == other.sigma_level.to_bits()
+            && self.relative_confidence_90.to_bits() == other.relative_confidence_90.to_bits()
+            && self.evaluations == other.evaluations
+            && self.speedup_vs_monte_carlo.to_bits() == other.speedup_vs_monte_carlo.to_bits()
+            && self.converged == other.converged
+        // threads / wall_time_seconds are execution metadata, not results.
+    }
 }
 
 impl ComparisonRow {
     /// Builds a row from an extraction result, measuring speed-up against the
     /// analytical brute-force cost for the same probability and 10% accuracy.
+    /// Execution metadata is unset (use [`ComparisonRow::with_timing`]).
     pub fn from_result(result: &ExtractionResult) -> ComparisonRow {
         let mc_cost = if result.failure_probability > 0.0 && result.failure_probability < 1.0 {
             required_samples(result.failure_probability, 0.1)
@@ -95,6 +175,24 @@ impl ComparisonRow {
             evaluations: result.evaluations,
             speedup_vs_monte_carlo: speedup,
             converged: result.converged,
+            threads: 0,
+            wall_time_seconds: f64::NAN,
+        }
+    }
+
+    /// Attaches execution metadata (worker threads and measured wall-clock).
+    pub fn with_timing(mut self, threads: usize, wall_time_seconds: f64) -> ComparisonRow {
+        self.threads = threads;
+        self.wall_time_seconds = wall_time_seconds;
+        self
+    }
+
+    /// Metric evaluations per wall-clock second (`NaN` when not measured).
+    pub fn evaluations_per_second(&self) -> f64 {
+        if self.wall_time_seconds > 0.0 {
+            self.evaluations as f64 / self.wall_time_seconds
+        } else {
+            f64::NAN
         }
     }
 }
@@ -180,10 +278,12 @@ pub struct YieldAnalysis {
     estimators: Vec<Box<dyn Estimator>>,
     master_seed: u64,
     policy: Option<ConvergencePolicy>,
+    execution: Option<ExecutionConfig>,
 }
 
 impl YieldAnalysis {
-    /// Creates an empty analysis (master seed 0, no uniform policy).
+    /// Creates an empty analysis (master seed 0, no uniform policy, execution
+    /// resolved from `GIS_THREADS` by each estimator).
     pub fn new() -> Self {
         YieldAnalysis::default()
     }
@@ -198,6 +298,15 @@ impl YieldAnalysis {
     /// registered estimator (applied when [`run`](Self::run) is called).
     pub fn convergence_policy(mut self, policy: ConvergencePolicy) -> Self {
         self.policy = Some(policy);
+        self
+    }
+
+    /// Imposes one parallel-execution configuration on every registered
+    /// estimator (applied when [`run`](Self::run) is called). Callers pick
+    /// parallelism once here; per the [`crate::exec`] determinism contract the
+    /// choice changes wall-clock only, never the report's estimates.
+    pub fn execution(mut self, execution: ExecutionConfig) -> Self {
+        self.execution = Some(execution);
         self
     }
 
@@ -259,6 +368,11 @@ impl YieldAnalysis {
                 estimator.configure(&policy);
             }
         }
+        if let Some(execution) = self.execution {
+            for estimator in &mut self.estimators {
+                estimator.set_execution(execution);
+            }
+        }
 
         let mut problems_out = Vec::with_capacity(self.problems.len());
         for (problem_name, problem) in &self.problems {
@@ -267,11 +381,18 @@ impl YieldAnalysis {
                 let seed = self.derived_seed(problem_name, estimator.name());
                 let fork = problem.fork();
                 let mut rng = RngStream::from_seed(seed);
+                // Recorded per method: each estimator's own effective config
+                // (driver-wide `execution` has been applied above, but an
+                // estimator configured individually keeps its setting).
+                let threads = estimator.effective_execution().resolved_threads();
+                let started = Instant::now();
                 let outcome = estimator.estimate(&fork, &mut rng);
+                let wall_time_seconds = started.elapsed().as_secs_f64();
                 methods.push(MethodReport {
                     estimator: estimator.name().to_string(),
                     seed,
-                    row: ComparisonRow::from_result(&outcome.result),
+                    row: ComparisonRow::from_result(&outcome.result)
+                        .with_timing(threads, wall_time_seconds),
                     outcome,
                 });
             }
@@ -300,6 +421,7 @@ impl std::fmt::Debug for YieldAnalysis {
                 &self.estimators.iter().map(|e| e.name()).collect::<Vec<_>>(),
             )
             .field("policy", &self.policy)
+            .field("execution", &self.execution)
             .finish()
     }
 }
@@ -369,6 +491,35 @@ mod tests {
         // Distinct pairs get distinct seeds.
         assert_ne!(seed_direct, analysis.derived_seed("p", "monte-carlo"));
         assert_ne!(seed_direct, analysis.derived_seed("q", "gradient-is"));
+    }
+
+    #[test]
+    fn execution_config_changes_wall_clock_only() {
+        let run = |execution: ExecutionConfig| {
+            YieldAnalysis::new()
+                .master_seed(23)
+                .convergence_policy(ConvergencePolicy::with_budget(6_000))
+                .execution(execution)
+                .problem("p", linear_problem(3.0))
+                .estimators(standard_estimators())
+                .run()
+        };
+        let serial = run(ExecutionConfig::serial());
+        let parallel = run(ExecutionConfig::with_threads(4));
+        // Rows compare equal across thread counts by design: equality covers
+        // the statistical content, not the execution metadata.
+        assert_eq!(serial, parallel);
+        for (a, b) in serial.problems[0]
+            .methods
+            .iter()
+            .zip(&parallel.problems[0].methods)
+        {
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.row.threads, 1);
+            assert_eq!(b.row.threads, 4);
+            assert!(a.row.wall_time_seconds >= 0.0);
+            assert!(b.row.evaluations_per_second() > 0.0);
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! comparison isolates the value of gradient information.
 
 use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::exec::{ExecutionConfig, Executor};
 use crate::importance::{
     run_importance_sampling, ImportanceSamplingConfig, IsDiagnostics, Proposal,
 };
@@ -83,17 +84,29 @@ pub struct MnisSearchOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct MinimumNormIs {
     config: MnisConfig,
+    exec: ExecutionConfig,
 }
 
 impl MinimumNormIs {
-    /// Creates the estimator.
+    /// Creates the estimator (execution defaults to
+    /// [`ExecutionConfig::from_env`]).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: MnisConfig) -> Self {
         config.validate().expect("invalid MNIS configuration");
-        MinimumNormIs { config }
+        MinimumNormIs {
+            config,
+            exec: ExecutionConfig::default(),
+        }
+    }
+
+    /// Sets the parallel-execution configuration (thread count changes
+    /// wall-clock only, never the estimate).
+    pub fn with_execution(mut self, exec: ExecutionConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The configuration in use.
@@ -101,8 +114,25 @@ impl MinimumNormIs {
         &self.config
     }
 
+    /// The parallel-execution configuration in use.
+    pub fn execution(&self) -> ExecutionConfig {
+        self.exec
+    }
+
     /// Derivative-free search for a minimum-norm failing point.
     pub fn search(&self, problem: &FailureProblem, rng: &mut RngStream) -> MnisSearchOutcome {
+        self.search_on(problem, rng, &self.exec.executor())
+    }
+
+    /// Derivative-free search with each presampling cloud evaluated as one
+    /// batch on `exec`. The minimum-norm selection and the radial bisection
+    /// reduce sequentially, so the outcome is identical at any thread count.
+    fn search_on(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        exec: &Executor,
+    ) -> MnisSearchOutcome {
         let dim = problem.dim();
         let start_evals = problem.evaluations();
         let mut best: Option<Vector> = None;
@@ -115,8 +145,9 @@ impl MinimumNormIs {
                     .into_iter()
                     .map(|z| z.scaled(scale))
                     .collect();
-            for z in cloud {
-                if problem.is_failure(&z) {
+            let outcomes = problem.is_failure_batch_on(exec, &cloud);
+            for (z, failed) in cloud.into_iter().zip(outcomes) {
+                if failed {
                     let better = match &best {
                         Some(current) => z.norm() < current.norm(),
                         None => true,
@@ -161,25 +192,6 @@ impl MinimumNormIs {
             found_failure,
         }
     }
-
-    /// Runs the full MNIS flow: presampling search, then mean-shift importance
-    /// sampling. When the search finds no failing sample the sampling phase is
-    /// skipped and a zero estimate with `converged = false` is returned.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
-    )]
-    pub fn run(
-        &self,
-        problem: &FailureProblem,
-        rng: &mut RngStream,
-    ) -> (ExtractionResult, IsDiagnostics, MnisSearchOutcome) {
-        let outcome = Estimator::estimate(self, problem, rng);
-        match outcome.diagnostics {
-            Diagnostics::MinimumNormIs { is, search } => (outcome.result, is, search),
-            _ => unreachable!("MNIS produces MNIS diagnostics"),
-        }
-    }
 }
 
 impl Estimator for MinimumNormIs {
@@ -188,7 +200,8 @@ impl Estimator for MinimumNormIs {
     }
 
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
-        let search = self.search(problem, rng);
+        let executor = self.exec.executor();
+        let search = self.search_on(problem, rng, &executor);
         if !search.found_failure {
             let result = ExtractionResult {
                 method: "minimum-norm-is".to_string(),
@@ -226,6 +239,7 @@ impl Estimator for MinimumNormIs {
             &proposal,
             &self.config.sampling,
             rng,
+            &executor,
             "minimum-norm-is",
             search.evaluations,
         );
@@ -242,6 +256,14 @@ impl Estimator for MinimumNormIs {
         self.config.sampling.max_samples = policy.max_evaluations.max(1);
         self.config.sampling.target_relative_error = policy.target_relative_error;
         self.config.sampling.min_failures = policy.min_failures;
+    }
+
+    fn set_execution(&mut self, exec: ExecutionConfig) {
+        self.exec = exec;
+    }
+
+    fn effective_execution(&self) -> ExecutionConfig {
+        self.exec
     }
 }
 
@@ -300,6 +322,22 @@ mod tests {
         // The presampling phase makes MNIS markedly more expensive than the
         // equivalent gradient search would be.
         assert!(result.evaluations > result.sampling_evaluations);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let ls = LinearLimitState::along_first_axis(6, 4.0);
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let reference = MinimumNormIs::new(quick_config())
+            .with_execution(ExecutionConfig::serial())
+            .estimate(&problem.fork(), &mut RngStream::from_seed(42));
+        for threads in [2, 8] {
+            let parallel = MinimumNormIs::new(quick_config())
+                .with_execution(ExecutionConfig::with_threads(threads))
+                .estimate(&problem.fork(), &mut RngStream::from_seed(42));
+            assert_eq!(parallel.result, reference.result);
+            assert_eq!(parallel.diagnostics, reference.diagnostics);
+        }
     }
 
     #[test]

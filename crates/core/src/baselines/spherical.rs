@@ -17,12 +17,18 @@
 //! the failure cone entirely.
 
 use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::exec::{ExecutionConfig, Executor};
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
 use crate::special::chi_survival;
 use gis_linalg::Vector;
 use gis_stats::{uniform_on_sphere, OnlineStats, RngStream};
 use serde::{Deserialize, Serialize};
+
+/// Directions per processing block. This is also the convergence-checkpoint
+/// interval, preserved from the historical serial loop so traces and stopping
+/// decisions are unchanged.
+const DIRECTION_BLOCK: usize = 20;
 
 /// Configuration of the spherical-sampling baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,10 +76,12 @@ impl SphericalSamplingConfig {
 #[derive(Debug, Clone, Default)]
 pub struct SphericalSampling {
     config: SphericalSamplingConfig,
+    exec: ExecutionConfig,
 }
 
 impl SphericalSampling {
-    /// Creates the estimator.
+    /// Creates the estimator (execution defaults to
+    /// [`ExecutionConfig::from_env`]).
     ///
     /// # Panics
     ///
@@ -82,7 +90,17 @@ impl SphericalSampling {
         config
             .validate()
             .expect("invalid spherical sampling configuration");
-        SphericalSampling { config }
+        SphericalSampling {
+            config,
+            exec: ExecutionConfig::default(),
+        }
+    }
+
+    /// Sets the parallel-execution configuration (thread count changes
+    /// wall-clock only, never the estimate).
+    pub fn with_execution(mut self, exec: ExecutionConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The configuration in use.
@@ -90,33 +108,59 @@ impl SphericalSampling {
         &self.config
     }
 
-    /// Finds the failure-boundary radius along `direction` by bisection.
-    /// Returns `None` if the direction does not fail even at the maximum radius.
-    fn boundary_radius(&self, problem: &FailureProblem, direction: &Vector) -> Option<f64> {
-        let max_point = direction.scaled(self.config.max_radius);
-        if !problem.is_failure(&max_point) {
-            return None;
-        }
-        let mut lo = 0.0;
-        let mut hi = self.config.max_radius;
-        for _ in 0..self.config.bisection_steps {
-            let mid = 0.5 * (lo + hi);
-            if problem.is_failure(&direction.scaled(mid)) {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        Some(hi)
+    /// The parallel-execution configuration in use.
+    pub fn execution(&self) -> ExecutionConfig {
+        self.exec
     }
 
-    /// Runs the estimation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
-    )]
-    pub fn run(&self, problem: &FailureProblem, rng: &mut RngStream) -> ExtractionResult {
-        Estimator::estimate(self, problem, rng).result
+    /// Failure-boundary radii for a block of directions, found by *lockstep*
+    /// bisection: first every direction's maximum-radius point is evaluated as
+    /// one batch, then each bisection step evaluates the midpoints of all
+    /// still-active (failing) directions as one batch. Per direction this
+    /// performs exactly the decisions and evaluation count of the classic
+    /// one-direction-at-a-time bisection, so results are independent of both
+    /// the batching and the thread count. Returns `None` for directions that do
+    /// not fail at the maximum radius.
+    fn boundary_radii(
+        &self,
+        problem: &FailureProblem,
+        directions: &[Vector],
+        exec: &Executor,
+    ) -> Vec<Option<f64>> {
+        let max_points: Vec<Vector> = directions
+            .iter()
+            .map(|d| d.scaled(self.config.max_radius))
+            .collect();
+        let reaches_failure = problem.is_failure_batch_on(exec, &max_points);
+
+        // (direction index, lo, hi) for the directions still being bisected.
+        let mut active: Vec<(usize, f64, f64)> = reaches_failure
+            .iter()
+            .enumerate()
+            .filter(|&(_, &fails)| fails)
+            .map(|(i, _)| (i, 0.0, self.config.max_radius))
+            .collect();
+        for _ in 0..self.config.bisection_steps {
+            let midpoints: Vec<Vector> = active
+                .iter()
+                .map(|&(i, lo, hi)| directions[i].scaled(0.5 * (lo + hi)))
+                .collect();
+            let fails = problem.is_failure_batch_on(exec, &midpoints);
+            for ((_, lo, hi), failed) in active.iter_mut().zip(fails) {
+                let mid = 0.5 * (*lo + *hi);
+                if failed {
+                    *hi = mid;
+                } else {
+                    *lo = mid;
+                }
+            }
+        }
+
+        let mut radii = vec![None; directions.len()];
+        for (i, _, hi) in active {
+            radii[i] = Some(hi);
+        }
+        radii
     }
 }
 
@@ -127,6 +171,7 @@ impl Estimator for SphericalSampling {
 
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
+        let executor = self.exec.executor();
         let start_evals = problem.evaluations();
         let mut tail_stats = OnlineStats::new();
         let mut failing_directions = 0usize;
@@ -134,36 +179,40 @@ impl Estimator for SphericalSampling {
         let mut trace = Vec::new();
         let mut converged = false;
 
-        for probed in 1..=self.config.directions {
-            let direction = uniform_on_sphere(rng, dim);
-            let contribution = match self.boundary_radius(problem, &direction) {
-                Some(radius) => {
-                    failing_directions += 1;
-                    min_beta = min_beta.min(radius);
-                    chi_survival(dim, radius)
-                }
-                None => 0.0,
-            };
-            tail_stats.push(contribution);
-
-            if probed % 20 == 0 || probed == self.config.directions {
-                let estimate = tail_stats.mean();
-                let rel_err = if estimate > 0.0 {
-                    tail_stats.standard_error() / estimate
-                } else {
-                    f64::INFINITY
+        let mut probed = 0usize;
+        'blocks: while probed < self.config.directions {
+            let block = DIRECTION_BLOCK.min(self.config.directions - probed);
+            let directions: Vec<Vector> = (0..block).map(|_| uniform_on_sphere(rng, dim)).collect();
+            let radii = self.boundary_radii(problem, &directions, &executor);
+            for radius in radii {
+                probed += 1;
+                let contribution = match radius {
+                    Some(radius) => {
+                        failing_directions += 1;
+                        min_beta = min_beta.min(radius);
+                        chi_survival(dim, radius)
+                    }
+                    None => 0.0,
                 };
-                trace.push(ConvergencePoint {
-                    evaluations: problem.evaluations() - start_evals,
-                    estimate,
-                    relative_error: rel_err,
-                });
-                if failing_directions >= self.config.min_failing_directions
-                    && rel_err <= self.config.target_relative_error
-                {
-                    converged = true;
-                    break;
-                }
+                tail_stats.push(contribution);
+            }
+
+            let estimate = tail_stats.mean();
+            let rel_err = if estimate > 0.0 {
+                tail_stats.standard_error() / estimate
+            } else {
+                f64::INFINITY
+            };
+            trace.push(ConvergencePoint {
+                evaluations: problem.evaluations() - start_evals,
+                estimate,
+                relative_error: rel_err,
+            });
+            if failing_directions >= self.config.min_failing_directions
+                && rel_err <= self.config.target_relative_error
+            {
+                converged = true;
+                break 'blocks;
             }
         }
 
@@ -191,6 +240,14 @@ impl Estimator for SphericalSampling {
         self.config.directions = (policy.max_evaluations / per_direction).max(1) as usize;
         self.config.target_relative_error = policy.target_relative_error;
         self.config.min_failing_directions = policy.min_failures.max(1) as usize;
+    }
+
+    fn set_execution(&mut self, exec: ExecutionConfig) {
+        self.exec = exec;
+    }
+
+    fn effective_execution(&self) -> ExecutionConfig {
+        self.exec
     }
 }
 
@@ -242,6 +299,27 @@ mod tests {
         let result = spherical.estimate(&problem, &mut rng).result;
         let rel = (result.failure_probability - exact).abs() / exact;
         assert!(rel < 0.02, "symmetric-region estimate off by {rel}");
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let ls = LinearLimitState::along_first_axis(3, 3.0);
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let config = SphericalSamplingConfig {
+            directions: 250,
+            ..SphericalSamplingConfig::default()
+        };
+        let reference = SphericalSampling::new(config.clone())
+            .with_execution(ExecutionConfig::serial())
+            .estimate(&problem.fork(), &mut RngStream::from_seed(9))
+            .result;
+        for threads in [2, 8] {
+            let parallel = SphericalSampling::new(config.clone())
+                .with_execution(ExecutionConfig::with_threads(threads))
+                .estimate(&problem.fork(), &mut RngStream::from_seed(9))
+                .result;
+            assert_eq!(parallel, reference, "diverged at {threads} threads");
+        }
     }
 
     #[test]

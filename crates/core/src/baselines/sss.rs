@@ -18,6 +18,7 @@
 //! comparison tables as a wider confidence band at equal cost.
 
 use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::exec::ExecutionConfig;
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
 use gis_linalg::{least_squares, Matrix, Vector};
@@ -77,17 +78,29 @@ pub struct ScalePoint {
 #[derive(Debug, Clone, Default)]
 pub struct ScaledSigmaSampling {
     config: SssConfig,
+    exec: ExecutionConfig,
 }
 
 impl ScaledSigmaSampling {
-    /// Creates the estimator.
+    /// Creates the estimator (execution defaults to
+    /// [`ExecutionConfig::from_env`]).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: SssConfig) -> Self {
         config.validate().expect("invalid SSS configuration");
-        ScaledSigmaSampling { config }
+        ScaledSigmaSampling {
+            config,
+            exec: ExecutionConfig::default(),
+        }
+    }
+
+    /// Sets the parallel-execution configuration (thread count changes
+    /// wall-clock only, never the estimate).
+    pub fn with_execution(mut self, exec: ExecutionConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The configuration in use.
@@ -95,21 +108,9 @@ impl ScaledSigmaSampling {
         &self.config
     }
 
-    /// Runs the estimation, returning the result and the per-scale measurements.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
-    )]
-    pub fn run(
-        &self,
-        problem: &FailureProblem,
-        rng: &mut RngStream,
-    ) -> (ExtractionResult, Vec<ScalePoint>) {
-        let outcome = Estimator::estimate(self, problem, rng);
-        match outcome.diagnostics {
-            Diagnostics::ScaledSigmaSampling { scale_points } => (outcome.result, scale_points),
-            _ => unreachable!("SSS produces SSS diagnostics"),
-        }
+    /// The parallel-execution configuration in use.
+    pub fn execution(&self) -> ExecutionConfig {
+        self.exec
     }
 }
 
@@ -120,18 +121,22 @@ impl Estimator for ScaledSigmaSampling {
 
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
+        let executor = self.exec.executor();
         let start_evals = problem.evaluations();
         let mut points = Vec::with_capacity(self.config.scales.len());
         let mut trace = Vec::new();
 
         for &scale in &self.config.scales {
-            let mut failures = 0u64;
-            for _ in 0..self.config.samples_per_scale {
-                let z = rng.standard_normal_vector(dim).scaled(scale);
-                if problem.is_failure(&z) {
-                    failures += 1;
-                }
-            }
+            // Generate the whole inflated-sigma cloud sequentially, evaluate
+            // it on the executor, count failures in sample order.
+            let cloud: Vec<Vector> = (0..self.config.samples_per_scale)
+                .map(|_| rng.standard_normal_vector(dim).scaled(scale))
+                .collect();
+            let failures = problem
+                .is_failure_batch_on(&executor, &cloud)
+                .into_iter()
+                .filter(|&failed| failed)
+                .count() as u64;
             let probability = failures as f64 / self.config.samples_per_scale as f64;
             points.push(ScalePoint {
                 scale,
@@ -228,6 +233,14 @@ impl Estimator for ScaledSigmaSampling {
         let scales = (self.config.scales.len() as u64).max(1);
         self.config.samples_per_scale = (policy.max_evaluations / scales).max(1);
     }
+
+    fn set_execution(&mut self, exec: ExecutionConfig) {
+        self.exec = exec;
+    }
+
+    fn effective_execution(&self) -> ExecutionConfig {
+        self.exec
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +309,22 @@ mod tests {
             .estimate(&problem.fork(), &mut RngStream::from_seed(4))
             .result;
         assert_eq!(a.failure_probability, b.failure_probability);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let ls = LinearLimitState::along_first_axis(3, 3.5);
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let reference = ScaledSigmaSampling::new(SssConfig::default())
+            .with_execution(ExecutionConfig::serial())
+            .estimate(&problem.fork(), &mut RngStream::from_seed(4));
+        for threads in [2, 8] {
+            let parallel = ScaledSigmaSampling::new(SssConfig::default())
+                .with_execution(ExecutionConfig::with_threads(threads))
+                .estimate(&problem.fork(), &mut RngStream::from_seed(4));
+            assert_eq!(parallel.result, reference.result);
+            assert_eq!(parallel.diagnostics, reference.diagnostics);
+        }
     }
 
     #[test]

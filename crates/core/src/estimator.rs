@@ -36,6 +36,7 @@
 
 use crate::baselines::mnis::MnisSearchOutcome;
 use crate::baselines::sss::ScalePoint;
+use crate::exec::ExecutionConfig;
 use crate::importance::IsDiagnostics;
 use crate::model::FailureProblem;
 use crate::mpfp::MpfpResult;
@@ -194,6 +195,9 @@ impl ConvergencePolicy {
 /// Implementations must be deterministic given the same problem and RNG
 /// stream, and must charge every metric evaluation (search and sampling
 /// phases alike) to the problem's counter so cost comparisons stay honest.
+/// Parallelism ([`ExecutionConfig`]) must never change what an implementation
+/// computes — estimates and evaluation counts are required to be bit-identical
+/// at every thread count (see [`crate::exec`]).
 pub trait Estimator: Send + Sync {
     /// Stable method name, identical to the `method` field of the produced
     /// [`ExtractionResult`] (e.g. `"gradient-is"`).
@@ -206,6 +210,23 @@ pub trait Estimator: Send + Sync {
     /// configuration. The default implementation ignores the policy.
     fn configure(&mut self, policy: &ConvergencePolicy) {
         let _ = policy;
+    }
+
+    /// Sets the parallel-execution configuration used by
+    /// [`estimate`](Estimator::estimate). The default implementation ignores
+    /// it (a serial estimator is always a valid implementation).
+    fn set_execution(&mut self, exec: ExecutionConfig) {
+        let _ = exec;
+    }
+
+    /// The parallel-execution configuration [`estimate`](Estimator::estimate)
+    /// will use — what drivers record as run metadata. Implementations that
+    /// parallelize must override this together with
+    /// [`set_execution`](Estimator::set_execution) and report the configured
+    /// value; the default declares "no managed parallelism" (serial), which is
+    /// accurate for an estimator that ignores `set_execution`.
+    fn effective_execution(&self) -> ExecutionConfig {
+        ExecutionConfig::serial()
     }
 }
 

@@ -21,9 +21,10 @@
 //! evaluation tables.
 
 use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::exec::ExecutionConfig;
 use crate::importance::{ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal};
 use crate::model::FailureProblem;
-use crate::mpfp::{GradientMpfpSearch, MpfpConfig, MpfpResult};
+use crate::mpfp::{GradientMpfpSearch, MpfpConfig};
 use crate::result::{ConvergencePoint, ExtractionResult};
 use gis_linalg::Vector;
 use gis_stats::RngStream;
@@ -101,40 +102,43 @@ impl GisConfig {
     }
 }
 
-/// Full outcome of a Gradient Importance Sampling run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct GisOutcome {
-    /// The failure-probability extraction result (estimate, errors, cost).
-    pub result: ExtractionResult,
-    /// Importance-sampling diagnostics (effective sample size, weights, shift).
-    pub diagnostics: IsDiagnostics,
-    /// The MPFP search result, including its convergence trace.
-    pub mpfp: MpfpResult,
-    /// History of the shift vector across adaptation steps (first entry is the
-    /// MPFP, later entries are the re-centred means).
-    pub shift_history: Vec<Vector>,
-}
-
 /// The Gradient Importance Sampling estimator.
 #[derive(Debug, Clone, Default)]
 pub struct GradientImportanceSampling {
     config: GisConfig,
+    exec: ExecutionConfig,
 }
 
 impl GradientImportanceSampling {
-    /// Creates the estimator with the given configuration.
+    /// Creates the estimator with the given configuration (execution defaults
+    /// to [`ExecutionConfig::from_env`]).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: GisConfig) -> Self {
         config.validate().expect("invalid GIS configuration");
-        GradientImportanceSampling { config }
+        GradientImportanceSampling {
+            config,
+            exec: ExecutionConfig::default(),
+        }
+    }
+
+    /// Sets the parallel-execution configuration (thread count changes
+    /// wall-clock only, never the estimate).
+    pub fn with_execution(mut self, exec: ExecutionConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &GisConfig {
         &self.config
+    }
+
+    /// The parallel-execution configuration in use.
+    pub fn execution(&self) -> ExecutionConfig {
+        self.exec
     }
 
     fn proposal_for_shift(&self, shift: Vector) -> Proposal {
@@ -153,29 +157,6 @@ impl GradientImportanceSampling {
             Proposal::shifted(shift)
         }
     }
-
-    /// Runs the full GIS flow (gradient MPFP search, then adaptive importance
-    /// sampling) on `problem`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
-    )]
-    pub fn run(&self, problem: &FailureProblem, rng: &mut RngStream) -> GisOutcome {
-        let outcome = Estimator::estimate(self, problem, rng);
-        match outcome.diagnostics {
-            Diagnostics::GradientImportanceSampling {
-                is,
-                mpfp,
-                shift_history,
-            } => GisOutcome {
-                result: outcome.result,
-                diagnostics: is,
-                mpfp,
-                shift_history,
-            },
-            _ => unreachable!("GIS produces GIS diagnostics"),
-        }
-    }
 }
 
 impl Estimator for GradientImportanceSampling {
@@ -185,11 +166,13 @@ impl Estimator for GradientImportanceSampling {
 
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
+        let executor = self.exec.executor();
         let start_evals = problem.evaluations();
 
-        // Phase 1: gradient search for the most-probable failure point.
+        // Phase 1: gradient search for the most-probable failure point (the
+        // finite-difference probes of each iteration run as one batch).
         let mpfp_search = GradientMpfpSearch::new(self.config.mpfp.clone());
-        let mpfp = mpfp_search.search(problem, rng);
+        let mpfp = mpfp_search.search_on(problem, rng, &executor);
         let search_evaluations = problem.evaluations() - start_evals;
 
         // Phase 2: adaptive defensive mean-shift importance sampling.
@@ -212,15 +195,22 @@ impl Estimator for GradientImportanceSampling {
             let batch = sampling
                 .batch_size
                 .min(sampling.max_samples - acc.samples());
+            // Generate-batch (sequential draws, fixed order) → evaluate-batch
+            // (executor worker threads) → reduce (sequential, sample order).
+            let mut points = Vec::with_capacity(batch as usize);
+            let mut weights = Vec::with_capacity(batch as usize);
             for _ in 0..batch {
                 let z = proposal.sample(rng);
-                let weight = proposal.importance_weight(&z);
-                let failed = problem.is_failure(&z);
+                weights.push(proposal.importance_weight(&z));
+                points.push(z);
+            }
+            let outcomes = problem.is_failure_batch_on(&executor, &points);
+            for ((z, weight), failed) in points.iter().zip(weights).zip(outcomes) {
                 acc.push(weight, failed);
                 if failed && weight.is_finite() && weight > 0.0 {
                     failing_weight_sum += weight;
                     failing_weighted_mean = failing_weighted_mean
-                        .axpy(weight, &z)
+                        .axpy(weight, z)
                         .expect("dimension fixed");
                     failures_since_recenter += 1;
                 }
@@ -290,6 +280,14 @@ impl Estimator for GradientImportanceSampling {
         self.config.sampling.max_samples = policy.max_evaluations.max(1);
         self.config.sampling.target_relative_error = policy.target_relative_error;
         self.config.sampling.min_failures = policy.min_failures;
+    }
+
+    fn set_execution(&mut self, exec: ExecutionConfig) {
+        self.exec = exec;
+    }
+
+    fn effective_execution(&self) -> ExecutionConfig {
+        self.exec
     }
 }
 
@@ -445,16 +443,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_shim_matches_estimate() {
+    fn estimate_is_bit_identical_across_thread_counts() {
         let ls = LinearLimitState::along_first_axis(3, 3.5);
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
-        let gis = GradientImportanceSampling::new(quick_config());
-        let legacy = gis.run(&problem.fork(), &mut RngStream::from_seed(33));
-        let unified = gis.estimate(&problem.fork(), &mut RngStream::from_seed(33));
-        assert_eq!(legacy.result, unified.result);
-        assert_eq!(&legacy.mpfp, unified.mpfp().unwrap());
-        assert_eq!(legacy.shift_history, unified.shift_history().unwrap());
+        let reference = GradientImportanceSampling::new(quick_config())
+            .with_execution(ExecutionConfig::serial())
+            .estimate(&problem.fork(), &mut RngStream::from_seed(33));
+        for threads in [2, 8] {
+            let parallel = GradientImportanceSampling::new(quick_config())
+                .with_execution(ExecutionConfig::with_threads(threads))
+                .estimate(&problem.fork(), &mut RngStream::from_seed(33));
+            assert_eq!(parallel.result, reference.result);
+            assert_eq!(parallel.diagnostics, reference.diagnostics);
+        }
     }
 
     #[test]

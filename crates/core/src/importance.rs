@@ -12,6 +12,7 @@
 //! IS, scaled-sigma sampling) reduce to choosing `q` — they share the machinery
 //! in this module.
 
+use crate::exec::Executor;
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
 use gis_linalg::Vector;
@@ -309,11 +310,16 @@ pub struct IsDiagnostics {
 /// Runs fixed-proposal importance sampling on `problem` and reports the result
 /// under `method` name, charging `search_evaluations` extra evaluations (spent
 /// earlier, e.g. on an MPFP search) to the total.
+///
+/// Each batch is generated sequentially from `rng` (fixed draw order),
+/// evaluated on the worker threads of `exec`, and reduced in sample order, so
+/// the result is bit-identical at every thread count.
 pub fn run_importance_sampling(
     problem: &FailureProblem,
     proposal: &Proposal,
     config: &ImportanceSamplingConfig,
     rng: &mut RngStream,
+    exec: &Executor,
     method: &str,
     search_evaluations: u64,
 ) -> (ExtractionResult, IsDiagnostics) {
@@ -332,10 +338,15 @@ pub fn run_importance_sampling(
 
     while acc.samples() < config.max_samples {
         let batch = config.batch_size.min(config.max_samples - acc.samples());
+        let mut points = Vec::with_capacity(batch as usize);
+        let mut weights = Vec::with_capacity(batch as usize);
         for _ in 0..batch {
             let z = proposal.sample(rng);
-            let weight = proposal.importance_weight(&z);
-            let failed = problem.is_failure(&z);
+            weights.push(proposal.importance_weight(&z));
+            points.push(z);
+        }
+        let failed = problem.is_failure_batch_on(exec, &points);
+        for (weight, failed) in weights.into_iter().zip(failed) {
             acc.push(weight, failed);
         }
         trace.push(ConvergencePoint {
@@ -462,8 +473,15 @@ mod tests {
             min_failures: 50,
         };
         let mut rng = RngStream::from_seed(5);
-        let (result, diag) =
-            run_importance_sampling(&problem, &proposal, &config, &mut rng, "mean-shift-is", 0);
+        let (result, diag) = run_importance_sampling(
+            &problem,
+            &proposal,
+            &config,
+            &mut rng,
+            &Executor::serial(),
+            "mean-shift-is",
+            0,
+        );
         assert!(result.converged);
         let rel = (result.failure_probability - exact).abs() / exact;
         assert!(rel < 0.1, "IS estimate off by {rel}: {result:?}");
@@ -487,8 +505,15 @@ mod tests {
             min_failures: 50,
         };
         let mut rng = RngStream::from_seed(19);
-        let (result, _) =
-            run_importance_sampling(&problem, &proposal, &config, &mut rng, "defensive-is", 100);
+        let (result, _) = run_importance_sampling(
+            &problem,
+            &proposal,
+            &config,
+            &mut rng,
+            &Executor::new(4),
+            "defensive-is",
+            100,
+        );
         let rel = (result.failure_probability - exact).abs() / exact;
         assert!(rel < 0.12, "defensive IS off by {rel}");
         // The search cost is charged on top of the sampling cost.
@@ -510,8 +535,45 @@ mod tests {
             min_failures: 10,
         };
         let mut rng = RngStream::from_seed(23);
-        let (result, _) =
-            run_importance_sampling(&problem, &proposal, &config, &mut rng, "bad-is", 0);
+        let (result, _) = run_importance_sampling(
+            &problem,
+            &proposal,
+            &config,
+            &mut rng,
+            &Executor::serial(),
+            "bad-is",
+            0,
+        );
         assert!(!result.converged);
+    }
+
+    #[test]
+    fn importance_sampling_is_bit_identical_across_thread_counts() {
+        let ls = LinearLimitState::along_first_axis(5, 4.0);
+        let problem = FailureProblem::from_model(ls.clone(), LinearLimitState::spec());
+        let proposal = Proposal::defensive_mixture(ls.exact_mpfp(), 0.1);
+        let config = ImportanceSamplingConfig {
+            max_samples: 10_000,
+            batch_size: 500,
+            target_relative_error: 0.05,
+            min_failures: 30,
+        };
+        let run = |threads: usize| {
+            run_importance_sampling(
+                &problem.fork(),
+                &proposal,
+                &config,
+                &mut RngStream::from_seed(11),
+                &Executor::new(threads).with_chunk_size(13),
+                "is",
+                7,
+            )
+        };
+        let (reference, reference_diag) = run(1);
+        for threads in [2, 8] {
+            let (result, diag) = run(threads);
+            assert_eq!(result, reference, "diverged at {threads} threads");
+            assert_eq!(diag, reference_diag);
+        }
     }
 }

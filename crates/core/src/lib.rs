@@ -23,6 +23,18 @@
 //! in [`sram_models`]; analytic limit states with exactly known probabilities
 //! (used for validation everywhere) are in [`model`].
 //!
+//! # Batched, multi-threaded evaluation
+//!
+//! Every estimator structures its hot loop as *generate-batch →
+//! evaluate-batch → reduce*: metric evaluations fan out over the worker
+//! threads of an [`exec::Executor`] while generation and reduction stay
+//! sequential, so estimates and evaluation counts are **bit-identical at any
+//! thread count** (see [`exec`] for the contract). Parallelism is configured
+//! once — via the `GIS_THREADS` environment variable, a method's
+//! `with_execution`, or [`YieldAnalysis::execution`] — and models with
+//! expensive per-point setup (the transient testbench) override
+//! [`PerformanceModel::evaluate_batch`] to hoist it out of the loop.
+//!
 //! # The unified `Estimator` API
 //!
 //! Every method implements the object-safe [`Estimator`] trait and returns an
@@ -91,6 +103,7 @@ pub mod analysis;
 pub mod array_yield;
 pub mod baselines;
 pub mod estimator;
+pub mod exec;
 pub mod gis;
 pub mod importance;
 pub mod model;
@@ -109,7 +122,8 @@ pub use baselines::{
     SphericalSampling, SphericalSamplingConfig, SssConfig,
 };
 pub use estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
-pub use gis::{GisConfig, GisOutcome, GradientImportanceSampling};
+pub use exec::{ExecutionConfig, Executor};
+pub use gis::{GisConfig, GradientImportanceSampling};
 pub use importance::{
     run_importance_sampling, ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal,
 };

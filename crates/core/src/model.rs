@@ -9,6 +9,7 @@
 //! every method reports exactly how many simulator calls it spent — the central
 //! cost metric of the evaluation tables.
 
+use crate::exec::Executor;
 use crate::special::ln_gamma;
 use gis_linalg::Vector;
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,21 @@ pub trait PerformanceModel: Send + Sync {
     ///
     /// Implementations may panic if `z.len() != self.dim()`.
     fn evaluate(&self, z: &Vector) -> f64;
+
+    /// Evaluates the metric at every point of a batch, returning one value per
+    /// point in input order.
+    ///
+    /// The default implementation is the scalar loop, so overriding is never
+    /// required for correctness. Models with expensive per-point setup (e.g.
+    /// the transient SRAM testbench, which otherwise rebuilds its netlist and
+    /// solver structure on every call) override this to hoist that setup out
+    /// of the loop. Implementations must return exactly `points.len()` values
+    /// and must be *batch-transparent*: `evaluate_batch(points)[i]` must be
+    /// bit-identical to `evaluate(&points[i])` — the determinism contract of
+    /// [`crate::exec`] depends on it.
+    fn evaluate_batch(&self, points: &[Vector]) -> Vec<f64> {
+        points.iter().map(|z| self.evaluate(z)).collect()
+    }
 
     /// Human-readable name used in reports.
     fn name(&self) -> &str {
@@ -190,6 +206,59 @@ impl FailureProblem {
     /// evaluation).
     pub fn is_failure(&self, z: &Vector) -> bool {
         self.spec.is_failure(self.metric(z))
+    }
+
+    /// Evaluates the raw metric at every point of a batch, charging the
+    /// evaluation counter once per point. Results are in input order and
+    /// bit-identical to calling [`FailureProblem::metric`] point by point.
+    pub fn metrics_batch(&self, points: &[Vector]) -> Vec<f64> {
+        self.evaluations
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        self.model.evaluate_batch(points)
+    }
+
+    /// Like [`FailureProblem::metrics_batch`], with the chunks of the batch
+    /// evaluated on the worker threads of `exec`. The thread count changes
+    /// wall-clock only: results (and the evaluation count) are identical to
+    /// the serial path.
+    pub fn metrics_batch_on(&self, exec: &Executor, points: &[Vector]) -> Vec<f64> {
+        self.evaluations
+            .fetch_add(points.len() as u64, Ordering::Relaxed);
+        exec.map_chunks(points, |chunk| self.model.evaluate_batch(chunk))
+    }
+
+    /// Signed failure margins for a batch of points (counts one evaluation per
+    /// point).
+    pub fn failure_margins_batch(&self, points: &[Vector]) -> Vec<f64> {
+        self.metrics_batch(points)
+            .into_iter()
+            .map(|m| self.spec.failure_margin(m))
+            .collect()
+    }
+
+    /// Signed failure margins for a batch, evaluated on `exec`.
+    pub fn failure_margins_batch_on(&self, exec: &Executor, points: &[Vector]) -> Vec<f64> {
+        self.metrics_batch_on(exec, points)
+            .into_iter()
+            .map(|m| self.spec.failure_margin(m))
+            .collect()
+    }
+
+    /// Pass/fail indicators for a batch of points (counts one evaluation per
+    /// point).
+    pub fn is_failure_batch(&self, points: &[Vector]) -> Vec<bool> {
+        self.metrics_batch(points)
+            .into_iter()
+            .map(|m| self.spec.is_failure(m))
+            .collect()
+    }
+
+    /// Pass/fail indicators for a batch, evaluated on `exec`.
+    pub fn is_failure_batch_on(&self, exec: &Executor, points: &[Vector]) -> Vec<bool> {
+        self.metrics_batch_on(exec, points)
+            .into_iter()
+            .map(|m| self.spec.is_failure(m))
+            .collect()
     }
 
     /// Number of metric evaluations performed so far through this problem
@@ -460,6 +529,73 @@ mod tests {
         assert_eq!(problem.dim(), 2);
         assert_eq!(problem.model_name(), "linear-limit-state");
         assert!(format!("{problem:?}").contains("linear-limit-state"));
+    }
+
+    #[test]
+    fn batch_paths_match_scalar_paths_and_charge_per_point() {
+        let problem = FailureProblem::from_model(
+            QuadraticLimitState::new(3, 2.0, 0.1),
+            QuadraticLimitState::spec(),
+        );
+        let points: Vec<Vector> = [
+            [0.0, 0.0, 0.0],
+            [2.5, 0.3, -0.4],
+            [1.0, -1.0, 2.0],
+            [3.0, 0.0, 0.0],
+        ]
+        .iter()
+        .map(|p| Vector::from_slice(p))
+        .collect();
+
+        let scalar_fork = problem.fork();
+        let scalar_metrics: Vec<f64> = points.iter().map(|z| scalar_fork.metric(z)).collect();
+        assert_eq!(scalar_fork.evaluations(), points.len() as u64);
+
+        let batch_fork = problem.fork();
+        let batch_metrics = batch_fork.metrics_batch(&points);
+        assert_eq!(batch_fork.evaluations(), points.len() as u64);
+        for (a, b) in scalar_metrics.iter().zip(&batch_metrics) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        for exec in [Executor::serial(), Executor::new(4).with_chunk_size(2)] {
+            let fork = problem.fork();
+            let margins = fork.failure_margins_batch_on(&exec, &points);
+            let fails = fork.is_failure_batch_on(&exec, &points);
+            assert_eq!(fork.evaluations(), 2 * points.len() as u64);
+            for (i, z) in points.iter().enumerate() {
+                assert_eq!(
+                    margins[i].to_bits(),
+                    problem.spec().failure_margin(scalar_metrics[i]).to_bits()
+                );
+                assert_eq!(fails[i], problem.fork().is_failure(z));
+            }
+        }
+        assert_eq!(
+            problem.fork().failure_margins_batch(&points),
+            problem
+                .fork()
+                .failure_margins_batch_on(&Executor::new(8), &points)
+        );
+        assert_eq!(
+            problem.fork().is_failure_batch(&points),
+            problem
+                .fork()
+                .is_failure_batch_on(&Executor::new(3), &points)
+        );
+    }
+
+    #[test]
+    fn default_evaluate_batch_is_the_scalar_loop() {
+        let model = FnModel::new("sum", 2, |z: &Vector| z.sum());
+        let points = vec![
+            Vector::from_slice(&[1.0, 2.0]),
+            Vector::from_slice(&[-3.0, 0.5]),
+        ];
+        assert_eq!(
+            model.evaluate_batch(&points),
+            points.iter().map(|z| model.evaluate(z)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

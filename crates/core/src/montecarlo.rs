@@ -4,10 +4,17 @@
 //! whose cost the evaluation tables compare against. Samples are drawn from the
 //! nominal standard normal density of the whitened variation space; the
 //! estimator is the failure fraction with its binomial standard error.
+//!
+//! The inner loop is batched: each batch of points is generated sequentially
+//! (preserving the draw order of the stream), evaluated on the configured
+//! [`crate::exec::Executor`] worker threads, and reduced in sample order — so
+//! the estimate is bit-identical at every thread count.
 
 use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::exec::ExecutionConfig;
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
+use gis_linalg::Vector;
 use gis_stats::RngStream;
 use serde::{Deserialize, Serialize};
 
@@ -61,10 +68,12 @@ impl MonteCarloConfig {
 #[derive(Debug, Clone, Default)]
 pub struct MonteCarlo {
     config: MonteCarloConfig,
+    exec: ExecutionConfig,
 }
 
 impl MonteCarlo {
-    /// Creates an estimator with the given configuration.
+    /// Creates an estimator with the given configuration (execution defaults
+    /// to [`ExecutionConfig::from_env`]).
     ///
     /// # Panics
     ///
@@ -74,7 +83,17 @@ impl MonteCarlo {
         config
             .validate()
             .expect("invalid Monte Carlo configuration");
-        MonteCarlo { config }
+        MonteCarlo {
+            config,
+            exec: ExecutionConfig::default(),
+        }
+    }
+
+    /// Sets the parallel-execution configuration (thread count changes
+    /// wall-clock only, never the estimate).
+    pub fn with_execution(mut self, exec: ExecutionConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The configuration in use.
@@ -82,13 +101,9 @@ impl MonteCarlo {
         &self.config
     }
 
-    /// Runs the estimation on `problem`, drawing randomness from `rng`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Estimator::estimate`, which returns the unified `EstimatorOutcome`"
-    )]
-    pub fn run(&self, problem: &FailureProblem, rng: &mut RngStream) -> ExtractionResult {
-        Estimator::estimate(self, problem, rng).result
+    /// The parallel-execution configuration in use.
+    pub fn execution(&self) -> ExecutionConfig {
+        self.exec
     }
 }
 
@@ -99,6 +114,7 @@ impl Estimator for MonteCarlo {
 
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
+        let executor = self.exec.executor();
         let start_evals = problem.evaluations();
         let mut samples = 0u64;
         let mut failures = 0u64;
@@ -110,12 +126,16 @@ impl Estimator for MonteCarlo {
                 .config
                 .batch_size
                 .min(self.config.max_samples - samples);
-            for _ in 0..batch {
-                let z = rng.standard_normal_vector(dim);
-                if problem.is_failure(&z) {
-                    failures += 1;
-                }
-            }
+            // Generate sequentially (fixed draw order), evaluate on the
+            // executor, reduce in sample order.
+            let points: Vec<Vector> = (0..batch)
+                .map(|_| rng.standard_normal_vector(dim))
+                .collect();
+            failures += problem
+                .is_failure_batch_on(&executor, &points)
+                .into_iter()
+                .filter(|&failed| failed)
+                .count() as u64;
             samples += batch;
 
             let estimate = failures as f64 / samples as f64;
@@ -154,6 +174,14 @@ impl Estimator for MonteCarlo {
         self.config.max_samples = policy.max_evaluations.max(1);
         self.config.target_relative_error = policy.target_relative_error;
         self.config.min_failures = policy.min_failures;
+    }
+
+    fn set_execution(&mut self, exec: ExecutionConfig) {
+        self.exec = exec;
+    }
+
+    fn effective_execution(&self) -> ExecutionConfig {
+        self.exec
     }
 }
 
@@ -269,10 +297,23 @@ mod tests {
             .result;
         assert_eq!(a.failure_probability, b.failure_probability);
         assert_eq!(a.failures_observed, b.failures_observed);
-        // The deprecated shim forwards to the same implementation.
-        #[allow(deprecated)]
-        let legacy = mc.run(&problem.fork(), &mut RngStream::from_seed(42));
-        assert_eq!(legacy, a);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let ls = LinearLimitState::along_first_axis(3, 2.5);
+        let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
+        let reference = MonteCarlo::new(MonteCarloConfig::with_budget(20_000))
+            .with_execution(ExecutionConfig::serial())
+            .estimate(&problem.fork(), &mut RngStream::from_seed(6))
+            .result;
+        for threads in [2, 8] {
+            let parallel = MonteCarlo::new(MonteCarloConfig::with_budget(20_000))
+                .with_execution(ExecutionConfig::with_threads(threads))
+                .estimate(&problem.fork(), &mut RngStream::from_seed(6))
+                .result;
+            assert_eq!(parallel, reference, "diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! derivative-free alternative used by the minimum-norm baseline lives in
 //! [`crate::baselines::mnis`].
 
+use crate::exec::Executor;
 use crate::model::FailureProblem;
 use gis_linalg::Vector;
 use gis_stats::RngStream;
@@ -121,20 +122,36 @@ impl GradientMpfpSearch {
 
     /// Estimates the gradient of the failure margin at `z` by forward finite
     /// differences (`dim + 1` evaluations; the margin at `z` is returned too).
-    fn margin_and_gradient(&self, problem: &FailureProblem, z: &Vector) -> (f64, Vector) {
+    ///
+    /// The `dim` forward probes are independent simulator calls and are
+    /// evaluated as one batch on `exec` — for a simulation-backed metric this
+    /// is where the search's wall-clock goes.
+    fn margin_and_gradient(
+        &self,
+        problem: &FailureProblem,
+        z: &Vector,
+        exec: &Executor,
+    ) -> (f64, Vector) {
         let h = self.config.finite_difference_step;
         let margin = problem.failure_margin(z);
         let mut gradient = Vector::zeros(z.len());
         // A censored metric (e.g. the simulation window) produces an infinite
         // or constant margin; finite differences against it are meaningless, so
-        // treat non-finite margins as "no gradient information here".
+        // treat non-finite margins as "no gradient information here". (The
+        // probes are skipped entirely, keeping the evaluation count identical
+        // to the historical scalar loop.)
         if !margin.is_finite() {
             return (margin, gradient);
         }
-        for i in 0..z.len() {
-            let mut z_step = z.clone();
-            z_step[i] += h;
-            let forward = problem.failure_margin(&z_step);
+        let probes: Vec<Vector> = (0..z.len())
+            .map(|i| {
+                let mut z_step = z.clone();
+                z_step[i] += h;
+                z_step
+            })
+            .collect();
+        let forwards = problem.failure_margins_batch_on(exec, &probes);
+        for (i, forward) in forwards.into_iter().enumerate() {
             gradient[i] = if forward.is_finite() {
                 (forward - margin) / h
             } else {
@@ -145,10 +162,24 @@ impl GradientMpfpSearch {
         (margin, gradient)
     }
 
-    /// Runs the search from the origin. The random stream is only used to break
-    /// out of zero-gradient plateaus (censored regions), so the search is
-    /// deterministic whenever the metric is smooth.
+    /// Runs the search from the origin with the environment-resolved executor
+    /// (`GIS_THREADS`, serial when unset). See
+    /// [`GradientMpfpSearch::search_on`].
     pub fn search(&self, problem: &FailureProblem, rng: &mut RngStream) -> MpfpResult {
+        self.search_on(problem, rng, &Executor::from_env())
+    }
+
+    /// Runs the search from the origin, batching the per-iteration gradient
+    /// probes on `exec`. The random stream is only used to break out of
+    /// zero-gradient plateaus (censored regions), so the search is
+    /// deterministic whenever the metric is smooth — and bit-identical at any
+    /// thread count either way.
+    pub fn search_on(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        exec: &Executor,
+    ) -> MpfpResult {
         let dim = problem.dim();
         let start_evals = problem.evaluations();
         let mut z = Vector::zeros(dim);
@@ -162,7 +193,7 @@ impl GradientMpfpSearch {
             if problem.evaluations() - start_evals >= self.config.max_evaluations {
                 break;
             }
-            let (margin, gradient) = self.margin_and_gradient(problem, &z);
+            let (margin, gradient) = self.margin_and_gradient(problem, &z, exec);
             last_margin = margin;
             let gradient_norm = gradient.norm();
             trace.push(MpfpIteration {
@@ -198,7 +229,7 @@ impl GradientMpfpSearch {
             if moved < self.config.tolerance {
                 converged = true;
                 // Record the final point.
-                let (final_margin, final_gradient) = self.margin_and_gradient(problem, &z);
+                let (final_margin, final_gradient) = self.margin_and_gradient(problem, &z, exec);
                 last_margin = final_margin;
                 trace.push(MpfpIteration {
                     iteration: iteration + 1,
@@ -321,6 +352,26 @@ mod tests {
         // 10-dimensional gradient costs 11 evaluations per iteration; the cap
         // allows only a few iterations (plus the final failure nudges).
         assert!(result.evaluations <= 60 + 11 + 10);
+    }
+
+    #[test]
+    fn search_is_bit_identical_across_thread_counts() {
+        let q = QuadraticLimitState::new(6, 4.0, 0.05);
+        let problem = FailureProblem::from_model(q, QuadraticLimitState::spec());
+        let search = GradientMpfpSearch::new(MpfpConfig::default());
+        let reference = search.search_on(
+            &problem.fork(),
+            &mut RngStream::from_seed(3),
+            &Executor::serial(),
+        );
+        for threads in [2, 8] {
+            let parallel = search.search_on(
+                &problem.fork(),
+                &mut RngStream::from_seed(3),
+                &Executor::new(threads).with_chunk_size(2),
+            );
+            assert_eq!(parallel, reference, "diverged at {threads} threads");
+        }
     }
 
     #[test]

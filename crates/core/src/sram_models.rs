@@ -220,6 +220,55 @@ impl PerformanceModel for SramTransientModel {
         self.evaluate_deltas(deltas.as_slice())
     }
 
+    /// Batched transient evaluation: one [`gis_sram::ReadSession`] /
+    /// [`gis_sram::WriteSession`] is built per batch, hoisting the netlist
+    /// construction and solver setup out of the per-point loop; each point then
+    /// only injects its six threshold shifts and solves the transient. The
+    /// executor calls this once per work chunk, so batches evaluate
+    /// concurrently on worker threads while each metric stays bit-identical to
+    /// the scalar path.
+    fn evaluate_batch(&self, points: &[Vector]) -> Vec<f64> {
+        let eval_with = |metric_of: &mut dyn FnMut(&[f64]) -> f64| -> Vec<f64> {
+            points
+                .iter()
+                .map(|z| {
+                    assert_eq!(z.len(), 6, "dimension mismatch");
+                    let deltas = self.space.to_physical(z);
+                    metric_of(deltas.as_slice())
+                })
+                .collect()
+        };
+        match self.metric {
+            SramMetric::ReadAccessTime => match self.testbench.read_session() {
+                Ok(mut session) => eval_with(&mut |deltas| {
+                    session
+                        .run(deltas)
+                        .map(|r| r.access_time)
+                        .unwrap_or(f64::INFINITY)
+                }),
+                Err(_) => vec![f64::INFINITY; points.len()],
+            },
+            SramMetric::ReadDisturb => match self.testbench.read_session() {
+                Ok(mut session) => eval_with(&mut |deltas| {
+                    session
+                        .run(deltas)
+                        .map(|r| r.disturb_peak)
+                        .unwrap_or(f64::INFINITY)
+                }),
+                Err(_) => vec![f64::INFINITY; points.len()],
+            },
+            SramMetric::WriteDelay => match self.testbench.write_session() {
+                Ok(mut session) => eval_with(&mut |deltas| {
+                    session
+                        .run(deltas)
+                        .map(|w| w.write_delay)
+                        .unwrap_or(f64::INFINITY)
+                }),
+                Err(_) => vec![f64::INFINITY; points.len()],
+            },
+        }
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -311,6 +360,30 @@ mod tests {
         assert!((nominal_direct - nominal_model).abs() / nominal_direct < 1e-12);
         assert!(model.name().contains("transient"));
         assert!((model.nominal_metric() - nominal_direct).abs() / nominal_direct < 1e-12);
+    }
+
+    #[test]
+    fn transient_batch_evaluation_matches_scalar_path() {
+        let tb = SramTestbench::typical_45nm();
+        for metric in [
+            SramMetric::ReadAccessTime,
+            SramMetric::WriteDelay,
+            SramMetric::ReadDisturb,
+        ] {
+            let model = SramTransientModel::new(tb.clone(), space(), metric);
+            let points = vec![
+                Vector::zeros(6),
+                Vector::from_slice(&[2.0, -1.0, 0.5, 0.0, 1.5, -0.5]),
+            ];
+            let batch = model.evaluate_batch(&points);
+            for (z, batched) in points.iter().zip(batch) {
+                assert_eq!(
+                    batched.to_bits(),
+                    model.evaluate(z).to_bits(),
+                    "{metric:?} batch diverged from scalar evaluation"
+                );
+            }
+        }
     }
 
     #[test]

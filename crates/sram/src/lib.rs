@@ -42,7 +42,9 @@ pub use cell::{build_6t_cell, CellNodes, CellTransistor, SramCellConfig};
 pub use error::SramError;
 pub use static_analysis::{StaticAnalysis, StaticCondition};
 pub use surrogate::SramSurrogate;
-pub use testbench::{ReadResult, SramTestbench, TestbenchTiming, WriteResult};
+pub use testbench::{
+    ReadResult, ReadSession, SramTestbench, TestbenchTiming, WriteResult, WriteSession,
+};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, SramError>;

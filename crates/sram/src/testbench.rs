@@ -16,11 +16,24 @@
 //! (read/write) or the supply voltage (disturb), which is always beyond any
 //! sensible specification and therefore counts as a failure without biasing
 //! non-failing statistics.
+//!
+//! # Batched evaluation
+//!
+//! Statistical extraction runs these transients millions of times with only
+//! the six threshold voltages changing between samples. [`ReadSession`] and
+//! [`WriteSession`] hoist everything else — netlist construction, node lookup,
+//! initial conditions, integration config — out of the per-sample loop: a
+//! session is built once, and each [`ReadSession::run`] injects the sample's
+//! ΔV_T values into the prebuilt netlist before solving the transient. The
+//! scalar [`SramTestbench::read`]/[`SramTestbench::write`] entry points are
+//! thin wrappers over a fresh session, so both paths produce bit-identical
+//! metrics.
 
-use crate::cell::{build_6t_cell, SramCellConfig};
+use crate::cell::{build_6t_cell, CellNodes, CellTransistor, SramCellConfig};
 use crate::error::SramError;
 use gis_circuit::{
-    transient_analysis, Circuit, CrossingDirection, SourceWaveform, TransientConfig,
+    transient_analysis, Circuit, CircuitError, CrossingDirection, Device, MosfetParams,
+    SourceWaveform, TransientConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -159,14 +172,44 @@ impl SramTestbench {
     /// precharged to VDD, and the access time is measured from the wordline
     /// half-rise to the true bitline dropping by the sense margin.
     ///
+    /// Equivalent to `self.read_session()?.run(vth_deltas)`; when evaluating
+    /// many samples, build one [`ReadSession`] and reuse it.
+    ///
     /// # Errors
     ///
     /// Returns [`SramError::Circuit`] if the netlist cannot be built or the
     /// transient does not converge.
     pub fn read(&self, vth_deltas: &[f64]) -> Result<ReadResult, SramError> {
+        self.read_session()?.run(vth_deltas)
+    }
+
+    /// Runs the write transient with the given per-transistor ΔV_T. The cell
+    /// initially stores `Q = 1`; the bitlines drive `0` onto Q through the left
+    /// pass gate. The write delay is measured from the wordline half-rise to Q
+    /// falling below VDD/2.
+    ///
+    /// Equivalent to `self.write_session()?.run(vth_deltas)`; when evaluating
+    /// many samples, build one [`WriteSession`] and reuse it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::Circuit`] if the netlist cannot be built or the
+    /// transient does not converge.
+    pub fn write(&self, vth_deltas: &[f64]) -> Result<WriteResult, SramError> {
+        self.write_session()?.run(vth_deltas)
+    }
+
+    /// Builds a reusable read-transient session: the netlist, initial
+    /// conditions and integration config are constructed once; each
+    /// [`ReadSession::run`] only injects the sample's threshold shifts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::Circuit`] if the nominal netlist cannot be built.
+    pub fn read_session(&self) -> Result<ReadSession, SramError> {
         let vdd = self.cell.vdd;
         let mut ckt = Circuit::new();
-        let nodes = build_6t_cell(&mut ckt, &self.cell, vth_deltas)?;
+        let nodes = build_6t_cell(&mut ckt, &self.cell, &[0.0; 6])?;
         ckt.add_voltage_source(
             "V_VDD",
             nodes.vdd,
@@ -202,43 +245,29 @@ impl SramTestbench {
         ic[nodes.q] = 0.0;
         ic[nodes.q_bar] = vdd;
 
-        let cfg = TransientConfig::new(self.timing.stop_time, self.timing.time_step)
+        let config = TransientConfig::new(self.timing.stop_time, self.timing.time_step)
             .with_initial_conditions(ic);
-        let result = transient_analysis(&ckt, &cfg)?;
-
-        let wl = result.waveform(nodes.wordline)?;
-        let bl = result.waveform(nodes.bitline)?;
-        let q = result.waveform(nodes.q)?;
-
-        let t_wl = wl.crossing_time(vdd / 2.0, CrossingDirection::Rising, 0.0)?;
-        let sense_level = vdd - self.timing.sense_margin;
-        let (access_time, sensed) =
-            match bl.crossing_time(sense_level, CrossingDirection::Falling, t_wl) {
-                Ok(t_sense) => (t_sense - t_wl, true),
-                Err(_) => (self.timing.stop_time, false),
-            };
-        let disturb_peak = q.max_value();
-
-        Ok(ReadResult {
-            access_time,
-            disturb_peak,
-            sensed,
+        let cell = CellParameterInjector::new(&ckt, &self.cell);
+        Ok(ReadSession {
+            circuit: ckt,
+            nodes,
+            cell,
+            config,
+            vdd,
+            sense_level: vdd - self.timing.sense_margin,
         })
     }
 
-    /// Runs the write transient with the given per-transistor ΔV_T. The cell
-    /// initially stores `Q = 1`; the bitlines drive `0` onto Q through the left
-    /// pass gate. The write delay is measured from the wordline half-rise to Q
-    /// falling below VDD/2.
+    /// Builds a reusable write-transient session (see
+    /// [`SramTestbench::read_session`]).
     ///
     /// # Errors
     ///
-    /// Returns [`SramError::Circuit`] if the netlist cannot be built or the
-    /// transient does not converge.
-    pub fn write(&self, vth_deltas: &[f64]) -> Result<WriteResult, SramError> {
+    /// Returns [`SramError::Circuit`] if the nominal netlist cannot be built.
+    pub fn write_session(&self) -> Result<WriteSession, SramError> {
         let vdd = self.cell.vdd;
         let mut ckt = Circuit::new();
-        let nodes = build_6t_cell(&mut ckt, &self.cell, vth_deltas)?;
+        let nodes = build_6t_cell(&mut ckt, &self.cell, &[0.0; 6])?;
         ckt.add_voltage_source(
             "V_VDD",
             nodes.vdd,
@@ -274,22 +303,159 @@ impl SramTestbench {
         ic[nodes.q] = vdd;
         ic[nodes.q_bar] = 0.0;
 
-        let cfg = TransientConfig::new(self.timing.stop_time, self.timing.time_step)
+        let config = TransientConfig::new(self.timing.stop_time, self.timing.time_step)
             .with_initial_conditions(ic);
-        let result = transient_analysis(&ckt, &cfg)?;
+        let cell = CellParameterInjector::new(&ckt, &self.cell);
+        Ok(WriteSession {
+            circuit: ckt,
+            nodes,
+            cell,
+            config,
+            vdd,
+        })
+    }
+}
 
-        let wl = result.waveform(nodes.wordline)?;
-        let q = result.waveform(nodes.q)?;
-        let q_bar = result.waveform(nodes.q_bar)?;
+/// Maps the six cell transistors of a prebuilt netlist to their device slots
+/// so per-sample threshold shifts can be injected without rebuilding anything.
+#[derive(Debug, Clone)]
+struct CellParameterInjector {
+    /// Device index of each cell transistor, canonical order.
+    device_indices: [usize; 6],
+    /// Nominal (unvaried) model card of each cell transistor, canonical order.
+    nominal_params: [MosfetParams; 6],
+}
 
-        let t_wl = wl.crossing_time(vdd / 2.0, CrossingDirection::Rising, 0.0)?;
+impl CellParameterInjector {
+    fn new(circuit: &Circuit, cell: &SramCellConfig) -> Self {
+        let mut device_indices = [0usize; 6];
+        let mut nominal_params = [cell.pass_gate; 6];
+        for transistor in CellTransistor::all() {
+            let index = circuit
+                .devices()
+                .iter()
+                .position(|d| d.name() == transistor.instance_name())
+                .expect("the 6T cell instantiates every cell transistor");
+            device_indices[transistor.index()] = index;
+            nominal_params[transistor.index()] = cell.nominal_params(transistor);
+        }
+        CellParameterInjector {
+            device_indices,
+            nominal_params,
+        }
+    }
+
+    /// Writes `nominal + delta` model cards into the netlist, validating each
+    /// shifted card exactly as [`build_6t_cell`] would.
+    fn inject(&self, circuit: &mut Circuit, vth_deltas: &[f64]) -> Result<(), SramError> {
+        if vth_deltas.len() != 6 {
+            return Err(SramError::Circuit(CircuitError::InvalidDevice {
+                device: "6T cell".to_string(),
+                reason: format!("expected 6 threshold deltas, got {}", vth_deltas.len()),
+            }));
+        }
+        for transistor in CellTransistor::all() {
+            let i = transistor.index();
+            let shifted = self.nominal_params[i].with_vth_shift(vth_deltas[i]);
+            shifted
+                .validate()
+                .map_err(|reason| CircuitError::InvalidDevice {
+                    device: transistor.instance_name().to_string(),
+                    reason,
+                })?;
+            match &mut circuit.devices_mut()[self.device_indices[i]] {
+                Device::Mosfet { params, .. } => *params = shifted,
+                other => unreachable!("device {} is a MOSFET", other.name()),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A reusable read-access transient with the netlist built once.
+///
+/// Produced by [`SramTestbench::read_session`]. Each [`ReadSession::run`] is
+/// bit-identical to [`SramTestbench::read`] for the same ΔV_T vector.
+#[derive(Debug, Clone)]
+pub struct ReadSession {
+    circuit: Circuit,
+    nodes: CellNodes,
+    cell: CellParameterInjector,
+    config: TransientConfig,
+    vdd: f64,
+    sense_level: f64,
+}
+
+impl ReadSession {
+    /// Runs one read transient with the given per-transistor ΔV_T (canonical
+    /// order, volts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::Circuit`] for an invalid shift vector or a
+    /// non-converging transient.
+    pub fn run(&mut self, vth_deltas: &[f64]) -> Result<ReadResult, SramError> {
+        self.cell.inject(&mut self.circuit, vth_deltas)?;
+        let result = transient_analysis(&self.circuit, &self.config)?;
+
+        let wl = result.waveform(self.nodes.wordline)?;
+        let bl = result.waveform(self.nodes.bitline)?;
+        let q = result.waveform(self.nodes.q)?;
+
+        let t_wl = wl.crossing_time(self.vdd / 2.0, CrossingDirection::Rising, 0.0)?;
+        let (access_time, sensed) =
+            match bl.crossing_time(self.sense_level, CrossingDirection::Falling, t_wl) {
+                Ok(t_sense) => (t_sense - t_wl, true),
+                Err(_) => (self.config.stop_time, false),
+            };
+        let disturb_peak = q.max_value();
+
+        Ok(ReadResult {
+            access_time,
+            disturb_peak,
+            sensed,
+        })
+    }
+}
+
+/// A reusable write transient with the netlist built once.
+///
+/// Produced by [`SramTestbench::write_session`]. Each [`WriteSession::run`] is
+/// bit-identical to [`SramTestbench::write`] for the same ΔV_T vector.
+#[derive(Debug, Clone)]
+pub struct WriteSession {
+    circuit: Circuit,
+    nodes: CellNodes,
+    cell: CellParameterInjector,
+    config: TransientConfig,
+    vdd: f64,
+}
+
+impl WriteSession {
+    /// Runs one write transient with the given per-transistor ΔV_T (canonical
+    /// order, volts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SramError::Circuit`] for an invalid shift vector or a
+    /// non-converging transient.
+    pub fn run(&mut self, vth_deltas: &[f64]) -> Result<WriteResult, SramError> {
+        self.cell.inject(&mut self.circuit, vth_deltas)?;
+        let result = transient_analysis(&self.circuit, &self.config)?;
+
+        let wl = result.waveform(self.nodes.wordline)?;
+        let q = result.waveform(self.nodes.q)?;
+        let q_bar = result.waveform(self.nodes.q_bar)?;
+
+        let t_wl = wl.crossing_time(self.vdd / 2.0, CrossingDirection::Rising, 0.0)?;
         // The cell has flipped when Q falls below VDD/2 *and* stays flipped
         // (QB latched high by the end of the window).
-        let flipped_latched = q.final_value() < vdd / 2.0 && q_bar.final_value() > vdd / 2.0;
+        let flipped_latched =
+            q.final_value() < self.vdd / 2.0 && q_bar.final_value() > self.vdd / 2.0;
         let (write_delay, flipped) =
-            match q.crossing_time(vdd / 2.0, CrossingDirection::Falling, t_wl) {
+            match q.crossing_time(self.vdd / 2.0, CrossingDirection::Falling, t_wl) {
                 Ok(t_flip) if flipped_latched => (t_flip - t_wl, true),
-                _ => (self.timing.stop_time, false),
+                _ => (self.config.stop_time, false),
             };
 
         Ok(WriteResult {
@@ -411,6 +577,56 @@ mod tests {
         let failed = tb.write(&extreme).unwrap();
         assert!(!failed.flipped, "extreme contention should block the write");
         assert_eq!(failed.write_delay, tb.timing().stop_time);
+    }
+
+    #[test]
+    fn sessions_match_scalar_entry_points_bit_for_bit() {
+        let tb = SramTestbench::typical_45nm();
+        let mut read_session = tb.read_session().unwrap();
+        let mut write_session = tb.write_session().unwrap();
+        let samples: [[f64; 6]; 3] = [
+            [0.0; 6],
+            [0.12, -0.03, 0.05, 0.0, 0.08, -0.02],
+            [-0.08, 0.15, -0.05, 0.1, 0.0, 0.07],
+        ];
+        for deltas in &samples {
+            let scalar_read = tb.read(deltas).unwrap();
+            let session_read = read_session.run(deltas).unwrap();
+            assert_eq!(
+                scalar_read.access_time.to_bits(),
+                session_read.access_time.to_bits()
+            );
+            assert_eq!(
+                scalar_read.disturb_peak.to_bits(),
+                session_read.disturb_peak.to_bits()
+            );
+            assert_eq!(scalar_read.sensed, session_read.sensed);
+
+            let scalar_write = tb.write(deltas).unwrap();
+            let session_write = write_session.run(deltas).unwrap();
+            assert_eq!(
+                scalar_write.write_delay.to_bits(),
+                session_write.write_delay.to_bits()
+            );
+            assert_eq!(scalar_write.flipped, session_write.flipped);
+        }
+        // Session reuse is stateless across samples: running the nominal cell
+        // after a heavily skewed one reproduces the first result exactly.
+        let nominal_again = read_session.run(&[0.0; 6]).unwrap();
+        assert_eq!(
+            nominal_again.access_time.to_bits(),
+            tb.read(&[0.0; 6]).unwrap().access_time.to_bits()
+        );
+    }
+
+    #[test]
+    fn sessions_reject_bad_delta_vectors() {
+        let tb = SramTestbench::typical_45nm();
+        let mut session = tb.read_session().unwrap();
+        assert!(session.run(&[0.0; 5]).is_err());
+        assert!(session.run(&[f64::NAN, 0.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+        // The session stays usable after a rejected sample.
+        assert!(session.run(&[0.0; 6]).is_ok());
     }
 
     #[test]

@@ -14,10 +14,10 @@
 //! [`YieldAnalysis`]: sram_highsigma::highsigma::YieldAnalysis
 
 use sram_highsigma::highsigma::{
-    default_sram_variation_space, ComparisonRow, ConvergencePolicy, Estimator, FailureProblem,
-    GisConfig, GradientImportanceSampling, MinimumNormIs, MnisConfig, MonteCarlo, MonteCarloConfig,
-    ScaledSigmaSampling, Spec, SphericalSampling, SphericalSamplingConfig, SramMetric,
-    SramSurrogateModel, SssConfig, YieldAnalysis,
+    default_sram_variation_space, ComparisonRow, ConvergencePolicy, Estimator, ExecutionConfig,
+    FailureProblem, GisConfig, GradientImportanceSampling, MinimumNormIs, MnisConfig, MonteCarlo,
+    MonteCarloConfig, ScaledSigmaSampling, Spec, SphericalSampling, SphericalSamplingConfig,
+    SramMetric, SramSurrogateModel, SssConfig, YieldAnalysis,
 };
 use sram_highsigma::sram::{SramCellConfig, SramSurrogate};
 use sram_highsigma::variation::PelgromModel;
@@ -78,8 +78,13 @@ fn main() {
         })),
     ];
 
+    // Parallelism is picked once on the driver (here: the GIS_THREADS
+    // environment variable, serial by default). Per the determinism contract
+    // of the evaluation engine, the thread count never changes the estimates —
+    // only the wall-clock.
     let report = YieldAnalysis::new()
         .master_seed(2018)
+        .execution(ExecutionConfig::from_env())
         .problem("surrogate-read", build_problem())
         .estimators(estimators)
         .run();

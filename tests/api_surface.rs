@@ -6,8 +6,9 @@
 use sram_highsigma::circuit::{Circuit, MosfetParams, SourceWaveform, GROUND};
 use sram_highsigma::highsigma::{
     standard_estimators, ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome,
-    ExtractionResult, FailureProblem, GisConfig, GradientImportanceSampling, LinearLimitState,
-    MonteCarlo, MonteCarloConfig, PerformanceModel, Spec,
+    ExecutionConfig, Executor, ExtractionResult, FailureProblem, GisConfig,
+    GradientImportanceSampling, LinearLimitState, MonteCarlo, MonteCarloConfig, PerformanceModel,
+    Spec,
 };
 use sram_highsigma::linalg::{Matrix, Vector};
 use sram_highsigma::sram::{SramCellConfig, SramSurrogate, SramTestbench};
@@ -24,6 +25,10 @@ fn core_types_implement_std_traits() {
     assert_send_sync::<FailureProblem>();
     assert_send_sync::<SramSurrogate>();
     assert_send_sync::<SramTestbench>();
+    assert_send_sync::<Executor>();
+    assert_send_sync::<ExecutionConfig>();
+    assert_clone_debug::<Executor>();
+    assert_clone_debug::<ExecutionConfig>();
     assert_clone_debug::<GisConfig>();
     assert_clone_debug::<ExtractionResult>();
     assert_clone_debug::<SramCellConfig>();
@@ -51,6 +56,7 @@ fn estimator_trait_is_object_safe() {
     let policy = ConvergencePolicy::with_budget(500);
     for estimator in &mut fleet {
         estimator.configure(&policy);
+        estimator.set_execution(ExecutionConfig::with_threads(2));
         assert!(!estimator.name().is_empty());
     }
     let problem = FailureProblem::from_model(
