@@ -1,0 +1,201 @@
+//! Scenario-sweep harness: matrix-parallel orchestration with durable
+//! checkpoint/resume over an operating-condition grid.
+//!
+//! Builds a [`gis_core::SweepPlan`] spanning process corners × supply
+//! voltages × temperatures × Pelgrom coefficients × metrics, runs every
+//! (scenario, estimator) cell through [`gis_core::SweepRunner`], and writes
+//! `results/SWEEP_report.json` with the full report, the per-cell summary
+//! (sigma levels against the array-capacity targets) and the final status.
+//!
+//! Flags:
+//!
+//! * `--fast` — CI-sized grid and budgets.
+//! * `--status` — print checkpoint progress and exit without running.
+//! * `--fresh` — delete the checkpoint before running.
+//! * `--max-cells N` — stop after N new cells (simulates a killed run; the
+//!   checkpoint keeps what finished).
+//! * `--verify-resume` — after the (possibly resumed) run completes, re-run
+//!   the whole sweep uninterrupted in memory and assert the two reports are
+//!   exactly equal. This is the CI gate for the checkpoint/resume contract.
+//! * `--checkpoint PATH` — checkpoint file (default
+//!   `results/sweep_checkpoint.jsonl`).
+//!
+//! The kill-and-resume smoke in CI is:
+//! `bench_sweep --fast --fresh --max-cells 7` (partial, "killed"), then
+//! `bench_sweep --fast --verify-resume` (resumes and proves equality).
+
+use gis_bench::{results_dir, write_json_artifact, MASTER_SEED};
+use gis_core::sweep::clear_checkpoint;
+use gis_core::{
+    standard_estimators, AnalysisReport, ConvergencePolicy, ExecutionConfig, SramMetric, SweepPlan,
+    SweepRunner, SweepStatus, SweepSummaryRow, YieldAnalysis,
+};
+use gis_variation::GlobalCorner;
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Debug, Serialize)]
+struct SweepArtifact {
+    master_seed: u64,
+    fast_mode: bool,
+    matrix_threads: usize,
+    status: SweepStatus,
+    sigma_requirements: Vec<(String, f64)>,
+    summary: Vec<SweepSummaryRow>,
+    report: AnalysisReport,
+}
+
+fn plan(fast: bool) -> SweepPlan {
+    let plan = SweepPlan::new()
+        .spec_factor(1.5)
+        .capacity_target("16Mb+8r", 16 * 1024 * 1024, 8, 0.99)
+        .capacity_target("256Mb+64r", 256 * 1024 * 1024, 64, 0.99);
+    if fast {
+        plan.corners([GlobalCorner::TypicalTypical, GlobalCorner::SlowSlow])
+            .supply_voltages([0.9, 1.0])
+    } else {
+        plan.corners(GlobalCorner::all())
+            .supply_voltages([0.9, 1.0])
+            .temperatures([-40.0, 25.0, 125.0])
+            .metrics([SramMetric::ReadAccessTime, SramMetric::WriteDelay])
+    }
+}
+
+fn analysis(plan: &SweepPlan, fast: bool) -> YieldAnalysis {
+    plan.analysis()
+        .master_seed(MASTER_SEED + 41)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(if fast { 2_000 } else { 20_000 })
+                .target_relative_error(0.1)
+                .min_failures(20),
+        )
+        .estimators(standard_estimators())
+}
+
+fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn print_status(status: &SweepStatus) {
+    println!(
+        "sweep status: {}/{} cells complete ({:.0}%), {} restored from checkpoint, \
+         {} records discarded, {} pending",
+        status.completed_cells,
+        status.total_cells,
+        100.0 * status.fraction_complete(),
+        status.restored_cells,
+        status.discarded_records,
+        status.pending.len()
+    );
+}
+
+fn print_summary(rows: &[SweepSummaryRow], requirements: &[(String, f64)]) {
+    println!(
+        "\n{:<42} {:<22} {:>12} {:>7} {}",
+        "scenario",
+        "method",
+        "P_fail",
+        "sigma",
+        requirements
+            .iter()
+            .map(|(n, s)| format!("{n} (≥{s:.2}σ)"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        let margins = row
+            .capacity_margins
+            .iter()
+            .map(|m| {
+                format!(
+                    "{} {:+.2}σ",
+                    if m.meets { "pass" } else { "FAIL" },
+                    m.margin_sigma
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!(
+            "{:<42} {:<22} {:>12.3e} {:>7.3} {}",
+            row.problem, row.estimator, row.failure_probability, row.sigma_level, margins
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let fresh = args.iter().any(|a| a == "--fresh");
+    let status_only = args.iter().any(|a| a == "--status");
+    let verify_resume = args.iter().any(|a| a == "--verify-resume");
+    let max_cells = parse_flag_value(&args, "--max-cells")
+        .map(|v| v.parse::<usize>().expect("--max-cells takes a number"));
+    let checkpoint = parse_flag_value(&args, "--checkpoint")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("sweep_checkpoint.jsonl"));
+
+    let plan = plan(fast);
+    let matrix = ExecutionConfig::from_env();
+    println!(
+        "bench_sweep: {} scenarios x 5 estimators, matrix threads {}, checkpoint {}",
+        plan.scenarios().len(),
+        matrix.resolved_threads(),
+        checkpoint.display()
+    );
+
+    if fresh {
+        clear_checkpoint(&checkpoint).expect("checkpoint is clearable");
+    }
+
+    let mut runner = SweepRunner::new().matrix(matrix).checkpoint(&checkpoint);
+    if let Some(budget) = max_cells {
+        runner = runner.cell_budget(budget);
+    }
+
+    if status_only {
+        let status = runner.status(&mut analysis(&plan, fast));
+        print_status(&status);
+        return;
+    }
+
+    let outcome = runner.run(&mut analysis(&plan, fast));
+    print_status(&outcome.status);
+
+    let Some(report) = outcome.report else {
+        println!(
+            "sweep paused by --max-cells; re-run without it to resume from {}",
+            checkpoint.display()
+        );
+        return;
+    };
+
+    if verify_resume {
+        // Prove the checkpoint-resume contract: an uninterrupted in-memory
+        // run of the identical sweep must equal the (restored + fresh)
+        // report bit for bit (PartialEq ignores wall-clock metadata only).
+        let uninterrupted = analysis(&plan, fast).run();
+        assert_eq!(
+            report, uninterrupted,
+            "resumed sweep diverged from the uninterrupted run"
+        );
+        println!(
+            "verify-resume: resumed report ({} cells restored) equals the uninterrupted run",
+            outcome.status.restored_cells
+        );
+    }
+
+    let summary = plan.summarize(&report);
+    print_summary(&summary, &plan.sigma_requirements());
+    let artifact = SweepArtifact {
+        master_seed: MASTER_SEED + 41,
+        fast_mode: fast,
+        matrix_threads: matrix.resolved_threads(),
+        status: outcome.status,
+        sigma_requirements: plan.sigma_requirements(),
+        summary,
+        report,
+    };
+    write_json_artifact("SWEEP_report", &artifact);
+}

@@ -44,7 +44,7 @@ use crate::baselines::{
     SssConfig,
 };
 use crate::estimator::{ConvergencePolicy, Estimator, EstimatorOutcome};
-use crate::exec::ExecutionConfig;
+use crate::exec::{ExecutionConfig, Executor};
 use crate::gis::{GisConfig, GradientImportanceSampling};
 use crate::model::FailureProblem;
 use crate::montecarlo::{required_samples, MonteCarlo, MonteCarloConfig};
@@ -339,14 +339,15 @@ impl YieldAnalysis {
         RngStream::from_seed(self.master_seed).split(mix).seed()
     }
 
-    /// Runs every estimator on every problem and collects the report.
+    /// Applies the registered [`ConvergencePolicy`] and [`ExecutionConfig`] to
+    /// every estimator and validates that the matrix is runnable. Idempotent;
+    /// called by every run entry point before any cell executes.
     ///
     /// # Panics
     ///
     /// Panics if no problems or no estimators are registered, or if a
-    /// configured [`ConvergencePolicy`] maps onto an invalid method
-    /// configuration.
-    pub fn run(&mut self) -> AnalysisReport {
+    /// configured [`ConvergencePolicy`] is invalid.
+    pub(crate) fn apply_configuration(&mut self) {
         assert!(
             !self.problems.is_empty(),
             "YieldAnalysis: no problems registered"
@@ -373,38 +374,125 @@ impl YieldAnalysis {
                 estimator.set_execution(execution);
             }
         }
+    }
 
-        let mut problems_out = Vec::with_capacity(self.problems.len());
-        for (problem_name, problem) in &self.problems {
-            let mut methods = Vec::with_capacity(self.estimators.len());
-            for estimator in &self.estimators {
-                let seed = self.derived_seed(problem_name, estimator.name());
-                let fork = problem.fork();
-                let mut rng = RngStream::from_seed(seed);
-                // Recorded per method: each estimator's own effective config
-                // (driver-wide `execution` has been applied above, but an
-                // estimator configured individually keeps its setting).
-                let threads = estimator.effective_execution().resolved_threads();
-                let started = Instant::now();
-                let outcome = estimator.estimate(&fork, &mut rng);
-                let wall_time_seconds = started.elapsed().as_secs_f64();
-                methods.push(MethodReport {
-                    estimator: estimator.name().to_string(),
-                    seed,
-                    row: ComparisonRow::from_result(&outcome.result)
-                        .with_timing(threads, wall_time_seconds),
-                    outcome,
-                });
-            }
-            problems_out.push(ProblemReport {
-                problem: problem_name.clone(),
-                methods,
-            });
+    /// The configured master seed (see [`master_seed`](Self::master_seed)).
+    pub fn master_seed_value(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The configured uniform convergence policy, if any (see
+    /// [`convergence_policy`](Self::convergence_policy)).
+    pub fn convergence_policy_value(&self) -> Option<ConvergencePolicy> {
+        self.policy
+    }
+
+    /// Registered problem names, in registration order.
+    pub fn problem_names(&self) -> Vec<&str> {
+        self.problems.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Registered estimator names, in registration order.
+    pub fn estimator_names(&self) -> Vec<&str> {
+        self.estimators.iter().map(|e| e.name()).collect()
+    }
+
+    /// Runs one (problem, estimator) cell of the analysis matrix.
+    ///
+    /// Every cell is self-contained — its own [`FailureProblem::fork`]
+    /// (independent evaluation counter) and its own RNG stream from
+    /// [`YieldAnalysis::derived_seed`] — so the result depends only on the
+    /// cell's inputs, never on which other cells ran before it or
+    /// concurrently with it. This is the invariant the matrix scheduler in
+    /// [`crate::sweep`] relies on. Call after
+    /// [`apply_configuration`](Self::apply_configuration).
+    pub(crate) fn run_cell(&self, problem_index: usize, estimator_index: usize) -> MethodReport {
+        let (problem_name, problem) = &self.problems[problem_index];
+        let estimator = &self.estimators[estimator_index];
+        let seed = self.derived_seed(problem_name, estimator.name());
+        let fork = problem.fork();
+        let mut rng = RngStream::from_seed(seed);
+        // Recorded per method: each estimator's own effective config
+        // (driver-wide `execution` has been applied by apply_configuration,
+        // but an estimator configured individually keeps its setting).
+        let threads = estimator.effective_execution().resolved_threads();
+        let started = Instant::now();
+        let outcome = estimator.estimate(&fork, &mut rng);
+        let wall_time_seconds = started.elapsed().as_secs_f64();
+        MethodReport {
+            estimator: estimator.name().to_string(),
+            seed,
+            row: ComparisonRow::from_result(&outcome.result)
+                .with_timing(threads, wall_time_seconds),
+            outcome,
         }
+    }
+
+    /// Assembles per-cell method reports (indexed `[problem][estimator]` in
+    /// registration order) into an [`AnalysisReport`].
+    pub(crate) fn assemble_report(&self, cells: Vec<Vec<MethodReport>>) -> AnalysisReport {
         AnalysisReport {
             master_seed: self.master_seed,
-            problems: problems_out,
+            problems: self
+                .problems
+                .iter()
+                .zip(cells)
+                .map(|((name, _), methods)| ProblemReport {
+                    problem: name.clone(),
+                    methods,
+                })
+                .collect(),
         }
+    }
+
+    /// Runs every estimator on every problem sequentially and collects the
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no problems or no estimators are registered, or if a
+    /// configured [`ConvergencePolicy`] maps onto an invalid method
+    /// configuration.
+    pub fn run(&mut self) -> AnalysisReport {
+        self.apply_configuration();
+        let cells = (0..self.problems.len())
+            .map(|pi| {
+                (0..self.estimators.len())
+                    .map(|ei| self.run_cell(pi, ei))
+                    .collect()
+            })
+            .collect();
+        self.assemble_report(cells)
+    }
+
+    /// Runs the analysis with the independent (problem, estimator) cells of
+    /// the matrix dispatched onto the worker threads of `matrix` — on top of
+    /// whatever *within*-estimator parallelism each cell's own
+    /// [`ExecutionConfig`] provides.
+    ///
+    /// Because every cell draws from its own order-independent derived seed
+    /// and evaluation counter, the report is **bit-identical** to the
+    /// sequential [`run`](Self::run) at any matrix thread count — scheduling
+    /// changes wall-clock only. For checkpointed sweeps over large scenario
+    /// grids, use [`crate::sweep::SweepRunner`], which adds durable
+    /// cell-by-cell persistence on top of this scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run).
+    pub fn run_on(&mut self, matrix: &Executor) -> AnalysisReport {
+        self.apply_configuration();
+        let estimators = self.estimators.len();
+        let total = self.problems.len() * estimators;
+        let mut flat = matrix
+            .map_tasks(total, |cell| {
+                self.run_cell(cell / estimators, cell % estimators)
+            })
+            .into_iter();
+        let cells = (0..self.problems.len())
+            .map(|_| flat.by_ref().take(estimators).collect())
+            .collect();
+        self.assemble_report(cells)
     }
 }
 
@@ -520,6 +608,40 @@ mod tests {
             assert!(a.row.wall_time_seconds >= 0.0);
             assert!(b.row.evaluations_per_second() > 0.0);
         }
+    }
+
+    #[test]
+    fn matrix_parallel_run_is_bit_identical_to_sequential() {
+        let build = || {
+            YieldAnalysis::new()
+                .master_seed(77)
+                .convergence_policy(ConvergencePolicy::with_budget(4_000))
+                .problem("beta-3", linear_problem(3.0))
+                .problem("beta-35", linear_problem(3.5))
+                .estimators(standard_estimators())
+        };
+        let sequential = build().run();
+        for matrix_threads in [1, 2, 8] {
+            let parallel = build().run_on(&Executor::new(matrix_threads));
+            // PartialEq on reports compares the statistical content bit for
+            // bit (timing excluded) — the matrix scheduler must not perturb
+            // a single bit of it.
+            assert_eq!(
+                parallel, sequential,
+                "matrix run diverged at {matrix_threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_accessors_expose_registration_order() {
+        let analysis = YieldAnalysis::new()
+            .problem("a", linear_problem(3.0))
+            .problem("b", linear_problem(3.5))
+            .estimators(standard_estimators());
+        assert_eq!(analysis.problem_names(), vec!["a", "b"]);
+        assert_eq!(analysis.estimator_names()[0], "gradient-is");
+        assert_eq!(analysis.estimator_names().len(), 5);
     }
 
     #[test]

@@ -4,8 +4,16 @@
 //! requirement — the numbers a memory architect actually asks the extraction
 //! flow for.
 
-use crate::special::ln_gamma;
 use serde::{Deserialize, Serialize};
+
+/// Numerically stable `ln(exp(a) + exp(b))`.
+fn log_sum_exp(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if lo == f64::NEG_INFINITY {
+        return hi;
+    }
+    hi + (lo - hi).exp().ln_1p()
+}
 
 /// Array-level yield model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,29 +50,67 @@ impl ArrayYield {
     /// `λ = N·p`, which is accurate to many digits in the regime of interest
     /// (`p ≤ 1e-4`, `N ≥ 1e3`).
     ///
+    /// Equal to `exp(log_yield_probability(p))` capped at 1; see
+    /// [`ArrayYield::log_yield_probability`] for the far-tail regime where the
+    /// probability itself underflows f64.
+    ///
     /// # Panics
     ///
     /// Panics if `per_cell_failure_probability` is not in `[0, 1]`.
     pub fn yield_probability(&self, per_cell_failure_probability: f64) -> f64 {
+        self.log_yield_probability(per_cell_failure_probability)
+            .exp()
+            .min(1.0)
+    }
+
+    /// Natural log of [`ArrayYield::yield_probability`]: `ln P(X ≤ k)` for
+    /// `X ~ Poisson(N·p)`, exact in log space.
+    ///
+    /// The Poisson CDF is accumulated by a streaming log-sum-exp over the
+    /// recursive term ratio `term_i = term_{i-1} · λ/i`, so no individual term
+    /// is ever exponentiated on its own — the naive linear-space sum underflows
+    /// term by term once `λ ≳ 750` even when the log of the CDF is perfectly
+    /// representable, and pays a fresh `ln_gamma` per term on top. An
+    /// upper-tail shortcut answers `0.0` (yield = 1) without touching the
+    /// `O(k)` loop whenever a Chernoff bound proves the missed tail mass is
+    /// below 1e-18, which is what keeps
+    /// [`ArrayYield::required_cell_failure_probability`] (200 bisection steps,
+    /// each calling this) cheap for generously-repairable arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cell_failure_probability` is not in `[0, 1]`.
+    pub fn log_yield_probability(&self, per_cell_failure_probability: f64) -> f64 {
         assert!(
             (0.0..=1.0).contains(&per_cell_failure_probability),
             "per-cell failure probability must be in [0, 1]"
         );
         if self.cells == 0 {
-            return 1.0;
+            return 0.0;
         }
         let lambda = self.cells as f64 * per_cell_failure_probability;
         if lambda == 0.0 {
-            return 1.0;
+            return 0.0;
         }
-        // P(X ≤ k) for X ~ Poisson(λ), accumulated in log space for stability.
         let k = self.repairable_cells;
-        let mut cumulative = 0.0;
-        for i in 0..=k {
-            let log_term = -lambda + i as f64 * lambda.ln() - ln_gamma(i as f64 + 1.0);
-            cumulative += log_term.exp();
+        let k_f = k as f64;
+        // Chernoff upper-tail shortcut: for k > λ,
+        //   ln P(X > k) ≤ k − λ − k·ln(k/λ),
+        // so once that bound drops below ln(1e-18) the CDF is 1 to within
+        // f64 round-off and the term loop is pure waste.
+        if k_f > lambda && k_f - lambda - k_f * (k_f / lambda).ln() < -41.5 {
+            return 0.0;
         }
-        cumulative.min(1.0)
+        // Streaming log-sum-exp of ln(term_i) = -λ + i·ln λ − ln i!, built
+        // incrementally: ln(term_i) = ln(term_{i-1}) + ln λ − ln i.
+        let ln_lambda = lambda.ln();
+        let mut log_term = -lambda;
+        let mut log_sum = log_term;
+        for i in 1..=k {
+            log_term += ln_lambda - (i as f64).ln();
+            log_sum = log_sum_exp(log_sum, log_term);
+        }
+        log_sum.min(0.0)
     }
 
     /// Expected number of failing cells in the array.
@@ -178,6 +224,104 @@ mod tests {
         assert!(sigma_large > sigma_small);
         assert!(sigma_small > 4.0 && sigma_small < 6.0, "{sigma_small}");
         assert!(sigma_large > 5.5 && sigma_large < 7.5, "{sigma_large}");
+    }
+
+    /// Exact binomial CDF `P(X ≤ k)` for `X ~ Binomial(n, p)`, accumulated in
+    /// log space — the ground truth the Poisson approximation is checked
+    /// against.
+    fn binomial_cdf(n: u64, p: f64, k: u64) -> f64 {
+        use crate::special::ln_gamma;
+        let ln_n1 = ln_gamma(n as f64 + 1.0);
+        let (ln_p, ln_q) = (p.ln(), (-p).ln_1p());
+        let mut log_sum = f64::NEG_INFINITY;
+        for i in 0..=k {
+            let i_f = i as f64;
+            let log_term = ln_n1 - ln_gamma(i_f + 1.0) - ln_gamma(n as f64 - i_f + 1.0)
+                + i_f * ln_p
+                + (n as f64 - i_f) * ln_q;
+            log_sum = super::log_sum_exp(log_sum, log_term);
+        }
+        log_sum.exp().min(1.0)
+    }
+
+    #[test]
+    fn poisson_cdf_cross_checks_exact_binomial_at_large_lambda() {
+        // λ = N·p = 1000 with p small enough that the Poisson approximation
+        // is tight (total-variation distance ≤ λ·p). k spans the meaningful
+        // part of the CDF: well below, at, and well above the mean.
+        let n = 100_000_000u64;
+        let p = 1e-5;
+        for k in [900u64, 968, 1000, 1032, 1100] {
+            let array = ArrayYield::with_redundancy(n, k);
+            let poisson = array.yield_probability(p);
+            let binomial = binomial_cdf(n, p, k);
+            assert!(
+                (poisson - binomial).abs() < 2e-2,
+                "k={k}: poisson {poisson} vs binomial {binomial}"
+            );
+        }
+        // Small-λ regime: the approximation is many digits tight.
+        let n = 1_000_000u64;
+        let p = 1e-6; // λ = 1
+        for k in [0u64, 1, 2, 5] {
+            let array = ArrayYield::with_redundancy(n, k);
+            let poisson = array.yield_probability(p);
+            let binomial = binomial_cdf(n, p, k);
+            assert!(
+                (poisson - binomial).abs() < 1e-5,
+                "k={k}: poisson {poisson} vs binomial {binomial}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_yield_survives_lambda_where_linear_terms_underflow() {
+        // λ = 2000: every individual Poisson term for i ≤ 100 is below
+        // exp(-745) and underflows to 0.0 in linear space — the old
+        // accumulation returned exactly 0. The log-space CDF is still exact.
+        let array = ArrayYield::with_redundancy(2_000_000, 100);
+        let log_yield = array.log_yield_probability(1e-3);
+        assert!(log_yield.is_finite());
+        // ln P(X ≤ 100 | λ = 2000) is dominated by the i = 100 term:
+        // -2000 + 100·ln(2000) - ln(100!) ≈ -1603.
+        assert!(
+            log_yield > -1610.0 && log_yield < -1595.0,
+            "log yield {log_yield}"
+        );
+        // The linear-space probability genuinely underflows...
+        assert_eq!(array.yield_probability(1e-3), 0.0);
+        // ...but moderate cases agree with the straightforward sum.
+        let moderate = ArrayYield::with_redundancy(1 << 20, 4);
+        let p = 2e-6;
+        let lambda = (1u64 << 20) as f64 * p;
+        let direct: f64 = (0..=4u64)
+            .map(|i| {
+                (-lambda + i as f64 * lambda.ln() - crate::special::ln_gamma(i as f64 + 1.0)).exp()
+            })
+            .sum();
+        assert!((moderate.yield_probability(p) - direct).abs() < 1e-14);
+    }
+
+    #[test]
+    fn upper_tail_shortcut_agrees_with_full_sum() {
+        // k far above λ: the shortcut fires and must agree (to f64 round-off)
+        // with what the full summation would have produced, i.e. exactly 1.
+        let array = ArrayYield::with_redundancy(1_000_000, 400);
+        let p = 5e-6; // λ = 5, k = 400 → P(X > k) astronomically small
+        assert_eq!(array.yield_probability(p), 1.0);
+        assert_eq!(array.log_yield_probability(p), 0.0);
+        // Just inside the shortcut boundary the full sum runs and lands on
+        // the same answer within round-off.
+        let near = ArrayYield::with_redundancy(1_000_000, 30);
+        let y = near.yield_probability(5e-6);
+        assert!((y - 1.0).abs() < 1e-12, "{y}");
+        // Monotonicity across the boundary: more spares never hurts.
+        let mut prev = 0.0;
+        for k in 0..50 {
+            let y = ArrayYield::with_redundancy(1_000_000, k).yield_probability(1e-5);
+            assert!(y >= prev - 1e-15, "non-monotone at k={k}");
+            prev = y;
+        }
     }
 
     #[test]

@@ -274,6 +274,31 @@ impl Executor {
             .collect()
     }
 
+    /// Runs `count` independent coarse-grained tasks on the worker threads,
+    /// returning their results in task order.
+    ///
+    /// Unlike [`Executor::map`] — whose chunking amortizes per-item dispatch
+    /// for fine-grained metric evaluations — every task here is its own work
+    /// unit regardless of the configured [`Executor::chunk_size`], so a slow
+    /// task never holds hostages queued behind it in the same chunk. This is
+    /// the dispatch primitive of the matrix scheduler in
+    /// [`crate::sweep`]/[`crate::analysis::YieldAnalysis::run_on`], where one
+    /// "task" is an entire (problem, estimator) extraction. `f` must be a pure
+    /// function of the task index for the output to be deterministic; the
+    /// worker assignment is not.
+    pub fn map_tasks<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..count).collect();
+        Executor {
+            threads: self.threads,
+            chunk_size: 1,
+        }
+        .map(&indices, |&i| f(i))
+    }
+
     /// Produces `count` results from a randomized per-item function, with one
     /// RNG substream per chunk derived via [`RngStream::split`].
     ///
@@ -370,6 +395,19 @@ mod tests {
         let _ = rng.uniform();
         let after = Executor::serial().map_rng(&rng, 20, |s, _| s.uniform());
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn map_tasks_is_order_preserving_and_thread_invariant() {
+        let expected: Vec<usize> = (0..57).map(|i| i * i).collect();
+        for threads in [1, 3, 8] {
+            // A deliberately large chunk size must not batch tasks together.
+            let exec = Executor::new(threads).with_chunk_size(64);
+            assert_eq!(exec.map_tasks(57, |i| i * i), expected);
+        }
+        let exec = Executor::new(4);
+        let empty: Vec<usize> = exec.map_tasks(0, |i| i);
+        assert!(empty.is_empty());
     }
 
     #[test]

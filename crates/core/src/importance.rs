@@ -149,12 +149,24 @@ impl Proposal {
 ///
 /// Tracks everything needed for the estimate, its standard error, the effective
 /// sample size and the weight diagnostics — without storing samples.
+///
+/// The variance is carried in the Welford form (running mean + sum of squared
+/// deviations `M2`), not the textbook `E[x²] − mean²`: the latter cancels
+/// catastrophically when the weighted indicators are concentrated (all weights
+/// similar, as a well-shifted proposal produces) and forced silent clamping of
+/// negative variances to zero — under-reporting the relative error exactly
+/// when the stopping rule leaned on it. `M2` is non-negative by construction
+/// (each Welford increment is a product of same-signed factors), which
+/// [`IsAccumulator::standard_error`] asserts instead of masking. Merging two
+/// accumulators combines the moments with Chan's parallel update, so chunked /
+/// multi-threaded accumulation reproduces the sequential statistics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IsAccumulator {
     samples: u64,
     failures: u64,
     sum_weighted_indicator: f64,
-    sum_weighted_indicator_sq: f64,
+    mean_weighted_indicator: f64,
+    m2_weighted_indicator: f64,
     sum_weights_failing: f64,
     sum_weights_sq_failing: f64,
     max_weight_failing: f64,
@@ -178,22 +190,37 @@ impl IsAccumulator {
             "importance weight must be non-negative and finite, got {weight}"
         );
         self.samples += 1;
+        // Welford update on x = w·1_fail (zero for passing samples: they still
+        // shape the variance of the mean).
+        let x = if failed { weight } else { 0.0 };
+        let delta = x - self.mean_weighted_indicator;
+        self.mean_weighted_indicator += delta / self.samples as f64;
+        self.m2_weighted_indicator += delta * (x - self.mean_weighted_indicator);
         if failed {
             self.failures += 1;
             self.sum_weighted_indicator += weight;
-            self.sum_weighted_indicator_sq += weight * weight;
             self.sum_weights_failing += weight;
             self.sum_weights_sq_failing += weight * weight;
             self.max_weight_failing = self.max_weight_failing.max(weight);
         }
     }
 
-    /// Merges another accumulator (e.g. from a different batch or thread).
+    /// Merges another accumulator (e.g. from a different batch or thread),
+    /// combining the variance moments with Chan's parallel update so the
+    /// merged statistics match sequential accumulation.
     pub fn merge(&mut self, other: &IsAccumulator) {
+        if other.samples == 0 {
+            return;
+        }
+        let n_a = self.samples as f64;
+        let n_b = other.samples as f64;
+        let n = n_a + n_b;
+        let delta = other.mean_weighted_indicator - self.mean_weighted_indicator;
+        self.m2_weighted_indicator += other.m2_weighted_indicator + delta * delta * (n_a * n_b / n);
+        self.mean_weighted_indicator += delta * (n_b / n);
         self.samples += other.samples;
         self.failures += other.failures;
         self.sum_weighted_indicator += other.sum_weighted_indicator;
-        self.sum_weighted_indicator_sq += other.sum_weighted_indicator_sq;
         self.sum_weights_failing += other.sum_weights_failing;
         self.sum_weights_sq_failing += other.sum_weights_sq_failing;
         self.max_weight_failing = self.max_weight_failing.max(other.max_weight_failing);
@@ -218,16 +245,26 @@ impl IsAccumulator {
         }
     }
 
-    /// Standard error of the estimate.
+    /// Standard error of the estimate, from the merge-safe Welford moments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal sum of squared deviations has gone negative,
+    /// which the Welford/Chan updates make impossible for valid inputs — a
+    /// negative value indicates corruption and must not be silently clamped
+    /// into an optimistic error bar.
     pub fn standard_error(&self) -> f64 {
         if self.samples < 2 {
             return f64::INFINITY;
         }
+        assert!(
+            self.m2_weighted_indicator >= 0.0,
+            "negative sum of squared deviations ({}) in IsAccumulator",
+            self.m2_weighted_indicator
+        );
         let n = self.samples as f64;
-        let mean = self.sum_weighted_indicator / n;
-        let second_moment = self.sum_weighted_indicator_sq / n;
-        let variance = (second_moment - mean * mean).max(0.0) / (n - 1.0);
-        variance.sqrt()
+        // Sample variance of x over n, i.e. the variance of the sample mean.
+        (self.m2_weighted_indicator / (n - 1.0) / n).sqrt()
     }
 
     /// Relative standard error (σ/μ); `inf` until a failure has been observed.
@@ -455,6 +492,85 @@ mod tests {
     #[should_panic(expected = "importance weight must be non-negative")]
     fn accumulator_rejects_bad_weight() {
         IsAccumulator::new().push(f64::NAN, true);
+    }
+
+    /// Two-pass reference: exact mean, then exact sum of squared deviations —
+    /// the ground truth any streaming variance must reproduce.
+    fn two_pass_standard_error(samples: &[(f64, bool)]) -> f64 {
+        let n = samples.len() as f64;
+        let xs: Vec<f64> = samples
+            .iter()
+            .map(|&(w, failed)| if failed { w } else { 0.0 })
+            .collect();
+        let mean = xs.iter().sum::<f64>() / n;
+        let m2 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+        (m2 / (n - 1.0) / n).sqrt()
+    }
+
+    #[test]
+    fn standard_error_matches_two_pass_reference_under_chunked_merging() {
+        // Weights spanning ten orders of magnitude, accumulated three ways:
+        // sequentially, merged in chunks, and merged in a different chunking.
+        let mut rng = RngStream::from_seed(321);
+        let samples: Vec<(f64, bool)> = (0..5_000)
+            .map(|_| {
+                let w = (10.0 * rng.uniform() - 5.0).exp();
+                (w, rng.uniform() < 0.3)
+            })
+            .collect();
+        let reference = two_pass_standard_error(&samples);
+
+        let mut sequential = IsAccumulator::new();
+        for &(w, failed) in &samples {
+            sequential.push(w, failed);
+        }
+        for chunk_size in [1, 7, 128, 5_000] {
+            let mut merged = IsAccumulator::new();
+            for chunk in samples.chunks(chunk_size) {
+                let mut acc = IsAccumulator::new();
+                for &(w, failed) in chunk {
+                    acc.push(w, failed);
+                }
+                merged.merge(&acc);
+            }
+            assert_eq!(merged.samples(), sequential.samples());
+            assert_eq!(merged.failures(), sequential.failures());
+            let rel = (merged.standard_error() - reference).abs() / reference;
+            assert!(
+                rel < 1e-10,
+                "chunk {chunk_size}: merged SE {} vs reference {reference}, rel {rel:e}",
+                merged.standard_error()
+            );
+        }
+        let rel = (sequential.standard_error() - reference).abs() / reference;
+        assert!(rel < 1e-10, "sequential SE off by {rel:e}");
+    }
+
+    #[test]
+    fn concentrated_weights_keep_a_truthful_error_bar() {
+        // All samples fail with nearly identical large weights — the regime a
+        // well-centred proposal produces. The textbook E[x²] − mean² form
+        // cancels to round-off garbage here (mean² ≈ 1e16, true variance
+        // ≈ 1e-2) and the old clamp reported a standard error of exactly 0,
+        // i.e. spurious instant convergence. The Welford form keeps ~15
+        // digits.
+        let mut rng = RngStream::from_seed(99);
+        let samples: Vec<(f64, bool)> = (0..2_000)
+            .map(|_| (1.0e8 * (1.0 + 1.0e-9 * (rng.uniform() - 0.5)), true))
+            .collect();
+        let reference = two_pass_standard_error(&samples);
+        assert!(reference > 0.0);
+
+        let mut acc = IsAccumulator::new();
+        for &(w, failed) in &samples {
+            acc.push(w, failed);
+        }
+        let se = acc.standard_error();
+        assert!(se > 0.0, "standard error collapsed to zero");
+        let rel = (se - reference).abs() / reference;
+        assert!(rel < 1e-6, "SE {se} vs two-pass {reference}, rel {rel:e}");
+        // And the relative error is honest instead of a free convergence pass.
+        assert!(acc.relative_error() > 0.0);
     }
 
     #[test]

@@ -45,6 +45,18 @@
 //! deterministic seeding from a master seed, uniform budgets via
 //! [`ConvergencePolicy`], and serde-serializable reports.
 //!
+//! # Sweep orchestration
+//!
+//! Production sign-off runs the matrix at scale: many operating scenarios ×
+//! many estimators. The [`sweep`] module adds a matrix scheduler that
+//! dispatches independent (problem, estimator) cells onto worker threads
+//! ([`YieldAnalysis::run_on`] / [`SweepRunner`]) with reports bit-identical
+//! to the sequential path, durable JSON-lines checkpointing so a killed
+//! sweep resumes without re-simulating ([`SweepRunner::checkpoint`],
+//! [`SweepStatus`]), and a scenario library spanning supply-voltage /
+//! temperature / process-corner / Pelgrom-mismatch grids with array-capacity
+//! sigma targets ([`SweepPlan`], [`CapacityTarget`]).
+//!
 //! # Quick example: one method
 //!
 //! ```
@@ -112,6 +124,7 @@ pub mod mpfp;
 pub mod result;
 pub mod special;
 pub mod sram_models;
+pub mod sweep;
 
 pub use analysis::{
     standard_estimators, AnalysisReport, ComparisonRow, MethodReport, ProblemReport, YieldAnalysis,
@@ -135,4 +148,8 @@ pub use mpfp::{GradientMpfpSearch, MpfpConfig, MpfpResult};
 pub use result::{figure_of_merit, ConvergencePoint, ExtractionResult};
 pub use sram_models::{
     default_sram_variation_space, SramMetric, SramSurrogateModel, SramTransientModel,
+};
+pub use sweep::{
+    CapacityMargin, CapacityTarget, Scenario, SweepCellRecord, SweepOutcome, SweepPlan,
+    SweepRunner, SweepStatus, SweepSummaryRow,
 };

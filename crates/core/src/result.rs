@@ -4,7 +4,10 @@ use serde::{Deserialize, Serialize};
 
 /// One point of a convergence trace: the running estimate after a given number
 /// of simulator evaluations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares the floats by bit pattern (see [`ExtractionResult`] for
+/// why).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ConvergencePoint {
     /// Cumulative number of metric evaluations when the snapshot was taken.
     pub evaluations: u64,
@@ -13,6 +16,14 @@ pub struct ConvergencePoint {
     /// Relative standard error (σ/μ) of the estimate at that point; `inf` when
     /// no failure has been observed yet.
     pub relative_error: f64,
+}
+
+impl PartialEq for ConvergencePoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.evaluations == other.evaluations
+            && self.estimate.to_bits() == other.estimate.to_bits()
+            && self.relative_error.to_bits() == other.relative_error.to_bits()
+    }
 }
 
 /// Figure of merit `1 / (ρ² · N)` where `ρ` is the relative standard error
@@ -26,7 +37,16 @@ pub fn figure_of_merit(relative_error: f64, evaluations: u64) -> f64 {
 }
 
 /// Result of a failure-probability extraction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares every float by bit pattern, like
+/// [`crate::analysis::ComparisonRow`]: "same statistical content, bit for
+/// bit" must hold for results that legitimately contain non-finite values —
+/// `sigma_level` is `NaN` when no failure was observed, early trace points
+/// carry an `inf` relative error — and the IEEE rule `NaN ≠ NaN` would
+/// otherwise make such a result compare unequal *to itself*, breaking
+/// determinism and checkpoint-resume assertions for exactly the far-tail runs
+/// they matter most for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExtractionResult {
     /// Name of the method that produced the result (e.g. `"gradient-is"`).
     pub method: String,
@@ -48,6 +68,20 @@ pub struct ExtractionResult {
     pub converged: bool,
     /// Convergence trace (running estimate vs evaluations).
     pub trace: Vec<ConvergencePoint>,
+}
+
+impl PartialEq for ExtractionResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.method == other.method
+            && self.failure_probability.to_bits() == other.failure_probability.to_bits()
+            && self.standard_error.to_bits() == other.standard_error.to_bits()
+            && self.sigma_level.to_bits() == other.sigma_level.to_bits()
+            && self.evaluations == other.evaluations
+            && self.sampling_evaluations == other.sampling_evaluations
+            && self.failures_observed == other.failures_observed
+            && self.converged == other.converged
+            && self.trace == other.trace
+    }
 }
 
 impl ExtractionResult {

@@ -1,0 +1,1012 @@
+//! Sweep orchestration: matrix-parallel scheduling of (problem × estimator)
+//! cells, durable JSON-lines checkpointing with kill-safe resume, and a
+//! scenario library spanning the operating grids a production sign-off sweep
+//! walks.
+//!
+//! [`crate::analysis::YieldAnalysis`] runs one analysis matrix; this module
+//! turns it into a *sweep*: many scenarios (supply voltage × temperature ×
+//! process corner × Pelgrom mismatch grids) × many estimators, dispatched as
+//! independent cells onto an [`crate::exec::Executor`] and persisted cell by cell so a
+//! killed run resumes without re-simulating anything it already finished.
+//!
+//! # The three layers
+//!
+//! * **Scenario library** — [`Scenario`] describes one operating point
+//!   (corner via [`GlobalCorner`], supply, temperature, Pelgrom `A_VT`) and
+//!   knows how to build the corresponding [`FailureProblem`] on the SRAM
+//!   surrogate. [`SweepPlan`] is the cartesian builder over those axes, plus
+//!   the array-capacity targets ([`CapacityTarget`], backed by
+//!   [`ArrayYield::required_cell_sigma`]) each scenario's extracted sigma is
+//!   judged against.
+//! * **Matrix scheduler** — [`SweepRunner`] dispatches the pending cells of a
+//!   [`YieldAnalysis`] onto the worker threads of its matrix
+//!   [`ExecutionConfig`] (via [`crate::exec::Executor::map_tasks`]). Each cell's seed is
+//!   derived order-independently from the master seed, so the assembled
+//!   [`AnalysisReport`] is **bit-identical** to the sequential
+//!   [`YieldAnalysis::run`] at any matrix thread count.
+//! * **Checkpoint / resume** — with [`SweepRunner::checkpoint`], every
+//!   completed cell is appended to a JSON-lines file the moment it finishes
+//!   (one [`SweepCellRecord`] per line, flushed). On the next run, records
+//!   whose master seed, convergence policy and derived per-cell seed still
+//!   match are restored verbatim and only the missing cells execute; a
+//!   truncated trailing line
+//!   (the signature of a kill mid-append) is skipped harmlessly. Because
+//!   restored rows and fresh rows are assembled in registration order, a
+//!   resumed sweep reproduces the uninterrupted report exactly (`PartialEq`,
+//!   which ignores wall-clock metadata).
+//!
+//! ```no_run
+//! use gis_core::sweep::{SweepPlan, SweepRunner};
+//! use gis_core::{standard_estimators, ConvergencePolicy, ExecutionConfig};
+//! use gis_variation::GlobalCorner;
+//!
+//! let plan = SweepPlan::new()
+//!     .corners(GlobalCorner::all())
+//!     .supply_voltages([0.9, 1.0])
+//!     .capacity_target("64Mb", 64 * 1024 * 1024, 8, 0.99);
+//! let mut analysis = plan
+//!     .analysis()
+//!     .master_seed(7)
+//!     .convergence_policy(ConvergencePolicy::with_budget(20_000))
+//!     .estimators(standard_estimators());
+//! let outcome = SweepRunner::new()
+//!     .matrix(ExecutionConfig::with_threads(4))
+//!     .checkpoint("sweep.jsonl")
+//!     .run(&mut analysis);
+//! // Kill and re-run: completed cells come back from sweep.jsonl.
+//! let report = outcome.report.expect("all cells completed");
+//! for row in plan.summarize(&report) {
+//!     println!("{:<40} {:>6.2}σ", row.problem, row.sigma_level);
+//! }
+//! ```
+
+use crate::analysis::{AnalysisReport, MethodReport, YieldAnalysis};
+use crate::array_yield::ArrayYield;
+use crate::estimator::ConvergencePolicy;
+use crate::exec::ExecutionConfig;
+use crate::model::{FailureProblem, Spec};
+use crate::sram_models::{SramMetric, SramSurrogateModel};
+use gis_sram::{SramCellConfig, SramSurrogate};
+use gis_variation::{GlobalCorner, PelgromModel};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Threshold-voltage temperature coefficient applied by the scenario library:
+/// `ΔV_T = VTH_TEMPERATURE_COEFFICIENT · (T − 25 °C)` for both polarities
+/// (thresholds drop as the die heats up), a typical bulk-CMOS value.
+pub const VTH_TEMPERATURE_COEFFICIENT: f64 = -1.0e-3;
+
+/// Panics when `names` contains a duplicate — the sweep scheduler and
+/// checkpoint key cells by name, so aliased names would silently clone one
+/// cell's results into another.
+fn assert_unique(kind: &str, names: &[String]) {
+    let mut seen = std::collections::HashSet::new();
+    for name in names {
+        assert!(
+            seen.insert(name.as_str()),
+            "duplicate {kind} name {name:?}: the sweep scheduler keys cells by \
+             name and cannot tell aliased {kind}s apart"
+        );
+    }
+}
+
+/// Short lower-case tag of a corner, used in scenario names.
+fn corner_tag(corner: GlobalCorner) -> &'static str {
+    match corner {
+        GlobalCorner::TypicalTypical => "tt",
+        GlobalCorner::FastFast => "ff",
+        GlobalCorner::SlowSlow => "ss",
+        GlobalCorner::FastSlow => "fs",
+        GlobalCorner::SlowFast => "sf",
+    }
+}
+
+/// One operating point of a sweep: a process corner, supply voltage,
+/// junction temperature and Pelgrom mismatch coefficient, plus the dynamic
+/// metric under test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Deterministic name, also used as the problem name (and therefore as
+    /// part of the per-cell seed derivation and the checkpoint key).
+    pub name: String,
+    /// Systematic process corner.
+    pub corner: GlobalCorner,
+    /// Supply voltage in volts.
+    pub supply_voltage: f64,
+    /// Junction temperature in °C.
+    pub temperature_celsius: f64,
+    /// Pelgrom mismatch coefficient `A_VT` in V·m.
+    pub pelgrom_avt: f64,
+    /// Dynamic characteristic under test.
+    pub metric: SramMetric,
+    /// Systematic ΔV_T magnitude of the corner, in volts.
+    pub corner_vth_magnitude: f64,
+}
+
+impl Scenario {
+    /// Builds the scenario's failure problem on the SRAM surrogate: the
+    /// typical 45 nm cell re-biased to this operating point, with the spec an
+    /// upper limit at `spec_factor ×` the scenario's own nominal metric.
+    ///
+    /// The corner and temperature shift the nominal thresholds
+    /// (`GlobalCorner::vth_shifts` + [`VTH_TEMPERATURE_COEFFICIENT`]), the
+    /// supply re-biases the surrogate, and the Pelgrom coefficient sets the
+    /// per-transistor mismatch sigmas of the variation space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operating point pushes a threshold to or past zero (no
+    /// such point exists on the library's grids).
+    pub fn problem(&self, spec_factor: f64) -> FailureProblem {
+        let mut cell = SramCellConfig::typical_45nm();
+        cell.vdd = self.supply_voltage;
+        let (shift_n, shift_p) = self.corner.vth_shifts(self.corner_vth_magnitude);
+        let thermal = VTH_TEMPERATURE_COEFFICIENT * (self.temperature_celsius - 25.0);
+        cell.pass_gate.vth0 += shift_n + thermal;
+        cell.pull_down.vth0 += shift_n + thermal;
+        cell.pull_up.vth0 += shift_p + thermal;
+        assert!(
+            cell.pass_gate.vth0 > 0.0 && cell.pull_up.vth0 > 0.0,
+            "scenario {} drives a threshold voltage non-positive",
+            self.name
+        );
+        assert!(
+            cell.vdd > cell.pass_gate.vth0 && cell.vdd > cell.pull_up.vth0,
+            "scenario {} leaves no overdrive (vdd at or below a threshold)",
+            self.name
+        );
+        let mut surrogate = SramSurrogate {
+            vdd: cell.vdd,
+            vth_n: cell.pass_gate.vth0,
+            vth_p: cell.pull_up.vth0,
+            ..SramSurrogate::typical_45nm()
+        };
+        // The surrogate's metrics are normalized to its nominal constants, so
+        // re-biasing vdd/vth alone changes only the *sensitivity* to mismatch.
+        // Rescale the absolute nominal times with the first-order drive model
+        // t ∝ swing / I_on ∝ vdd / (vdd − vth)^α relative to the typical
+        // cell, so a slow-corner or low-voltage scenario is genuinely slower
+        // in absolute terms (and a hot die, with its lower thresholds at
+        // these overdrives, exhibits the classic temperature inversion).
+        let typical = SramSurrogate::typical_45nm();
+        let nmos_time_scale = |s: &SramSurrogate| s.vdd / (s.vdd - s.vth_n).powf(s.alpha);
+        let scale = nmos_time_scale(&surrogate) / nmos_time_scale(&typical);
+        surrogate.t_read_nominal *= scale;
+        surrogate.t_write_nominal *= scale;
+        let pelgrom = PelgromModel::new(self.pelgrom_avt);
+        let space = crate::sram_models::default_sram_variation_space(&cell, &pelgrom);
+        let model = SramSurrogateModel::new(surrogate, space, self.metric);
+        let nominal = model.nominal_metric();
+        FailureProblem::from_model(model, Spec::UpperLimit(nominal * spec_factor))
+    }
+}
+
+/// One array-capacity requirement: "an array of `cells` bitcells with this
+/// much repair must yield `target_yield`", which
+/// [`ArrayYield::required_cell_sigma`] converts into the per-cell sigma bar a
+/// scenario's extraction is judged against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityTarget {
+    /// Human-readable name (e.g. `"64Mb"`).
+    pub name: String,
+    /// The array-yield model (capacity + redundancy).
+    pub array: ArrayYield,
+    /// Required array yield in `(0, 1)`.
+    pub target_yield: f64,
+}
+
+impl CapacityTarget {
+    /// The per-cell sigma level required to meet this target.
+    pub fn required_sigma(&self) -> f64 {
+        self.array.required_cell_sigma(self.target_yield)
+    }
+}
+
+/// Cartesian scenario-grid builder: the cross product of the configured
+/// corner / supply / temperature / Pelgrom / metric axes, one failure problem
+/// per grid point.
+///
+/// Defaults to the single typical point (TT, 1.0 V, 25 °C, 2.5 mV·µm, read
+/// access time) with a `1.5×` nominal spec — every `with_`-style method
+/// widens one axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPlan {
+    /// Process corners to span.
+    pub corners: Vec<GlobalCorner>,
+    /// Supply voltages (volts) to span.
+    pub supply_voltages: Vec<f64>,
+    /// Junction temperatures (°C) to span.
+    pub temperatures_celsius: Vec<f64>,
+    /// Pelgrom `A_VT` coefficients (V·m) to span.
+    pub pelgrom_avts: Vec<f64>,
+    /// Dynamic metrics to extract per operating point.
+    pub metrics: Vec<SramMetric>,
+    /// Spec limit as a multiple of each scenario's nominal metric.
+    pub spec_factor: f64,
+    /// Systematic ΔV_T magnitude of the non-typical corners, in volts.
+    pub corner_vth_magnitude: f64,
+    /// Array-capacity requirements the sweep's sigmas are compared against.
+    pub capacity_targets: Vec<CapacityTarget>,
+}
+
+impl Default for SweepPlan {
+    fn default() -> Self {
+        SweepPlan {
+            corners: vec![GlobalCorner::TypicalTypical],
+            supply_voltages: vec![1.0],
+            temperatures_celsius: vec![25.0],
+            pelgrom_avts: vec![PelgromModel::typical_45nm().a_vt()],
+            metrics: vec![SramMetric::ReadAccessTime],
+            spec_factor: 1.5,
+            corner_vth_magnitude: 0.03,
+            capacity_targets: Vec::new(),
+        }
+    }
+}
+
+impl SweepPlan {
+    /// The default single-point plan; widen axes from here.
+    pub fn new() -> Self {
+        SweepPlan::default()
+    }
+
+    /// Sets the process corners to span.
+    pub fn corners(mut self, corners: impl IntoIterator<Item = GlobalCorner>) -> Self {
+        self.corners = corners.into_iter().collect();
+        self
+    }
+
+    /// Sets the supply voltages (volts) to span.
+    pub fn supply_voltages(mut self, volts: impl IntoIterator<Item = f64>) -> Self {
+        self.supply_voltages = volts.into_iter().collect();
+        self
+    }
+
+    /// Sets the junction temperatures (°C) to span.
+    pub fn temperatures(mut self, celsius: impl IntoIterator<Item = f64>) -> Self {
+        self.temperatures_celsius = celsius.into_iter().collect();
+        self
+    }
+
+    /// Sets the Pelgrom `A_VT` coefficients (V·m) to span.
+    pub fn pelgrom_avts(mut self, avts: impl IntoIterator<Item = f64>) -> Self {
+        self.pelgrom_avts = avts.into_iter().collect();
+        self
+    }
+
+    /// Sets the dynamic metrics to extract at each operating point.
+    pub fn metrics(mut self, metrics: impl IntoIterator<Item = SramMetric>) -> Self {
+        self.metrics = metrics.into_iter().collect();
+        self
+    }
+
+    /// Sets the spec limit as a multiple of each scenario's nominal metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn spec_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "spec factor must be positive and finite"
+        );
+        self.spec_factor = factor;
+        self
+    }
+
+    /// Adds an array-capacity requirement of `cells` bitcells with
+    /// `repairable_cells` of repair at `target_yield` array yield.
+    pub fn capacity_target(
+        mut self,
+        name: impl Into<String>,
+        cells: u64,
+        repairable_cells: u64,
+        target_yield: f64,
+    ) -> Self {
+        self.capacity_targets.push(CapacityTarget {
+            name: name.into(),
+            array: ArrayYield::with_redundancy(cells, repairable_cells),
+            target_yield,
+        });
+        self
+    }
+
+    /// The scenario grid, in deterministic (nested-axis) order: corner ▸
+    /// supply ▸ temperature ▸ A_VT ▸ metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any axis is empty, or if two grid points collide on the same
+    /// scenario name (names round supply to 10 mV, temperature to 1 °C and
+    /// `A_VT` to 0.1 mV·µm; grid points closer than that would silently alias
+    /// one (problem, estimator) cell in the checkpoint and the report).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        assert!(
+            !self.corners.is_empty()
+                && !self.supply_voltages.is_empty()
+                && !self.temperatures_celsius.is_empty()
+                && !self.pelgrom_avts.is_empty()
+                && !self.metrics.is_empty(),
+            "every sweep axis needs at least one point"
+        );
+        let mut out = Vec::new();
+        for &corner in &self.corners {
+            for &vdd in &self.supply_voltages {
+                for &temp in &self.temperatures_celsius {
+                    for &avt in &self.pelgrom_avts {
+                        for &metric in &self.metrics {
+                            out.push(Scenario {
+                                name: format!(
+                                    "{}_v{:.2}_t{:+.0}c_avt{:.1}_{}",
+                                    corner_tag(corner),
+                                    vdd,
+                                    temp,
+                                    avt * 1e9,
+                                    metric.name()
+                                ),
+                                corner,
+                                supply_voltage: vdd,
+                                temperature_celsius: temp,
+                                pelgrom_avt: avt,
+                                metric,
+                                corner_vth_magnitude: self.corner_vth_magnitude,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for scenario in &out {
+            assert!(
+                seen.insert(scenario.name.as_str()),
+                "scenario name {:?} is not unique: grid points closer than the \
+                 name's rounding (10 mV / 1 °C / 0.1 mV·µm) would alias each other",
+                scenario.name
+            );
+        }
+        out
+    }
+
+    /// Builds a [`YieldAnalysis`] with one registered problem per scenario
+    /// (in grid order). Chain the usual builder calls — master seed, policy,
+    /// estimators — onto the result.
+    pub fn analysis(&self) -> YieldAnalysis {
+        let mut analysis = YieldAnalysis::new();
+        for scenario in self.scenarios() {
+            let problem = scenario.problem(self.spec_factor);
+            analysis = analysis.problem(scenario.name, problem);
+        }
+        analysis
+    }
+
+    /// The per-cell sigma requirement of every registered capacity target.
+    pub fn sigma_requirements(&self) -> Vec<(String, f64)> {
+        self.capacity_targets
+            .iter()
+            .map(|t| (t.name.clone(), t.required_sigma()))
+            .collect()
+    }
+
+    /// Flattens a finished report into one row per (scenario, estimator)
+    /// cell, each annotated with the margin against every capacity target.
+    pub fn summarize(&self, report: &AnalysisReport) -> Vec<SweepSummaryRow> {
+        let requirements = self.sigma_requirements();
+        let mut rows = Vec::new();
+        for problem in &report.problems {
+            for method in &problem.methods {
+                rows.push(SweepSummaryRow {
+                    problem: problem.problem.clone(),
+                    estimator: method.estimator.clone(),
+                    failure_probability: method.row.failure_probability,
+                    sigma_level: method.row.sigma_level,
+                    converged: method.row.converged,
+                    capacity_margins: requirements
+                        .iter()
+                        .map(|(name, required)| CapacityMargin {
+                            target: name.clone(),
+                            required_sigma: *required,
+                            margin_sigma: method.row.sigma_level - required,
+                            meets: method.row.sigma_level >= *required,
+                        })
+                        .collect(),
+                });
+            }
+        }
+        rows
+    }
+}
+
+/// One line of [`SweepPlan::summarize`]: a cell's extracted sigma next to
+/// every capacity requirement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummaryRow {
+    /// Scenario (problem) name.
+    pub problem: String,
+    /// Estimator name.
+    pub estimator: String,
+    /// Extracted failure probability.
+    pub failure_probability: f64,
+    /// Equivalent sigma level.
+    pub sigma_level: f64,
+    /// Whether the estimator converged to its accuracy target.
+    pub converged: bool,
+    /// Margin against each capacity target of the plan.
+    pub capacity_margins: Vec<CapacityMargin>,
+}
+
+/// Sigma margin of one cell against one [`CapacityTarget`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityMargin {
+    /// Capacity-target name.
+    pub target: String,
+    /// Required per-cell sigma.
+    pub required_sigma: f64,
+    /// Extracted sigma minus required sigma (positive = passing).
+    pub margin_sigma: f64,
+    /// `margin_sigma >= 0`.
+    pub meets: bool,
+}
+
+/// One durably-persisted cell of a sweep: the checkpoint file holds one of
+/// these per line (JSON lines).
+///
+/// A record is only restored when `master_seed`, the uniform
+/// [`ConvergencePolicy`] and the [`MethodReport::seed`] inside all match what
+/// the current analysis derives for that (problem, estimator) pair — a
+/// checkpoint written against a different seeding, budget or problem set is
+/// silently treated as stale and the cell re-runs. (An estimator configured
+/// *individually*, outside the driver-level policy, is not captured here;
+/// keep per-estimator configuration identical across resumed invocations.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCellRecord {
+    /// Master seed of the analysis that produced this cell.
+    pub master_seed: u64,
+    /// The uniform convergence policy of the analysis that produced this
+    /// cell, if one was configured.
+    pub policy: Option<ConvergencePolicy>,
+    /// Problem (scenario) name.
+    pub problem: String,
+    /// The completed method report, estimator name and derived seed included.
+    pub report: MethodReport,
+}
+
+/// Progress summary of a (possibly partial) sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepStatus {
+    /// Total (problem, estimator) cells in the matrix.
+    pub total_cells: usize,
+    /// Cells completed so far (restored + freshly run).
+    pub completed_cells: usize,
+    /// Cells restored from the checkpoint file rather than executed.
+    pub restored_cells: usize,
+    /// Checkpoint lines discarded as stale (seed mismatch, unknown cell) or
+    /// corrupt (e.g. the truncated last line of a killed run).
+    pub discarded_records: usize,
+    /// Names of the cells still pending, as `(problem, estimator)` pairs.
+    pub pending: Vec<(String, String)>,
+}
+
+impl SweepStatus {
+    /// Whether every cell of the matrix is complete.
+    pub fn is_complete(&self) -> bool {
+        self.completed_cells == self.total_cells
+    }
+
+    /// Completed fraction in `[0, 1]` (1 for an empty matrix).
+    pub fn fraction_complete(&self) -> f64 {
+        if self.total_cells == 0 {
+            1.0
+        } else {
+            self.completed_cells as f64 / self.total_cells as f64
+        }
+    }
+}
+
+/// Outcome of one [`SweepRunner::run`] invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The assembled report — `Some` exactly when every cell is complete
+    /// (`status.is_complete()`); `None` when a cell budget stopped the run
+    /// early, in which case the checkpoint holds everything finished so far.
+    pub report: Option<AnalysisReport>,
+    /// Progress summary after this invocation.
+    pub status: SweepStatus,
+}
+
+/// Matrix scheduler with durable checkpoint/resume on top of
+/// [`YieldAnalysis`].
+///
+/// See the [module documentation](self) for the guarantees; in short:
+/// bit-identical to [`YieldAnalysis::run`] at any matrix thread count, and a
+/// resumed run reproduces the uninterrupted report exactly.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    matrix: ExecutionConfig,
+    checkpoint: Option<PathBuf>,
+    cell_budget: Option<usize>,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner with matrix parallelism resolved from `GIS_THREADS` and no
+    /// checkpointing.
+    pub fn new() -> Self {
+        SweepRunner {
+            matrix: ExecutionConfig::from_env(),
+            checkpoint: None,
+            cell_budget: None,
+        }
+    }
+
+    /// Sets the matrix-level execution configuration (how many cells run
+    /// concurrently — independent of each estimator's own thread count).
+    pub fn matrix(mut self, matrix: ExecutionConfig) -> Self {
+        self.matrix = matrix;
+        self
+    }
+
+    /// Enables durable checkpointing to the JSON-lines file at `path`
+    /// (created on first use; existing completed cells are restored).
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Caps how many *new* cells this invocation may execute — the remaining
+    /// cells stay pending in the checkpoint. Useful for time-boxed batch
+    /// slots, and for deterministically exercising kill/resume in tests.
+    pub fn cell_budget(mut self, cells: usize) -> Self {
+        self.cell_budget = Some(cells);
+        self
+    }
+
+    /// Reads the checkpoint and reports sweep progress without running any
+    /// cell. `analysis` is not mutated beyond configuration validation.
+    pub fn status(&self, analysis: &mut YieldAnalysis) -> SweepStatus {
+        analysis.apply_configuration();
+        let (restored, discarded) = self.restore(analysis);
+        let restored_count = restored.len();
+        self.build_status(analysis, &restored, restored_count, discarded)
+    }
+
+    /// Runs every pending cell (up to the cell budget), checkpointing each as
+    /// it completes, and assembles the full report once nothing is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrunnable matrix (same conditions as
+    /// [`YieldAnalysis::run`]), on duplicate problem or estimator names (the
+    /// scheduler keys cells by name), or when the checkpoint file cannot be
+    /// opened or appended to — durability failures must not be silent.
+    pub fn run(&self, analysis: &mut YieldAnalysis) -> SweepOutcome {
+        analysis.apply_configuration();
+        let estimator_names: Vec<String> = analysis
+            .estimator_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let problem_names: Vec<String> = analysis
+            .problem_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        // The scheduler keys cells by (problem, estimator) name; duplicate
+        // names would silently alias cells that the sequential path computes
+        // independently, so reject them up front.
+        assert_unique("problem", &problem_names);
+        assert_unique("estimator", &estimator_names);
+        let (mut completed, discarded) = self.restore(analysis);
+        let restored = completed.len();
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for (pi, problem) in problem_names.iter().enumerate() {
+            for (ei, estimator) in estimator_names.iter().enumerate() {
+                if !completed.contains_key(&(problem.clone(), estimator.clone())) {
+                    pending.push((pi, ei));
+                }
+            }
+        }
+        let to_run: Vec<(usize, usize)> = match self.cell_budget {
+            Some(budget) => pending.iter().take(budget).copied().collect(),
+            None => pending.clone(),
+        };
+
+        // Open the appender before spending any work, so an unwritable
+        // checkpoint fails fast instead of after hours of simulation.
+        let appender = self.checkpoint.as_ref().map(|path| {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).expect("checkpoint directory is creatable");
+            }
+            Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .expect("checkpoint file is openable for append"),
+            )
+        });
+
+        let master_seed = analysis.master_seed_value();
+        let policy = analysis.convergence_policy_value();
+        let fresh: Vec<((usize, usize), MethodReport)> =
+            self.matrix.executor().map_tasks(to_run.len(), |task| {
+                let (pi, ei) = to_run[task];
+                let report = analysis.run_cell(pi, ei);
+                if let Some(appender) = &appender {
+                    let record = SweepCellRecord {
+                        master_seed,
+                        policy,
+                        problem: problem_names[pi].clone(),
+                        report: report.clone(),
+                    };
+                    let line =
+                        serde_json::to_string(&record).expect("sweep cell record serializes");
+                    let mut file = appender.lock().expect("checkpoint appender not poisoned");
+                    writeln!(file, "{line}").expect("checkpoint line is appendable");
+                    file.flush().expect("checkpoint flushes");
+                }
+                ((pi, ei), report)
+            });
+        let executed = fresh.len();
+        for ((pi, ei), report) in fresh {
+            completed.insert(
+                (problem_names[pi].clone(), estimator_names[ei].clone()),
+                report,
+            );
+        }
+
+        let status = self.build_status(analysis, &completed, restored, discarded);
+        let report = if status.is_complete() {
+            debug_assert_eq!(restored + executed, status.completed_cells);
+            let cells = problem_names
+                .iter()
+                .map(|p| {
+                    estimator_names
+                        .iter()
+                        .map(|e| {
+                            completed
+                                .get(&(p.clone(), e.clone()))
+                                .expect("complete status implies every cell present")
+                                .clone()
+                        })
+                        .collect()
+                })
+                .collect();
+            Some(analysis.assemble_report(cells))
+        } else {
+            None
+        };
+        SweepOutcome { report, status }
+    }
+
+    /// Loads the checkpoint (if configured and present), keeping only records
+    /// that match the analysis' current cells and seed derivation. Returns
+    /// the restored map and the number of discarded lines.
+    fn restore(
+        &self,
+        analysis: &YieldAnalysis,
+    ) -> (HashMap<(String, String), MethodReport>, usize) {
+        let mut restored = HashMap::new();
+        let mut discarded = 0usize;
+        let Some(path) = &self.checkpoint else {
+            return (restored, discarded);
+        };
+        let Ok(contents) = std::fs::read_to_string(path) else {
+            return (restored, discarded);
+        };
+        let estimator_names: Vec<String> = analysis
+            .estimator_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let problem_names: Vec<String> = analysis
+            .problem_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        for line in contents.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(record) = serde_json::from_str::<SweepCellRecord>(line) else {
+                // Corrupt line — most commonly the truncated tail of a killed
+                // append. The cell simply re-runs.
+                discarded += 1;
+                continue;
+            };
+            let known_cell = problem_names.contains(&record.problem)
+                && estimator_names.contains(&record.report.estimator);
+            // Seeds pin the *randomness*; the policy pins the *budget and
+            // stopping rule*. Both must match, or a resume after a
+            // configuration change would smuggle differently-configured
+            // results into a report claimed complete.
+            let configuration_matches = record.master_seed == analysis.master_seed_value()
+                && record.policy == analysis.convergence_policy_value()
+                && known_cell
+                && record.report.seed
+                    == analysis.derived_seed(&record.problem, &record.report.estimator);
+            if !configuration_matches {
+                discarded += 1;
+                continue;
+            }
+            let key = (record.problem.clone(), record.report.estimator.clone());
+            if restored.insert(key, record.report).is_some() {
+                // Duplicate cell (e.g. overlapping partial runs): the newest
+                // line wins, the older one counts as discarded.
+                discarded += 1;
+            }
+        }
+        (restored, discarded)
+    }
+
+    fn build_status(
+        &self,
+        analysis: &YieldAnalysis,
+        completed: &HashMap<(String, String), MethodReport>,
+        restored: usize,
+        discarded: usize,
+    ) -> SweepStatus {
+        let mut pending = Vec::new();
+        for p in analysis.problem_names() {
+            for e in analysis.estimator_names() {
+                if !completed.contains_key(&(p.to_string(), e.to_string())) {
+                    pending.push((p.to_string(), e.to_string()));
+                }
+            }
+        }
+        let total = analysis.problem_names().len() * analysis.estimator_names().len();
+        SweepStatus {
+            total_cells: total,
+            completed_cells: total - pending.len(),
+            restored_cells: restored,
+            discarded_records: discarded,
+            pending,
+        }
+    }
+}
+
+/// Convenience: deletes the checkpoint file at `path` if it exists (start a
+/// sweep fresh). Missing files are fine; other IO errors are returned.
+pub fn clear_checkpoint(path: impl AsRef<Path>) -> std::io::Result<()> {
+    match std::fs::remove_file(path.as_ref()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LinearLimitState;
+    use crate::montecarlo::{MonteCarlo, MonteCarloConfig};
+
+    fn tiny_analysis() -> YieldAnalysis {
+        let linear = |beta| {
+            FailureProblem::from_model(
+                LinearLimitState::along_first_axis(3, beta),
+                LinearLimitState::spec(),
+            )
+        };
+        YieldAnalysis::new()
+            .master_seed(5)
+            .convergence_policy(ConvergencePolicy::with_budget(2_000))
+            .problem("p-low", linear(2.0))
+            .problem("p-high", linear(3.0))
+            .estimator(Box::new(MonteCarlo::new(MonteCarloConfig::default())))
+    }
+
+    #[test]
+    fn scenario_grid_is_the_cartesian_product_in_order() {
+        let plan = SweepPlan::new()
+            .corners([GlobalCorner::TypicalTypical, GlobalCorner::SlowSlow])
+            .supply_voltages([0.9, 1.0])
+            .temperatures([-40.0, 125.0])
+            .metrics([SramMetric::ReadAccessTime, SramMetric::WriteDelay]);
+        let scenarios = plan.scenarios();
+        assert_eq!(scenarios.len(), 2 * 2 * 2 * 2);
+        // Names are unique and deterministic.
+        let names: std::collections::HashSet<_> =
+            scenarios.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), scenarios.len());
+        assert_eq!(scenarios[0].name, "tt_v0.90_t-40c_avt2.5_read-access-time");
+        // Innermost axis varies fastest.
+        assert_eq!(scenarios[1].metric, SramMetric::WriteDelay);
+        assert_eq!(scenarios[0].corner, GlobalCorner::TypicalTypical);
+        assert_eq!(scenarios.last().unwrap().corner, GlobalCorner::SlowSlow);
+    }
+
+    #[test]
+    fn scenarios_build_working_problems() {
+        let plan = SweepPlan::new()
+            .corners([GlobalCorner::SlowSlow])
+            .supply_voltages([0.85]);
+        let scenarios = plan.scenarios();
+        let problem = scenarios[0].problem(plan.spec_factor);
+        assert_eq!(problem.dim(), 6);
+        // The nominal point passes its own 1.5x spec.
+        assert!(!problem.is_failure(&gis_linalg::Vector::zeros(6)));
+        // A slow-corner low-voltage cell is slower (larger nominal read time)
+        // than the typical one: both effects cut the overdrive.
+        let typical = SweepPlan::new().scenarios()[0].problem(1.5);
+        let nominal_stressed = problem.spec().limit() / 1.5;
+        let nominal_typical = typical.spec().limit() / 1.5;
+        assert!(
+            nominal_stressed > nominal_typical,
+            "stressed {nominal_stressed} vs typical {nominal_typical}"
+        );
+        // The temperature axis re-biases the thresholds: a hot die has lower
+        // V_T under the library's coefficient, so its nominal metric differs
+        // from the 25 °C point (temperature inversion: at these overdrives
+        // the hot cell reads *faster*).
+        let hot = SweepPlan::new().temperatures([125.0]).scenarios()[0].problem(1.5);
+        assert!(hot.spec().limit() < typical.spec().limit());
+        // The Pelgrom axis widens the variation space: same nominal, larger
+        // mismatch sigma, so the same whitened point sits further out
+        // physically and fails a spec the tighter-mismatch cell meets.
+        let wide = SweepPlan::new().pelgrom_avts([5.0e-9]).scenarios()[0].problem(1.5);
+        let stress = gis_linalg::Vector::from_slice(&[4.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let wide_fork = wide.fork();
+        assert!(wide_fork.failure_margin(&stress) > typical.fork().failure_margin(&stress));
+    }
+
+    #[test]
+    fn capacity_targets_translate_to_sigma_requirements() {
+        let plan = SweepPlan::new()
+            .capacity_target("64Kb", 64 * 1024, 0, 0.99)
+            .capacity_target("64Mb", 64 * 1024 * 1024, 0, 0.99);
+        let reqs = plan.sigma_requirements();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].0, "64Kb");
+        // Bigger arrays demand more sigma.
+        assert!(reqs[1].1 > reqs[0].1);
+        assert!(reqs[0].1 > 4.0 && reqs[1].1 < 7.5);
+    }
+
+    #[test]
+    fn runner_without_checkpoint_matches_sequential_run() {
+        let sequential = tiny_analysis().run();
+        for threads in [1, 2, 8] {
+            let outcome = SweepRunner::new()
+                .matrix(ExecutionConfig::with_threads(threads))
+                .run(&mut tiny_analysis());
+            assert!(outcome.status.is_complete());
+            assert_eq!(outcome.status.restored_cells, 0);
+            assert_eq!(outcome.report.expect("complete"), sequential);
+        }
+    }
+
+    #[test]
+    fn cell_budget_pauses_and_resume_completes() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("budget.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let reference = tiny_analysis().run();
+        let partial = SweepRunner::new()
+            .checkpoint(&path)
+            .cell_budget(1)
+            .run(&mut tiny_analysis());
+        assert!(partial.report.is_none());
+        assert_eq!(partial.status.completed_cells, 1);
+        assert_eq!(partial.status.pending.len(), 1);
+        assert!((partial.status.fraction_complete() - 0.5).abs() < 1e-12);
+
+        // Status is readable without running anything.
+        let status = SweepRunner::new()
+            .checkpoint(&path)
+            .status(&mut tiny_analysis());
+        assert_eq!(status.completed_cells, 1);
+        assert!(!status.is_complete());
+
+        let resumed = SweepRunner::new()
+            .checkpoint(&path)
+            .run(&mut tiny_analysis());
+        assert!(resumed.status.is_complete());
+        assert_eq!(resumed.status.restored_cells, 1);
+        assert_eq!(resumed.report.expect("complete"), reference);
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn policy_change_invalidates_the_checkpoint() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("policy.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let done = SweepRunner::new()
+            .checkpoint(&path)
+            .run(&mut tiny_analysis());
+        assert!(done.status.is_complete());
+
+        // Same seed, bigger budget: every stored cell ran under the old
+        // policy and must not be restored into the new report.
+        let repoliced =
+            || tiny_analysis().convergence_policy(ConvergencePolicy::with_budget(4_000));
+        let status = SweepRunner::new()
+            .checkpoint(&path)
+            .status(&mut repoliced());
+        assert_eq!(status.restored_cells, 0);
+        assert_eq!(status.discarded_records, 2);
+
+        let rerun = SweepRunner::new().checkpoint(&path).run(&mut repoliced());
+        assert_eq!(rerun.status.restored_cells, 0);
+        assert_eq!(rerun.report.expect("complete"), repoliced().run());
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate problem name")]
+    fn duplicate_problem_names_are_rejected_by_the_runner() {
+        let linear = |beta| {
+            FailureProblem::from_model(
+                LinearLimitState::along_first_axis(2, beta),
+                LinearLimitState::spec(),
+            )
+        };
+        let mut analysis = YieldAnalysis::new()
+            .problem("same", linear(2.0))
+            .problem("same", linear(3.0))
+            .estimator(Box::new(MonteCarlo::new(MonteCarloConfig::default())));
+        let _ = SweepRunner::new().run(&mut analysis);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not unique")]
+    fn colliding_scenario_names_are_rejected() {
+        // Two temperatures that round to the same whole degree alias the
+        // scenario name; the grid must refuse instead of silently merging
+        // two operating points.
+        let _ = SweepPlan::new().temperatures([25.2, 25.4]).scenarios();
+    }
+
+    #[test]
+    fn stale_and_corrupt_checkpoint_lines_are_discarded() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("stale.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        // Complete a sweep under one master seed...
+        let done = SweepRunner::new()
+            .checkpoint(&path)
+            .run(&mut tiny_analysis());
+        assert!(done.status.is_complete());
+        // ...corrupt the file with a truncated line...
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"master_seed\": 5, \"problem\": \"p-l").unwrap();
+        }
+        // ...then re-open it under a *different* master seed: every stored
+        // cell is stale and re-runs.
+        let mut reseeded = tiny_analysis().master_seed(6);
+        let status = SweepRunner::new().checkpoint(&path).status(&mut reseeded);
+        assert_eq!(status.restored_cells, 0);
+        assert_eq!(status.discarded_records, 3); // 2 stale + 1 corrupt
+        assert_eq!(status.pending.len(), 2);
+
+        // Under the original seed the two good lines restore and the corrupt
+        // tail is skipped.
+        let status = SweepRunner::new()
+            .checkpoint(&path)
+            .status(&mut tiny_analysis());
+        assert_eq!(status.restored_cells, 2);
+        assert_eq!(status.discarded_records, 1);
+        assert!(status.is_complete());
+        clear_checkpoint(&path).unwrap();
+    }
+}

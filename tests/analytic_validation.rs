@@ -184,3 +184,58 @@ fn evaluation_counters_are_charged_to_the_right_method() {
     // The original problem handle is untouched too (forks have separate counters).
     assert_eq!(problem.evaluations(), 0);
 }
+
+#[test]
+fn far_tail_probability_chain_is_accurate_to_machine_precision() {
+    use sram_highsigma::highsigma::ArrayYield;
+    use sram_highsigma::stats::normal;
+
+    // The full far-tail conversion chain the extraction flow rests on:
+    // exact linear-limit-state probabilities at 6–8σ (golden values from a
+    // ~1 ulp libm erfc) and their inversion back to sigma levels. Before the
+    // continued-fraction erfc these held only to ~1e-4 relative error.
+    let golden = [
+        (6.0, 9.865876450377012e-10),
+        (6.5, 4.016000583859125e-11),
+        (7.0, 1.279812543885835e-12),
+        (7.5, 3.19089167291092e-14),
+        (8.0, 6.220960574271819e-16),
+    ];
+    for (beta, expected) in golden {
+        let limit_state = LinearLimitState::along_first_axis(4, beta);
+        let p = limit_state.exact_failure_probability();
+        let rel = (p - expected).abs() / expected;
+        assert!(rel < 1e-13, "P_fail({beta}σ) = {p:e}, rel error {rel:e}");
+        // Round trip through the quantile with far-tail fidelity.
+        assert!(
+            (normal::sigma_level(p) - beta).abs() < 1e-11,
+            "sigma_level(P({beta}σ)) = {}",
+            normal::sigma_level(p)
+        );
+    }
+
+    // Array-capacity arithmetic consumes those tails: a 1 Gb array without
+    // redundancy needs p ≤ (1 - yield^(1/N)) ≈ -ln(yield)/N per cell; check
+    // the bisection + Poisson CDF against the closed form.
+    let cells: u64 = 1 << 30;
+    let array = ArrayYield::without_redundancy(cells);
+    let target = 0.99_f64;
+    let p_req = array.required_cell_failure_probability(target);
+    let closed_form = -target.ln() / cells as f64;
+    let rel = (p_req - closed_form).abs() / closed_form;
+    assert!(
+        rel < 1e-6,
+        "required p {p_req:e} vs closed form {closed_form:e}"
+    );
+    // And the sigma target lands where the golden table says it should
+    // (p ≈ 9.36e-12 → just under 6.8σ).
+    let sigma = array.required_cell_sigma(target);
+    assert!(
+        (6.5..7.0).contains(&sigma),
+        "1Gb @ 99% yield requires {sigma}σ"
+    );
+    assert!(
+        (normal::upper_tail_probability(sigma) - p_req).abs() / p_req < 1e-9,
+        "sigma/probability inversion drifted"
+    );
+}

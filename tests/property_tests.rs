@@ -4,7 +4,7 @@
 //! monotonicity.
 
 use proptest::prelude::*;
-use sram_highsigma::highsigma::{Proposal, Spec};
+use sram_highsigma::highsigma::{IsAccumulator, Proposal, Spec};
 use sram_highsigma::linalg::{Cholesky, LuDecomposition, Matrix, Vector};
 use sram_highsigma::sram::{CellTransistor, SramSurrogate};
 use sram_highsigma::stats::{normal, OnlineStats, RngStream};
@@ -167,5 +167,60 @@ proptest! {
         for _ in 0..n {
             prop_assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
         }
+    }
+
+    #[test]
+    fn is_accumulator_variance_matches_two_pass_reference_under_chunked_merging(
+        log_weights in prop::collection::vec(-8.0f64..8.0, 8..200),
+        fail_seed in 0u64..u64::MAX,
+        chunk_size in 1usize..40,
+    ) {
+        // Weights spanning ~7 orders of magnitude with a random failure
+        // pattern, accumulated (a) sequentially and (b) merged from chunks:
+        // both standard errors must match an exact two-pass computation.
+        let mut fail_rng = RngStream::from_seed(fail_seed);
+        let samples: Vec<(f64, bool)> = log_weights
+            .iter()
+            .map(|&lw| (lw.exp(), fail_rng.uniform() < 0.4))
+            .collect();
+
+        let n = samples.len() as f64;
+        let xs: Vec<f64> = samples
+            .iter()
+            .map(|&(w, failed)| if failed { w } else { 0.0 })
+            .collect();
+        let mean = xs.iter().sum::<f64>() / n;
+        let m2 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+        let two_pass_se = (m2 / (n - 1.0) / n).sqrt();
+
+        let mut sequential = IsAccumulator::new();
+        for &(w, failed) in &samples {
+            sequential.push(w, failed);
+        }
+        let mut merged = IsAccumulator::new();
+        for chunk in samples.chunks(chunk_size) {
+            let mut acc = IsAccumulator::new();
+            for &(w, failed) in chunk {
+                acc.push(w, failed);
+            }
+            merged.merge(&acc);
+        }
+
+        prop_assert_eq!(merged.samples(), sequential.samples());
+        prop_assert_eq!(merged.failures(), sequential.failures());
+        let scale = two_pass_se.max(1e-300);
+        prop_assert!(
+            (sequential.standard_error() - two_pass_se).abs() <= 1e-9 * scale,
+            "sequential SE {} vs two-pass {}",
+            sequential.standard_error(),
+            two_pass_se
+        );
+        prop_assert!(
+            (merged.standard_error() - two_pass_se).abs() <= 1e-9 * scale,
+            "merged SE {} vs two-pass {} (chunk {})",
+            merged.standard_error(),
+            two_pass_se,
+            chunk_size
+        );
     }
 }

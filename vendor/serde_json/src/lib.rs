@@ -3,9 +3,15 @@
 //! [`to_string_pretty`], [`from_str`] and [`Value`].
 //!
 //! Mirrors serde_json behaviour where it matters:
-//! * non-finite floats serialize as `null`,
+//! * `NaN` serializes as `null`,
 //! * object key order is preserved,
 //! * parsing accepts arbitrary whitespace and the full JSON escape set.
+//!
+//! One deliberate extension over upstream: infinities serialize as
+//! `1e999`/`-1e999` (valid JSON number syntax that saturates back to the
+//! right infinity in any IEEE-754 parser) instead of `null`, so values like
+//! "relative error before the first failure" survive the checkpoint round
+//! trip of `gis_core::sweep` bit for bit.
 
 pub use serde::Value;
 
@@ -90,8 +96,15 @@ fn write_escaped(out: &mut String, s: &str) {
 }
 
 fn write_float(out: &mut String, x: f64) {
-    if !x.is_finite() {
+    if x.is_nan() {
         out.push_str("null");
+    } else if x.is_infinite() {
+        // JSON has no infinity literal; `1e999` is valid number *syntax* that
+        // every IEEE-754 parser (including this one) saturates back to the
+        // infinity of the right sign, so the value survives a round trip.
+        // (NaN stays `null` — there is no number-syntax spelling for it — and
+        // deserializes back to NaN, matching upstream serde_json readers.)
+        out.push_str(if x > 0.0 { "1e999" } else { "-1e999" });
     } else if x == x.trunc() && x.abs() < 1e15 {
         // Keep the float-ness visible in the output, as serde_json does.
         out.push_str(&format!("{x:.1}"));
@@ -418,9 +431,17 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_become_null() {
+    fn nan_becomes_null_and_infinities_round_trip() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
-        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "1e999");
+        assert_eq!(to_string(&f64::NEG_INFINITY).unwrap(), "-1e999");
+        let back: f64 = from_str("1e999").unwrap();
+        assert_eq!(back, f64::INFINITY);
+        let back: f64 = from_str("-1e999").unwrap();
+        assert_eq!(back, f64::NEG_INFINITY);
+        // NaN cannot be spelled as a JSON number; it round-trips via null.
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
     }
 
     #[test]
