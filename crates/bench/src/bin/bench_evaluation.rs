@@ -17,13 +17,12 @@
 //! count comes from `GIS_THREADS`, falling back to the machine's available
 //! parallelism (capped at 8).
 
-use gis_bench::{problem_with_relative_spec, transient_model, MASTER_SEED};
+use gis_bench::{problem_with_relative_spec, transient_model, workspace_root, MASTER_SEED};
 use gis_core::{
     standard_estimators, ConvergencePolicy, EstimatorOutcome, ExecutionConfig, FailureProblem,
     LinearLimitState, QuadraticLimitState, SramMetric, YieldAnalysis,
 };
 use serde::Serialize;
-use std::path::{Path, PathBuf};
 
 #[derive(Debug, Serialize)]
 struct BenchEntry {
@@ -121,21 +120,6 @@ fn run_all(bench: &BenchProblem, threads: usize) -> Vec<(String, EstimatorOutcom
             )
         })
         .collect()
-}
-
-/// Resolves the workspace root (the directory holding the top-level
-/// `Cargo.toml`), whether the binary is run from the root or from the crate.
-fn workspace_root() -> PathBuf {
-    let candidates = [
-        Path::new(".").to_path_buf(),
-        Path::new("../..").to_path_buf(),
-    ];
-    for dir in candidates {
-        if dir.join("Cargo.toml").exists() && dir.join("ROADMAP.md").exists() {
-            return dir;
-        }
-    }
-    Path::new(".").to_path_buf()
 }
 
 fn main() {

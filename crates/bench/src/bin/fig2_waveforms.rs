@@ -5,9 +5,10 @@
 //! −3σ, showing how threshold variation stretches the bitline discharge (read)
 //! and the cell flip (write).
 //!
-//! Run with `cargo run --release -p gis-bench --bin fig2_waveforms`.
+//! Run with `cargo run --release -p gis-bench --bin fig2_waveforms`
+//! (`-- --fast` dumps the nominal and +3σ corners only, for the CI smoke).
 
-use gis_bench::{print_csv, write_json_artifact};
+use gis_bench::{fast_mode, print_csv, write_json_artifact};
 use gis_circuit::{transient_analysis, Circuit, SourceWaveform, TransientConfig};
 use gis_sram::{build_6t_cell, CellTransistor, SramCellConfig, SramTestbench};
 use gis_variation::PelgromModel;
@@ -94,12 +95,19 @@ fn main() {
         PelgromModel::typical_45nm().sigma_vth(cell.pass_gate.width, cell.pass_gate.length);
     println!("pass-gate Vth sigma: {:.1} mV", sigma_pg * 1e3);
 
+    let corners: &[(&str, f64)] = if fast_mode() {
+        &[("nominal", 0.0), ("pass-gate +3sigma", 3.0)]
+    } else {
+        &[
+            ("nominal", 0.0),
+            ("pass-gate +3sigma", 3.0),
+            ("pass-gate -3sigma", -3.0),
+        ]
+    };
+
     let mut dumps = Vec::new();
-    for (label, shift) in [
-        ("nominal", 0.0),
-        ("pass-gate +3sigma", 3.0 * sigma_pg),
-        ("pass-gate -3sigma", -3.0 * sigma_pg),
-    ] {
+    for &(label, sigmas) in corners {
+        let shift = sigmas * sigma_pg;
         let mut deltas = [0.0; 6];
         deltas[CellTransistor::PassGateLeft.index()] = shift;
         let dump = read_waveforms(label, &deltas);
@@ -127,13 +135,9 @@ fn main() {
 
     // Summary measurements mirroring the figure annotations.
     let tb = SramTestbench::typical_45nm();
-    for (label, shift) in [
-        ("nominal", 0.0),
-        ("pass-gate +3sigma", 3.0 * sigma_pg),
-        ("pass-gate -3sigma", -3.0 * sigma_pg),
-    ] {
+    for &(label, sigmas) in corners {
         let mut deltas = [0.0; 6];
-        deltas[CellTransistor::PassGateLeft.index()] = shift;
+        deltas[CellTransistor::PassGateLeft.index()] = sigmas * sigma_pg;
         let read = tb.read(&deltas).expect("read transient converges");
         let write = tb.write(&deltas).expect("write transient converges");
         println!(

@@ -9,7 +9,7 @@
 //! Run with `cargo run --release -p gis-bench --bin fig3_metric_distribution`.
 
 use gis_bench::{
-    print_csv, surrogate_read_model, transient_model, write_json_artifact, MASTER_SEED,
+    print_csv, scaled, surrogate_read_model, transient_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{PerformanceModel, SramMetric};
 use gis_stats::{quantile_of, Histogram, RngStream};
@@ -68,14 +68,14 @@ fn main() {
 
     // Surrogate population.
     let surrogate = surrogate_read_model();
-    let surrogate_samples: Vec<f64> = (0..50_000)
+    let surrogate_samples: Vec<f64> = (0..scaled(50_000, 5_000))
         .map(|_| surrogate.evaluate(&rng.standard_normal_vector(surrogate.dim())))
         .collect();
     let surrogate_summary = summarize("surrogate", &surrogate_samples);
 
     // Transient population (smaller because each sample is a full simulation).
     let transient = transient_model(SramMetric::ReadAccessTime);
-    let transient_samples: Vec<f64> = (0..2_000)
+    let transient_samples: Vec<f64> = (0..scaled(2_000, 150))
         .map(|_| transient.evaluate(&rng.standard_normal_vector(transient.dim())))
         .collect();
     let transient_summary = summarize("transient", &transient_samples);

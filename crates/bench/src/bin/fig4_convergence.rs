@@ -11,7 +11,8 @@
 //! Run with `cargo run --release -p gis-bench --bin fig4_convergence`.
 
 use gis_bench::{
-    print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
+    print_csv, problem_with_relative_spec, scaled, surrogate_read_model, write_json_artifact,
+    MASTER_SEED,
 };
 use gis_core::{
     run_importance_sampling, Estimator, Executor, GisConfig, GradientImportanceSampling,
@@ -72,7 +73,7 @@ fn main() {
     // The convergence-focused budgets differ per method, so each estimator is
     // registered with its own configuration rather than a uniform policy.
     let sampling = ImportanceSamplingConfig {
-        max_samples: 50_000,
+        max_samples: scaled(50_000, 5_000),
         batch_size: 500,
         target_relative_error: 0.02,
         min_failures: 50,
@@ -87,18 +88,18 @@ fn main() {
             ..MnisConfig::default()
         })),
         Box::new(SphericalSampling::new(SphericalSamplingConfig {
-            directions: 3_000,
+            directions: scaled(3_000, 300),
             target_relative_error: 0.02,
             ..SphericalSamplingConfig::default()
         })),
         Box::new(ScaledSigmaSampling::new(SssConfig {
-            samples_per_scale: 10_000,
+            samples_per_scale: scaled(10_000, 1_000),
             ..SssConfig::default()
         })),
         // Brute-force Monte Carlo will not converge at this sigma level; its
         // trace demonstrates why.
         Box::new(MonteCarlo::new(MonteCarloConfig {
-            max_samples: 200_000,
+            max_samples: scaled(200_000, 20_000),
             batch_size: 10_000,
             target_relative_error: 0.1,
             min_failures: 10,
@@ -126,10 +127,10 @@ fn main() {
             &long_problem,
             &Proposal::defensive_mixture(shift, 0.1),
             &ImportanceSamplingConfig {
-                max_samples: 200_000,
-                batch_size: 10_000,
+                max_samples: scaled(200_000, 20_000),
+                batch_size: scaled(10_000, 2_000),
                 target_relative_error: 0.01,
-                min_failures: 500,
+                min_failures: scaled(500, 50),
             },
             &mut master.split(100),
             &Executor::from_env(),

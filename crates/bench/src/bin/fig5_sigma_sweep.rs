@@ -12,7 +12,8 @@
 //! Run with `cargo run --release -p gis-bench --bin fig5_sigma_sweep`.
 
 use gis_bench::{
-    print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
+    print_csv, problem_with_relative_spec, scaled, surrogate_read_model, write_json_artifact,
+    MASTER_SEED,
 };
 use gis_core::{
     run_importance_sampling, ConvergencePolicy, Estimator, Executor, GisConfig,
@@ -37,7 +38,7 @@ struct SigmaSweepPoint {
 }
 
 fn main() {
-    let spec_factors = [1.35, 1.5, 1.7, 1.9, 2.2, 2.6];
+    let spec_factors: &[f64] = scaled(&[1.35, 1.5, 1.7, 1.9, 2.2, 2.6], &[1.5, 2.2]);
     let master = RngStream::from_seed(MASTER_SEED + 11);
 
     // One driver, one problem per sweep point, both methods at the production
@@ -49,12 +50,12 @@ fn main() {
     let mut analysis = YieldAnalysis::new()
         .master_seed(MASTER_SEED + 11)
         .convergence_policy(
-            ConvergencePolicy::with_budget(60_000)
+            ConvergencePolicy::with_budget(scaled(60_000, 10_000))
                 .target_relative_error(0.1)
                 .min_failures(30),
         )
         .estimators(estimators);
-    for &factor in &spec_factors {
+    for &factor in spec_factors {
         let model = surrogate_read_model();
         let nominal = model.nominal_metric();
         analysis = analysis.problem(
@@ -80,10 +81,10 @@ fn main() {
             &problem_with_relative_spec(model, nominal, factor),
             &Proposal::defensive_mixture(shift, 0.1),
             &ImportanceSamplingConfig {
-                max_samples: 300_000,
-                batch_size: 20_000,
+                max_samples: scaled(300_000, 30_000),
+                batch_size: scaled(20_000, 5_000),
                 target_relative_error: 0.01,
-                min_failures: 1_000,
+                min_failures: scaled(1_000, 100),
             },
             &mut master.split((index * 10 + 1) as u64),
             &Executor::from_env(),

@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p gis-bench --bin fig6_mpfp_trace`.
 
 use gis_bench::{
-    print_csv, problem_with_relative_spec, surrogate_read_model, transient_model,
+    print_csv, problem_with_relative_spec, scaled, surrogate_read_model, transient_model,
     write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
@@ -40,7 +40,10 @@ fn trace_problem(name: &str, problem: &FailureProblem, seed: u64) -> MpfpTrace {
     let result = search.search(&problem.fork(), &mut rng);
 
     // The derivative-free competitor's search phase on the same problem.
-    let mnis = MinimumNormIs::new(MnisConfig::default());
+    let mnis = MinimumNormIs::new(MnisConfig {
+        presamples_per_round: scaled(2_000, 300),
+        ..MnisConfig::default()
+    });
     let mnis_search = mnis.search(&problem.fork(), &mut RngStream::from_seed(seed + 1));
 
     let rows: Vec<String> = result

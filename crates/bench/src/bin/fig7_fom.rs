@@ -8,7 +8,8 @@
 //! Run with `cargo run --release -p gis-bench --bin fig7_fom`.
 
 use gis_bench::{
-    print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
+    print_csv, problem_with_relative_spec, scaled, surrogate_read_model, write_json_artifact,
+    MASTER_SEED,
 };
 use gis_core::{
     figure_of_merit, Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig,
@@ -56,7 +57,7 @@ fn main() {
     let mut all = Vec::new();
 
     let sampling = ImportanceSamplingConfig {
-        max_samples: 40_000,
+        max_samples: scaled(40_000, 4_000),
         batch_size: 500,
         target_relative_error: 0.02,
         min_failures: 50,
@@ -80,7 +81,7 @@ fn main() {
     }
     {
         let spherical = SphericalSampling::new(SphericalSamplingConfig {
-            directions: 3_000,
+            directions: scaled(3_000, 300),
             target_relative_error: 0.02,
             ..SphericalSamplingConfig::default()
         });
@@ -91,7 +92,7 @@ fn main() {
     }
     {
         let mc = MonteCarlo::new(MonteCarloConfig {
-            max_samples: 200_000,
+            max_samples: scaled(200_000, 20_000),
             batch_size: 10_000,
             target_relative_error: 0.02,
             min_failures: 10,

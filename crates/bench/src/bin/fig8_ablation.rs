@@ -14,7 +14,8 @@
 //! Run with `cargo run --release -p gis-bench --bin fig8_ablation`.
 
 use gis_bench::{
-    print_csv, problem_with_relative_spec, surrogate_read_model, write_json_artifact, MASTER_SEED,
+    print_csv, problem_with_relative_spec, scaled, surrogate_read_model, write_json_artifact,
+    MASTER_SEED,
 };
 use gis_core::{
     run_importance_sampling, Estimator, Executor, GisConfig, GradientImportanceSampling,
@@ -37,7 +38,7 @@ struct AblationRow {
 
 fn base_sampling() -> ImportanceSamplingConfig {
     ImportanceSamplingConfig {
-        max_samples: 40_000,
+        max_samples: scaled(40_000, 4_000),
         batch_size: 500,
         target_relative_error: 0.1,
         min_failures: 30,
@@ -59,10 +60,10 @@ fn main() {
             &base.fork(),
             &Proposal::defensive_mixture(shift, 0.1),
             &ImportanceSamplingConfig {
-                max_samples: 300_000,
-                batch_size: 20_000,
+                max_samples: scaled(300_000, 30_000),
+                batch_size: scaled(20_000, 5_000),
                 target_relative_error: 0.01,
-                min_failures: 1_000,
+                min_failures: scaled(1_000, 100),
             },
             &mut master.split(1000),
             &Executor::from_env(),

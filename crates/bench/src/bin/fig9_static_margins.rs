@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin fig9_static_margins`.
 
-use gis_bench::{print_csv, write_json_artifact, MASTER_SEED};
+use gis_bench::{print_csv, scaled, write_json_artifact, MASTER_SEED};
 use gis_core::{
     default_sram_variation_space, Estimator, FailureProblem, FnModel, GisConfig,
     GradientImportanceSampling, ImportanceSamplingConfig, MpfpConfig, Spec,
@@ -51,7 +51,7 @@ fn main() {
 
     // Small Monte Carlo population of the read SNM.
     let mut rng = RngStream::from_seed(MASTER_SEED + 23);
-    let mc_samples = 300u64;
+    let mc_samples = scaled(300u64, 60);
     let mut stats = OnlineStats::new();
     let mut values = Vec::new();
     for _ in 0..mc_samples {
@@ -84,11 +84,11 @@ fn main() {
     let problem = FailureProblem::from_model(model, Spec::LowerLimit(snm_limit));
     let gis = GradientImportanceSampling::new(GisConfig {
         mpfp: MpfpConfig {
-            max_evaluations: 600,
+            max_evaluations: scaled(600, 300),
             ..MpfpConfig::default()
         },
         sampling: ImportanceSamplingConfig {
-            max_samples: 1_500,
+            max_samples: scaled(1_500, 500),
             batch_size: 250,
             target_relative_error: 0.2,
             min_failures: 15,

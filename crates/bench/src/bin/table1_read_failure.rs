@@ -12,8 +12,8 @@
 //! Run with `cargo run --release -p gis-bench --bin table1_read_failure`.
 
 use gis_bench::{
-    print_comparison_table, problem_with_relative_spec, transient_model, write_json_artifact,
-    MASTER_SEED,
+    print_comparison_table, problem_with_relative_spec, scaled, transient_model,
+    write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
     Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs,
@@ -32,10 +32,10 @@ fn main() {
     );
 
     let sampling = ImportanceSamplingConfig {
-        max_samples: 4_000,
-        batch_size: 250,
+        max_samples: scaled(4_000, 400),
+        batch_size: scaled(250, 100),
         target_relative_error: 0.1,
-        min_failures: 30,
+        min_failures: scaled(30, 10),
     };
     let estimators: Vec<Box<dyn Estimator>> = vec![
         Box::new(GradientImportanceSampling::new(GisConfig {
@@ -43,22 +43,22 @@ fn main() {
             ..GisConfig::default()
         })),
         Box::new(MinimumNormIs::new(MnisConfig {
-            presamples_per_round: 1_500,
+            presamples_per_round: scaled(1_500, 300),
             presample_scales: vec![2.0, 2.5, 3.0],
             sampling,
             ..MnisConfig::default()
         })),
         Box::new(SphericalSampling::new(SphericalSamplingConfig {
-            directions: 200,
+            directions: scaled(200, 30),
             max_radius: 8.0,
             bisection_steps: 12,
             target_relative_error: 0.1,
-            min_failing_directions: 10,
+            min_failing_directions: scaled(10, 5),
         })),
         Box::new(ScaledSigmaSampling::new(SssConfig {
-            scales: vec![1.6, 2.0, 2.4, 2.8, 3.2],
-            samples_per_scale: 1_600,
-            min_failures_per_scale: 10,
+            scales: scaled(vec![1.6, 2.0, 2.4, 2.8, 3.2], vec![1.6, 2.4, 3.2]),
+            samples_per_scale: scaled(1_600, 150),
+            min_failures_per_scale: scaled(10, 5),
         })),
     ];
 

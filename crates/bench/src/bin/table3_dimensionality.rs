@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin table3_dimensionality`.
 
-use gis_bench::{problem_with_relative_spec, write_json_artifact, MASTER_SEED};
+use gis_bench::{problem_with_relative_spec, scaled, write_json_artifact, MASTER_SEED};
 use gis_core::{
     default_sram_variation_space, Estimator, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, MinimumNormIs, MnisConfig, SphericalSampling,
@@ -42,7 +42,7 @@ fn padded_model(extra: usize) -> SramSurrogateModel {
 
 fn main() {
     let spec_factor = 2.0;
-    let dimensions = [6usize, 12, 24, 48];
+    let dimensions: &[usize] = scaled(&[6, 12, 24, 48], &[6, 12]);
     let master = RngStream::from_seed(MASTER_SEED + 3);
     let mut rows: Vec<DimensionalityRow> = Vec::new();
 
@@ -62,7 +62,7 @@ fn main() {
             let fork = problem.fork();
             let gis = GradientImportanceSampling::new(GisConfig {
                 sampling: ImportanceSamplingConfig {
-                    max_samples: 100_000,
+                    max_samples: scaled(100_000, 10_000),
                     batch_size: 1_000,
                     target_relative_error: 0.1,
                     min_failures: 30,
@@ -87,7 +87,7 @@ fn main() {
                 presamples_per_round: 1_000 * (dim / 6).max(1),
                 presample_scales: vec![2.0, 2.5, 3.0, 3.5],
                 sampling: ImportanceSamplingConfig {
-                    max_samples: 100_000,
+                    max_samples: scaled(100_000, 10_000),
                     batch_size: 1_000,
                     target_relative_error: 0.1,
                     min_failures: 30,
@@ -111,7 +111,7 @@ fn main() {
         {
             let fork = problem.fork();
             let spherical = SphericalSampling::new(SphericalSamplingConfig {
-                directions: 3_000,
+                directions: scaled(3_000, 300),
                 max_radius: 8.0,
                 bisection_steps: 12,
                 target_relative_error: 0.1,

@@ -27,6 +27,23 @@ pub const MASTER_SEED: u64 = 20180319;
 /// their JSON artifacts.
 pub const RESULTS_DIR: &str = "results";
 
+/// `true` when `--fast` was passed on the command line: every experiment
+/// binary supports a reduced CI-smoke mode that shrinks its budgets/grids so
+/// the whole artifact set regenerates in seconds while still exercising the
+/// full code path and emitting parseable JSON.
+pub fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// Picks the full or the reduced (`--fast`) value of a budget knob.
+pub fn scaled<T>(full: T, fast: T) -> T {
+    if fast_mode() {
+        fast
+    } else {
+        full
+    }
+}
+
 /// Builds the default surrogate-backed read-access-time model.
 pub fn surrogate_read_model() -> SramSurrogateModel {
     let cell = SramCellConfig::typical_45nm();
@@ -102,6 +119,22 @@ pub fn print_analysis_report(report: &AnalysisReport) {
     }
 }
 
+/// Resolves the workspace root (the directory holding the top-level
+/// `Cargo.toml` and `ROADMAP.md`), whether a binary is run from the root or
+/// from inside the crate. The `BENCH_*.json` harness artifacts anchor here.
+pub fn workspace_root() -> PathBuf {
+    let candidates = [
+        Path::new(".").to_path_buf(),
+        Path::new("../..").to_path_buf(),
+    ];
+    for dir in candidates {
+        if dir.join("Cargo.toml").exists() && dir.join("ROADMAP.md").exists() {
+            return dir;
+        }
+    }
+    Path::new(".").to_path_buf()
+}
+
 /// Resolves the results directory (creating it if needed), anchored at the
 /// workspace root when the binary is run via `cargo run -p gis-bench`.
 pub fn results_dir() -> PathBuf {
@@ -122,10 +155,13 @@ pub fn results_dir() -> PathBuf {
     fallback
 }
 
-/// Serializes `data` as pretty JSON into `results/<name>.json`. Failures to
-/// write are reported on stderr but never abort an experiment.
-pub fn write_json_artifact<T: Serialize>(name: &str, data: &T) {
-    let path = results_dir().join(format!("{name}.json"));
+/// Serializes `data` as pretty JSON into `<dir>/<name>.json`. Failures to
+/// write are reported on stderr but never abort an experiment. This is the
+/// primitive behind [`write_json_artifact`]; tests use it with a temporary
+/// directory so unit-test artifacts never land in the tracked `results/`
+/// tree.
+pub fn write_json_artifact_in<T: Serialize>(dir: &Path, name: &str, data: &T) {
+    let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(data) {
         Ok(json) => {
             if let Err(e) = std::fs::write(&path, json) {
@@ -136,6 +172,12 @@ pub fn write_json_artifact<T: Serialize>(name: &str, data: &T) {
         }
         Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
     }
+}
+
+/// Serializes `data` as pretty JSON into `results/<name>.json`. Failures to
+/// write are reported on stderr but never abort an experiment.
+pub fn write_json_artifact<T: Serialize>(name: &str, data: &T) {
+    write_json_artifact_in(&results_dir(), name, data);
 }
 
 /// Prints a CSV block (header + rows) to stdout, prefixed by a `# <name>`
@@ -153,6 +195,30 @@ mod tests {
     use super::*;
     use gis_core::{Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig};
     use gis_stats::RngStream;
+
+    /// A per-test scratch directory under the system temp dir, cleaned up on
+    /// drop, so unit tests never write into the repository's `results/`.
+    struct TempArtifactDir(PathBuf);
+
+    impl TempArtifactDir {
+        fn new(test: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join("gis_bench_unit_tests")
+                .join(format!("{test}_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+            TempArtifactDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempArtifactDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
 
     #[test]
     fn surrogate_models_have_sane_nominals() {
@@ -197,8 +263,9 @@ mod tests {
             )))
             .run();
         print_analysis_report(&report);
-        write_json_artifact("unit_test_report", &report);
-        assert!(results_dir().join("unit_test_report.json").exists());
+        let scratch = TempArtifactDir::new("report");
+        write_json_artifact_in(scratch.path(), "unit_test_report", &report);
+        assert!(scratch.path().join("unit_test_report.json").exists());
     }
 
     #[test]
@@ -207,8 +274,9 @@ mod tests {
         struct Dummy {
             value: u32,
         }
-        write_json_artifact("unit_test_artifact", &Dummy { value: 42 });
-        let path = results_dir().join("unit_test_artifact.json");
+        let scratch = TempArtifactDir::new("artifact");
+        write_json_artifact_in(scratch.path(), "unit_test_artifact", &Dummy { value: 42 });
+        let path = scratch.path().join("unit_test_artifact.json");
         assert!(path.exists());
         let contents = std::fs::read_to_string(path).unwrap();
         assert!(contents.contains("42"));

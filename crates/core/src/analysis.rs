@@ -248,8 +248,9 @@ impl AnalysisReport {
     }
 }
 
-/// FNV-1a hash used for order-independent seed derivation.
-fn fnv1a(text: &str) -> u64 {
+/// FNV-1a hash used for order-independent seed derivation (shared with the
+/// replication-seed derivation in [`crate::calibration`]).
+pub(crate) fn fnv1a(text: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in text.bytes() {
         hash ^= byte as u64;

@@ -1,0 +1,527 @@
+//! Analytic benchmark problems with closed-form ground truth.
+//!
+//! The paper's claims are statistical — each estimator reports a failure
+//! probability *and* an error bar — so validating them needs problems where
+//! the true answer is known exactly. This module is the generator library of
+//! such problems: every [`BenchmarkProblem`] bundles a [`FailureProblem`]
+//! with its exact failure probability, spanning the failure-region geometries
+//! a production extraction flow encounters:
+//!
+//! | Generator | Geometry | Ground truth |
+//! |---|---|---|
+//! | [`BenchmarkProblem::linear`] | tilted hyperplane at β | `Q(β)` exactly |
+//! | [`BenchmarkProblem::correlated`] | linear spec on Cholesky-colored (equicorrelated) variation | `Q(β)` exactly |
+//! | [`BenchmarkProblem::bimodal`] | two *disjoint* opposite half-spaces | `2·Q(β)` exactly |
+//! | [`BenchmarkProblem::union`] | union of two orthogonal half-spaces | `p₁ + p₂ − p₁p₂` exactly |
+//! | [`BenchmarkProblem::quadratic`] | curved (non-convex for κ>0) boundary | 1-D quadrature, sub-1% |
+//! | [`BenchmarkProblem::dimensionality_ladder`] | hyperplane at fixed β, d ∈ {6, 24, 96, 576} | `Q(β)` exactly |
+//!
+//! [`BenchmarkProblem::standard_suite`] is the full matrix;
+//! [`BenchmarkProblem::fast_suite`] is the reduced matrix the CI calibration
+//! gate asserts coverage on (see [`crate::calibration`]).
+//!
+//! ```
+//! use gis_core::problems::BenchmarkProblem;
+//!
+//! let bench = BenchmarkProblem::linear(6, 4.0);
+//! assert!(bench.exact_probability() > 3.1e-5 && bench.exact_probability() < 3.2e-5);
+//! assert_eq!(bench.dim(), 6);
+//! // `fork()` hands an estimator the problem with a fresh evaluation counter.
+//! let problem = bench.fork();
+//! assert_eq!(problem.dim(), 6);
+//! ```
+
+use crate::model::{FailureProblem, FnModel, QuadraticLimitState, Spec};
+use gis_linalg::{Cholesky, Matrix, Vector};
+use gis_stats::normal::upper_tail_probability;
+use serde::{Deserialize, Serialize};
+
+/// How the reference probability of a [`BenchmarkProblem`] was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroundTruth {
+    /// Closed form (normal tail arithmetic); exact to machine precision.
+    Exact,
+    /// High-accuracy one-dimensional quadrature; relative error well below
+    /// the statistical resolution of any calibration run.
+    Quadrature,
+}
+
+/// A named failure problem whose true failure probability is known.
+pub struct BenchmarkProblem {
+    name: String,
+    description: String,
+    problem: FailureProblem,
+    exact_probability: f64,
+    ground_truth: GroundTruth,
+}
+
+/// Deterministic oblique unit direction: every component non-zero and all
+/// magnitudes distinct, so nothing aligns with a coordinate axis and no
+/// estimator gets an accidental symmetry gift.
+fn oblique_direction(dim: usize) -> Vector {
+    let v: Vector = (0..dim)
+        .map(|i| 1.0 + 0.6 * (0.7 * i as f64 + 0.3).sin())
+        .collect();
+    v.normalized().expect("components are positive")
+}
+
+impl BenchmarkProblem {
+    fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        problem: FailureProblem,
+        exact_probability: f64,
+        ground_truth: GroundTruth,
+    ) -> Self {
+        assert!(
+            exact_probability > 0.0 && exact_probability < 1.0,
+            "benchmark ground truth must be a non-trivial probability"
+        );
+        BenchmarkProblem {
+            name: name.into(),
+            description: description.into(),
+            problem,
+            exact_probability,
+            ground_truth,
+        }
+    }
+
+    /// Single linear specification: failure beyond a tilted hyperplane at
+    /// distance `beta` from the origin (arbitrary sigma level). Exact
+    /// probability `Q(beta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `beta` is not a positive finite sigma level.
+    pub fn linear(dim: usize, beta: f64) -> Self {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        let direction = oblique_direction(dim);
+        let model = FnModel::new("linear", dim, move |z: &Vector| {
+            direction.dot(z).expect("dimension fixed") - beta
+        });
+        BenchmarkProblem::new(
+            format!("linear-{dim}d-{beta:.1}s"),
+            format!("tilted hyperplane at {beta:.1}σ in {dim} dimensions"),
+            FailureProblem::from_model(model, Spec::UpperLimit(0.0)),
+            upper_tail_probability(beta),
+            GroundTruth::Exact,
+        )
+    }
+
+    /// Correlated process variation: the physical parameters carry an
+    /// equicorrelated covariance (off-diagonal `rho`), realized by coloring
+    /// the whitened point through the Cholesky factor `L`, and the
+    /// specification is linear *in the physical space*. In whitened space the
+    /// boundary is the tilted plane `(Lᵀa)ᵀz = τ`; the spec threshold `τ` is
+    /// placed so the effective reliability index is exactly `beta`, giving
+    /// the closed form `Q(beta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 2`, `beta` is not positive finite, or `rho` is
+    /// outside `[0, 1)` (the equicorrelation matrix must stay positive
+    /// definite).
+    pub fn correlated(dim: usize, beta: f64, rho: f64) -> Self {
+        assert!(dim >= 2, "correlation needs at least two dimensions");
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        assert!(
+            (0.0..1.0).contains(&rho),
+            "equicorrelation must be in [0, 1)"
+        );
+        let covariance = Matrix::from_fn(dim, dim, |i, j| if i == j { 1.0 } else { rho });
+        let chol = Cholesky::new(&covariance).expect("equicorrelation matrix is SPD");
+        // Physical-space spec direction: equal weight on every parameter.
+        let spec_direction = Vector::filled(dim, 1.0).normalized().expect("non-zero");
+        // ‖Lᵀa‖ sets the conversion between the physical threshold and the
+        // whitened-space reliability index.
+        let whitened_normal = chol
+            .lower()
+            .matvec_transposed(&spec_direction)
+            .expect("dimensions match");
+        let threshold = beta * whitened_normal.norm();
+        let model = FnModel::new("correlated-linear", dim, move |z: &Vector| {
+            let physical = chol.color(z).expect("dimension fixed");
+            spec_direction.dot(&physical).expect("dimension fixed") - threshold
+        });
+        BenchmarkProblem::new(
+            format!("correlated-{dim}d-{beta:.1}s-rho{rho:.1}"),
+            format!(
+                "linear spec on equicorrelated (ρ = {rho:.1}) variation at {beta:.1}σ \
+                 in {dim} dimensions"
+            ),
+            FailureProblem::from_model(model, Spec::UpperLimit(0.0)),
+            upper_tail_probability(beta),
+            GroundTruth::Exact,
+        )
+    }
+
+    /// Two *disjoint* failure regions: the opposite tails `|uᵀz| > beta`
+    /// along an oblique direction. Exact probability `2·Q(beta)`. The
+    /// gradient at the origin vanishes by symmetry and any mean-shift
+    /// proposal can cover at most one mode directly — the stress case for
+    /// search-based methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `beta` is not positive finite.
+    pub fn bimodal(dim: usize, beta: f64) -> Self {
+        assert!(dim >= 1, "dimension must be at least 1");
+        assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
+        let direction = oblique_direction(dim);
+        let model = FnModel::new("bimodal", dim, move |z: &Vector| {
+            direction.dot(z).expect("dimension fixed").abs() - beta
+        });
+        BenchmarkProblem::new(
+            format!("bimodal-{dim}d-{beta:.1}s"),
+            format!("two disjoint opposite tails at ±{beta:.1}σ in {dim} dimensions"),
+            FailureProblem::from_model(model, Spec::UpperLimit(0.0)),
+            2.0 * upper_tail_probability(beta),
+            GroundTruth::Exact,
+        )
+    }
+
+    /// Union of two half-spaces with *orthogonal* boundary normals at sigma
+    /// levels `beta_primary` and `beta_secondary`. Because the two linear
+    /// forms are independent standard normals, inclusion–exclusion gives the
+    /// exact probability `p₁ + p₂ − p₁·p₂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim < 2` or either beta is not positive finite.
+    pub fn union(dim: usize, beta_primary: f64, beta_secondary: f64) -> Self {
+        assert!(dim >= 2, "a two-region union needs at least two dimensions");
+        assert!(
+            beta_primary.is_finite()
+                && beta_primary > 0.0
+                && beta_secondary.is_finite()
+                && beta_secondary > 0.0,
+            "betas must be positive"
+        );
+        let u1 = oblique_direction(dim);
+        // Gram–Schmidt the first basis vector against u1 for an exactly
+        // orthogonal second normal.
+        let e0 = Vector::basis(dim, 0).expect("dim >= 2");
+        let proj = u1.scaled(e0.dot(&u1).expect("dimension fixed"));
+        let u2 = (&e0 - &proj).normalized().expect("u1 is oblique, not e0");
+        let (b1, b2) = (beta_primary, beta_secondary);
+        let model = FnModel::new("union", dim, move |z: &Vector| {
+            let g1 = u1.dot(z).expect("dimension fixed") - b1;
+            let g2 = u2.dot(z).expect("dimension fixed") - b2;
+            g1.max(g2)
+        });
+        let p1 = upper_tail_probability(beta_primary);
+        let p2 = upper_tail_probability(beta_secondary);
+        BenchmarkProblem::new(
+            format!("union-{dim}d-{beta_primary:.1}s+{beta_secondary:.1}s"),
+            format!(
+                "union of orthogonal half-spaces at {beta_primary:.1}σ and \
+                 {beta_secondary:.1}σ in {dim} dimensions"
+            ),
+            FailureProblem::from_model(model, Spec::UpperLimit(0.0)),
+            p1 + p2 - p1 * p2,
+            GroundTruth::Exact,
+        )
+    }
+
+    /// Curved (quadratic) failure boundary `z₀ − β + κ·Σ_{i>0} z_i² > 0`,
+    /// non-convex passing region for `κ > 0`. The reference probability comes
+    /// from [`QuadraticLimitState::reference_failure_probability`]
+    /// (one-dimensional quadrature against the χ² density, accurate far below
+    /// the statistical resolution of a calibration run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the parameters are not finite.
+    pub fn quadratic(dim: usize, beta: f64, curvature: f64) -> Self {
+        let limit_state = QuadraticLimitState::new(dim, beta, curvature);
+        let reference = limit_state.reference_failure_probability();
+        BenchmarkProblem::new(
+            format!("quadratic-{dim}d-{beta:.1}s-k{curvature:.2}"),
+            format!(
+                "curved boundary at {beta:.1}σ with curvature {curvature:.2} \
+                 in {dim} dimensions"
+            ),
+            FailureProblem::from_model(limit_state, QuadraticLimitState::spec()),
+            reference,
+            GroundTruth::Quadrature,
+        )
+    }
+
+    /// The dimensionality ladder: the same `beta`-sigma hyperplane in
+    /// 6 → 24 → 96 → 576 dimensions (the paper's Table 3 progression, from
+    /// a single 6T cell up to large mismatch netlists). The exact
+    /// probability is `Q(beta)` at every rung — only the search/sampling
+    /// difficulty grows — which makes the ladder a pure test of how
+    /// estimator accuracy and honesty scale with dimension.
+    pub fn dimensionality_ladder(beta: f64) -> Vec<Self> {
+        [6, 24, 96, 576]
+            .into_iter()
+            .map(|dim| BenchmarkProblem::linear(dim, beta))
+            .collect()
+    }
+
+    /// The full calibration matrix: every failure-region family of this
+    /// module across sigma levels and dimensions (10 problems).
+    pub fn standard_suite() -> Vec<Self> {
+        let mut suite = vec![
+            BenchmarkProblem::linear(6, 2.5),
+            BenchmarkProblem::linear(6, 4.0),
+            BenchmarkProblem::correlated(8, 3.0, 0.5),
+            BenchmarkProblem::bimodal(6, 2.5),
+            BenchmarkProblem::union(6, 2.5, 3.5),
+            BenchmarkProblem::union(12, 2.6, 3.6),
+            BenchmarkProblem::quadratic(6, 3.0, 0.05),
+        ];
+        suite.extend(
+            BenchmarkProblem::dimensionality_ladder(3.0)
+                .into_iter()
+                .skip(1), // 6-d rung overlaps the linear problems above
+        );
+        suite.push(BenchmarkProblem::quadratic(12, 4.0, 0.08));
+        suite
+    }
+
+    /// The reduced matrix asserted by the CI calibration gate: seven problems
+    /// (five with closed-form ground truth, two quadrature-referenced curved
+    /// boundaries) at sigma levels where *every* estimator — including
+    /// budget-capped brute-force Monte Carlo — can produce an honest
+    /// confidence interval within a CI-sized budget.
+    ///
+    /// The multi-region stress geometries ([`BenchmarkProblem::bimodal`],
+    /// [`BenchmarkProblem::union`]) are deliberately *not* here: mean-shift
+    /// importance sampling is knowingly overconfident on disjoint regions,
+    /// and scaled-sigma extrapolation is knowingly biased on unions (under
+    /// sigma inflation a distant secondary region dominates the fitted
+    /// curve while contributing nothing at nominal sigma — a model error
+    /// invisible to in-sample residuals). The full
+    /// [`BenchmarkProblem::standard_suite`] *reports* those violations; this
+    /// suite gates what can honestly be gated.
+    pub fn fast_suite() -> Vec<Self> {
+        vec![
+            BenchmarkProblem::linear(6, 2.5),
+            BenchmarkProblem::linear(6, 3.0),
+            BenchmarkProblem::correlated(8, 2.5, 0.5),
+            BenchmarkProblem::correlated(12, 2.7, 0.3),
+            BenchmarkProblem::quadratic(6, 2.5, 0.05),
+            BenchmarkProblem::quadratic(8, 2.5, -0.04),
+            BenchmarkProblem::linear(24, 2.5),
+        ]
+    }
+
+    /// Stable problem name (encodes family, dimension and sigma level).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Human-readable description of the failure-region geometry.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The exact (or quadrature-reference) failure probability.
+    pub fn exact_probability(&self) -> f64 {
+        self.exact_probability
+    }
+
+    /// How the reference probability was obtained.
+    pub fn ground_truth(&self) -> GroundTruth {
+        self.ground_truth
+    }
+
+    /// The exact sigma level `Φ⁻¹(1 − p)` of the ground truth.
+    pub fn exact_sigma_level(&self) -> f64 {
+        gis_stats::normal::sigma_level(self.exact_probability)
+    }
+
+    /// Dimensionality of the variation space.
+    pub fn dim(&self) -> usize {
+        self.problem.dim()
+    }
+
+    /// The underlying failure problem (shared evaluation counter).
+    pub fn problem(&self) -> &FailureProblem {
+        &self.problem
+    }
+
+    /// A handle on the same problem with an independent evaluation counter —
+    /// what a calibration replication hands to an estimator.
+    pub fn fork(&self) -> FailureProblem {
+        self.problem.fork()
+    }
+}
+
+impl std::fmt::Debug for BenchmarkProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BenchmarkProblem")
+            .field("name", &self.name)
+            .field("dim", &self.dim())
+            .field("exact_probability", &self.exact_probability)
+            .field("ground_truth", &self.ground_truth)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gis_stats::RngStream;
+
+    /// Monte Carlo cross-check of a generator's ground truth at a sigma level
+    /// low enough for brute force to resolve it.
+    fn monte_carlo_check(bench: &BenchmarkProblem, samples: u64, tolerance: f64) {
+        let problem = bench.fork();
+        let mut rng = RngStream::from_seed(20260727);
+        let mut failures = 0u64;
+        for _ in 0..samples {
+            let z = rng.standard_normal_vector(bench.dim());
+            if problem.is_failure(&z) {
+                failures += 1;
+            }
+        }
+        let p_mc = failures as f64 / samples as f64;
+        let rel = (p_mc - bench.exact_probability()).abs() / bench.exact_probability();
+        assert!(
+            rel < tolerance,
+            "{}: ground truth {:e} vs MC {:e} (rel {rel:.3})",
+            bench.name(),
+            bench.exact_probability(),
+            p_mc
+        );
+    }
+
+    #[test]
+    fn linear_ground_truth_matches_monte_carlo() {
+        monte_carlo_check(&BenchmarkProblem::linear(6, 2.0), 150_000, 0.05);
+    }
+
+    #[test]
+    fn correlated_ground_truth_matches_monte_carlo() {
+        monte_carlo_check(&BenchmarkProblem::correlated(5, 2.0, 0.6), 150_000, 0.05);
+    }
+
+    #[test]
+    fn bimodal_ground_truth_matches_monte_carlo() {
+        monte_carlo_check(&BenchmarkProblem::bimodal(4, 2.0), 150_000, 0.05);
+    }
+
+    #[test]
+    fn union_ground_truth_matches_monte_carlo() {
+        monte_carlo_check(&BenchmarkProblem::union(5, 1.8, 2.2), 150_000, 0.05);
+    }
+
+    #[test]
+    fn union_inclusion_exclusion_is_applied() {
+        let bench = BenchmarkProblem::union(4, 2.0, 2.0);
+        let p = upper_tail_probability(2.0);
+        assert!((bench.exact_probability() - (2.0 * p - p * p)).abs() < 1e-18);
+        // The union is strictly larger than either region but smaller than
+        // the disjoint sum.
+        assert!(bench.exact_probability() > p);
+        assert!(bench.exact_probability() < 2.0 * p);
+    }
+
+    #[test]
+    fn bimodal_is_twice_the_single_tail() {
+        let bench = BenchmarkProblem::bimodal(6, 3.0);
+        assert!((bench.exact_probability() - 2.0 * upper_tail_probability(3.0)).abs() < 1e-18);
+        // Both modes fail, the origin passes.
+        let problem = bench.fork();
+        let direction = oblique_direction(6);
+        assert!(problem.is_failure(&direction.scaled(3.5)));
+        assert!(problem.is_failure(&direction.scaled(-3.5)));
+        assert!(!problem.is_failure(&Vector::zeros(6)));
+    }
+
+    #[test]
+    fn correlated_boundary_sits_at_the_advertised_sigma() {
+        // The minimum-norm point of the correlated problem's failure region
+        // must lie at distance beta: walking along the whitened-space normal
+        // hits the boundary at exactly beta.
+        let beta = 3.0;
+        let bench = BenchmarkProblem::correlated(6, beta, 0.4);
+        let problem = bench.fork();
+        // Reconstruct the whitened normal by finite differences at origin.
+        let dim = bench.dim();
+        let h = 1e-6;
+        let g0 = problem.metric(&Vector::zeros(dim));
+        let gradient: Vector = (0..dim)
+            .map(|i| {
+                let probe = Vector::basis(dim, i).unwrap().scaled(h);
+                (problem.metric(&probe) - g0) / h
+            })
+            .collect();
+        let normal = gradient.normalized().unwrap();
+        // Just inside passes, just outside fails.
+        assert!(!problem.is_failure(&normal.scaled(beta * 0.999)));
+        assert!(problem.is_failure(&normal.scaled(beta * 1.001)));
+    }
+
+    #[test]
+    fn ladder_spans_the_advertised_dimensions() {
+        let ladder = BenchmarkProblem::dimensionality_ladder(3.0);
+        let dims: Vec<usize> = ladder.iter().map(|b| b.dim()).collect();
+        assert_eq!(dims, vec![6, 24, 96, 576]);
+        // Identical ground truth at every rung.
+        for bench in &ladder {
+            assert_eq!(
+                bench.exact_probability().to_bits(),
+                upper_tail_probability(3.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn suites_are_well_formed() {
+        for suite in [
+            BenchmarkProblem::standard_suite(),
+            BenchmarkProblem::fast_suite(),
+        ] {
+            assert!(suite.len() >= 6);
+            let mut names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), suite.len(), "duplicate problem names");
+            for bench in &suite {
+                assert!(bench.exact_probability() > 0.0 && bench.exact_probability() < 1.0);
+                assert!(bench.exact_sigma_level() > 2.0);
+                assert!(!bench.description().is_empty());
+                assert!(format!("{bench:?}").contains(bench.name()));
+            }
+        }
+        // The full matrix reaches 576 dimensions; the fast matrix stays small.
+        let standard = BenchmarkProblem::standard_suite();
+        assert_eq!(standard.iter().map(|b| b.dim()).max(), Some(576));
+        assert!(BenchmarkProblem::fast_suite().iter().all(|b| b.dim() <= 24));
+        // The fast gate needs at least five closed-form problems.
+        let exact = BenchmarkProblem::fast_suite()
+            .iter()
+            .filter(|b| b.ground_truth() == GroundTruth::Exact)
+            .count();
+        assert!(exact >= 5);
+    }
+
+    #[test]
+    fn quadratic_wraps_the_limit_state_reference() {
+        let bench = BenchmarkProblem::quadratic(5, 3.0, 0.05);
+        let reference = QuadraticLimitState::new(5, 3.0, 0.05).reference_failure_probability();
+        assert_eq!(bench.exact_probability().to_bits(), reference.to_bits());
+        assert_eq!(bench.ground_truth(), GroundTruth::Quadrature);
+        assert_eq!(
+            BenchmarkProblem::linear(4, 3.0).ground_truth(),
+            GroundTruth::Exact
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equicorrelation must be in [0, 1)")]
+    fn correlated_rejects_invalid_rho() {
+        let _ = BenchmarkProblem::correlated(4, 3.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be positive")]
+    fn linear_rejects_non_positive_beta() {
+        let _ = BenchmarkProblem::linear(4, 0.0);
+    }
+}

@@ -44,7 +44,10 @@ pub use histogram::Histogram;
 pub use mvn::{GaussianMixture, MultivariateNormal};
 pub use rng::RngStream;
 pub use sampling::{halton_sequence, latin_hypercube, uniform_on_sphere};
-pub use summary::{quantile_of, ConfidenceInterval, OnlineStats, WeightedStats};
+pub use summary::{
+    binomial_acceptance_band, binomial_cdf, chi_square_statistic, pearson_correlation, quantile_of,
+    ConfidenceInterval, OnlineStats, WeightedStats,
+};
 
 /// Error type for statistics routines.
 #[derive(Debug, Clone, PartialEq)]

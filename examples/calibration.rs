@@ -1,0 +1,76 @@
+//! Calibration of the estimators' error bars against analytic ground truth.
+//!
+//! Runs independent replications of all five estimators on benchmark
+//! problems whose failure probability is known in closed form, and prints
+//! each method's empirical confidence-interval coverage (against the
+//! binomial acceptance band), relative bias, achieved RMSE versus claimed
+//! error, and sample efficiency.
+//!
+//! Run with `cargo run --release --example calibration`.
+
+use sram_highsigma::highsigma::{
+    standard_estimators, BenchmarkProblem, Calibrator, ConvergencePolicy,
+};
+
+fn main() {
+    let problems = vec![
+        BenchmarkProblem::linear(6, 2.5),
+        BenchmarkProblem::correlated(8, 2.5, 0.5),
+        BenchmarkProblem::quadratic(6, 2.5, 0.05),
+        // A stress geometry: two disjoint failure regions. Watch the
+        // mean-shift methods' coverage collapse — the error bar cannot see
+        // the mode the proposal missed.
+        BenchmarkProblem::bimodal(6, 2.5),
+    ];
+    let report = Calibrator::new()
+        .master_seed(20180319)
+        .replications(60)
+        .confidence_level(0.9)
+        .band_alpha(0.002)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(8_000)
+                .target_relative_error(1e-12)
+                .min_failures(u64::MAX),
+        )
+        .problems(problems)
+        .estimators(standard_estimators())
+        .run();
+
+    println!(
+        "{} replications/cell, 90% nominal intervals, acceptance band [{:.0}%, {:.0}%]\n",
+        report.replications,
+        report.rows[0].band_lower * 100.0,
+        report.rows[0].band_upper * 100.0
+    );
+    println!(
+        "{:<26} {:<22} {:>9} {:>6} {:>9} {:>9} {:>9} {:>10}",
+        "problem", "method", "coverage", "band", "bias[%]", "rmse[%]", "claim[%]", "mean evals"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<26} {:<22} {:>4}/{:<4} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>10.0}",
+            row.problem,
+            row.estimator,
+            row.covered,
+            row.replications,
+            if row.within_band { "ok" } else { "FAIL" },
+            row.relative_bias * 100.0,
+            row.relative_rmse * 100.0,
+            row.mean_reported_relative_error * 100.0,
+            row.mean_evaluations,
+        );
+    }
+    println!(
+        "\n{} of {} cells within the acceptance band",
+        report.rows.len() - report.violations().len(),
+        report.rows.len()
+    );
+    for row in report.violations() {
+        println!(
+            "  dishonest error bars: {}/{} covers only {:.0}% at 90% nominal",
+            row.problem,
+            row.estimator,
+            row.coverage * 100.0
+        );
+    }
+}

@@ -4,6 +4,9 @@
 //! These are the ground-truth experiments: if an estimator is biased or its
 //! cost accounting is wrong, it shows up here before any SRAM is involved.
 
+mod common;
+
+use common::{assert_close_abs, assert_close_rel};
 use sram_highsigma::highsigma::{
     required_samples, Estimator, FailureProblem, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, LinearLimitState, MinimumNormIs, MnisConfig, MonteCarlo,
@@ -204,13 +207,14 @@ fn far_tail_probability_chain_is_accurate_to_machine_precision() {
     for (beta, expected) in golden {
         let limit_state = LinearLimitState::along_first_axis(4, beta);
         let p = limit_state.exact_failure_probability();
-        let rel = (p - expected).abs() / expected;
-        assert!(rel < 1e-13, "P_fail({beta}σ) = {p:e}, rel error {rel:e}");
-        // Round trip through the quantile with far-tail fidelity.
-        assert!(
-            (normal::sigma_level(p) - beta).abs() < 1e-11,
-            "sigma_level(P({beta}σ)) = {}",
-            normal::sigma_level(p)
+        assert_close_rel(p, expected, 1e-13, &format!("P_fail({beta}σ)"));
+        // Round trip through the quantile with far-tail fidelity (sigma
+        // units are the natural absolute scale here).
+        assert_close_abs(
+            normal::sigma_level(p),
+            beta,
+            1e-11,
+            &format!("sigma_level(P({beta}σ))"),
         );
     }
 
@@ -222,10 +226,11 @@ fn far_tail_probability_chain_is_accurate_to_machine_precision() {
     let target = 0.99_f64;
     let p_req = array.required_cell_failure_probability(target);
     let closed_form = -target.ln() / cells as f64;
-    let rel = (p_req - closed_form).abs() / closed_form;
-    assert!(
-        rel < 1e-6,
-        "required p {p_req:e} vs closed form {closed_form:e}"
+    assert_close_rel(
+        p_req,
+        closed_form,
+        1e-6,
+        "required cell failure probability",
     );
     // And the sigma target lands where the golden table says it should
     // (p ≈ 9.36e-12 → just under 6.8σ).
@@ -234,8 +239,10 @@ fn far_tail_probability_chain_is_accurate_to_machine_precision() {
         (6.5..7.0).contains(&sigma),
         "1Gb @ 99% yield requires {sigma}σ"
     );
-    assert!(
-        (normal::upper_tail_probability(sigma) - p_req).abs() / p_req < 1e-9,
-        "sigma/probability inversion drifted"
+    assert_close_rel(
+        normal::upper_tail_probability(sigma),
+        p_req,
+        1e-9,
+        "sigma/probability inversion",
     );
 }

@@ -1,0 +1,152 @@
+//! Integration tests of the statistical calibration harness: the benchmark
+//! problem library's ground truth, empirical confidence-interval coverage
+//! within the binomial acceptance band for all five estimators, and the
+//! bit-identity of calibration reports across thread counts.
+//!
+//! This is the tier-1 guard for the contract the `bench_calibration` binary
+//! gates in CI at full scale (100 replications × 7 problems): a reduced but
+//! real matrix (40 replications × 3 problems × all 5 estimators) must show
+//! coverage inside the acceptance band, and the replication matrix must be
+//! exactly reproducible at any dispatch width.
+
+mod common;
+
+use common::assert_close_rel;
+use sram_highsigma::highsigma::{
+    standard_estimators, BenchmarkProblem, CalibrationReport, Calibrator, ConvergencePolicy,
+    ExecutionConfig,
+};
+
+/// A reduced calibration matrix small enough for debug-mode test runs:
+/// budget-pinned policy (no early stopping — the gate calibrates the error
+/// bar formulas at fixed cost), 32 replications.
+fn reduced_calibrator() -> Calibrator {
+    Calibrator::new()
+        .master_seed(20180319)
+        .replications(32)
+        .confidence_level(0.9)
+        .band_alpha(0.002)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(3_000)
+                .target_relative_error(1e-12)
+                .min_failures(u64::MAX),
+        )
+        .problems(vec![
+            BenchmarkProblem::linear(6, 2.5),
+            BenchmarkProblem::correlated(8, 2.5, 0.5),
+            BenchmarkProblem::quadratic(6, 2.5, 0.05),
+        ])
+        .estimators(standard_estimators())
+}
+
+#[test]
+fn all_five_estimators_cover_within_the_acceptance_band() {
+    let report = reduced_calibrator().run();
+    assert_eq!(report.rows.len(), 3 * 5);
+    for row in &report.rows {
+        assert!(
+            row.within_band,
+            "{}/{}: coverage {}/{} outside band [{:.0}, {:.0}]",
+            row.problem,
+            row.estimator,
+            row.covered,
+            row.replications,
+            row.band_lower * row.replications as f64,
+            row.band_upper * row.replications as f64
+        );
+        // The self-reported error must be in the same regime as the error
+        // actually achieved (order-of-magnitude honesty, scale-free).
+        if row.mean_reported_relative_error.is_finite() {
+            assert!(
+                row.mean_reported_relative_error > 0.2 * row.relative_rmse
+                    && row.mean_reported_relative_error < 5.0 * row.relative_rmse,
+                "{}/{}: claims {:.1}% but achieves {:.1}%",
+                row.problem,
+                row.estimator,
+                row.mean_reported_relative_error * 100.0,
+                row.relative_rmse * 100.0
+            );
+        }
+        assert!(row.mean_evaluations > 0.0);
+    }
+    assert!(report.all_within_band());
+    assert!(report.violations().is_empty());
+    assert!(report.worst_band_margin() >= 0.0);
+}
+
+#[test]
+fn calibration_report_is_bit_identical_across_matrix_thread_counts() {
+    // The replication matrix is dispatched as independent seeded tasks, so
+    // the report must not depend on the dispatch width — this is what lets
+    // CI compare GIS_THREADS=1 and GIS_THREADS=4 runs of this very test.
+    let serial = reduced_calibrator().matrix(ExecutionConfig::serial()).run();
+    let parallel = reduced_calibrator()
+        .matrix(ExecutionConfig::with_threads(8))
+        .run();
+    assert_eq!(parallel, serial, "diverged at 8 matrix threads");
+    // Per-estimator executors must not leak into the statistics either.
+    let exec_parallel = reduced_calibrator()
+        .execution(ExecutionConfig::with_threads(4))
+        .run();
+    assert_eq!(exec_parallel.rows, serial.rows);
+}
+
+#[test]
+fn benchmark_ground_truths_are_internally_consistent() {
+    // Exact generators agree with the normal-tail arithmetic they advertise.
+    use sram_highsigma::stats::normal::upper_tail_probability;
+    let linear = BenchmarkProblem::linear(6, 4.0);
+    assert_close_rel(
+        linear.exact_probability(),
+        upper_tail_probability(4.0),
+        1e-14,
+        "linear ground truth",
+    );
+    let correlated = BenchmarkProblem::correlated(8, 4.0, 0.5);
+    assert_close_rel(
+        correlated.exact_probability(),
+        upper_tail_probability(4.0),
+        1e-14,
+        "correlated ground truth",
+    );
+    let bimodal = BenchmarkProblem::bimodal(6, 4.0);
+    assert_close_rel(
+        bimodal.exact_probability(),
+        2.0 * upper_tail_probability(4.0),
+        1e-14,
+        "bimodal ground truth",
+    );
+    let p1 = upper_tail_probability(3.0);
+    let p2 = upper_tail_probability(4.0);
+    let union = BenchmarkProblem::union(6, 3.0, 4.0);
+    assert_close_rel(
+        union.exact_probability(),
+        p1 + p2 - p1 * p2,
+        1e-14,
+        "union ground truth",
+    );
+    // Sigma levels round-trip through the quantile at far-tail accuracy.
+    for bench in BenchmarkProblem::standard_suite() {
+        assert_close_rel(
+            upper_tail_probability(bench.exact_sigma_level()),
+            bench.exact_probability(),
+            1e-9,
+            bench.name(),
+        );
+    }
+}
+
+#[test]
+fn calibration_report_round_trips_through_json() {
+    let report = Calibrator::new()
+        .master_seed(5)
+        .replications(8)
+        .convergence_policy(ConvergencePolicy::with_budget(1_000))
+        .problem(BenchmarkProblem::linear(4, 2.0))
+        .estimators(standard_estimators())
+        .run();
+    let json = serde_json::to_string_pretty(&report).expect("serializes");
+    let back: CalibrationReport = serde_json::from_str(&json).expect("round trips");
+    assert_eq!(back, report);
+    assert_eq!(back.rows.len(), 5);
+}

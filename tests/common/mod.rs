@@ -1,0 +1,99 @@
+//! Shared float-comparison helpers for the integration tests.
+//!
+//! Tests must encode *how accurate* a quantity is supposed to be, not just
+//! "close enough that today's code passes": an absolute `1e-3`-style bound on
+//! a `1e-6`-scale probability silently tolerates a 1000× error, and loose
+//! ad-hoc bounds are exactly what allowed the pre-PR-3 `erfc` to sit at
+//! ~1.2e-7 accuracy unnoticed. Use [`assert_close_rel`] for quantities with
+//! a natural scale, [`assert_ulps`] for values that must match a reference to
+//! within floating-point round-off, and [`assert_close_abs`] only where the
+//! quantity legitimately has an absolute scale (e.g. a sigma level, whose
+//! unit *is* the tolerance).
+//!
+//! (Not every helper is used by every test binary; integration tests compile
+//! this module independently per test crate.)
+#![allow(dead_code)]
+
+/// Asserts `|actual − expected| ≤ rel_tol · |expected|`.
+///
+/// # Panics
+///
+/// Panics when the bound is violated or `expected` is zero/non-finite (a
+/// relative bound against zero is meaningless — use [`assert_close_abs`]).
+pub fn assert_close_rel(actual: f64, expected: f64, rel_tol: f64, context: &str) {
+    assert!(
+        expected.is_finite() && expected != 0.0,
+        "{context}: relative comparison needs a finite non-zero reference, got {expected}"
+    );
+    let rel = (actual - expected).abs() / expected.abs();
+    assert!(
+        rel <= rel_tol,
+        "{context}: {actual:e} vs {expected:e}, relative error {rel:.3e} > {rel_tol:e}"
+    );
+}
+
+/// Asserts `|actual − expected| ≤ abs_tol` — for quantities whose unit is the
+/// natural tolerance scale (sigma levels, normalized margins).
+pub fn assert_close_abs(actual: f64, expected: f64, abs_tol: f64, context: &str) {
+    let diff = (actual - expected).abs();
+    assert!(
+        diff <= abs_tol,
+        "{context}: {actual} vs {expected}, |diff| {diff:e} > {abs_tol:e}"
+    );
+}
+
+/// Number of representable `f64` values between `a` and `b` (0 when equal,
+/// including `0.0` vs `-0.0`). `u64::MAX` when either is NaN or the values
+/// have different signs and are not both (near) zero.
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map the bit patterns onto a monotone integer line (sign-magnitude →
+    // offset representation), so adjacent floats differ by exactly 1.
+    fn ordered(x: f64) -> i128 {
+        let bits = x.to_bits() as i64;
+        let ordered = if bits < 0 {
+            i64::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        };
+        ordered as i128
+    }
+    ordered(a)
+        .abs_diff(ordered(b))
+        .try_into()
+        .unwrap_or(u64::MAX)
+}
+
+/// Asserts that `actual` is within `max_ulps` representable values of
+/// `expected` — the right bound for quantities pinned against a ~1 ulp
+/// reference (libm golden values, bit-reproducibility contracts).
+pub fn assert_ulps(actual: f64, expected: f64, max_ulps: u64, context: &str) {
+    let ulps = ulp_distance(actual, expected);
+    assert!(
+        ulps <= max_ulps,
+        "{context}: {actual:e} vs {expected:e} differ by {ulps} ulps > {max_ulps}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+        assert!(ulp_distance(1.0, 2.0) > 1_000_000);
+        assert!(ulp_distance(-1.0, 1.0) == u64::MAX || ulp_distance(-1.0, 1.0) > 1 << 62);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative error")]
+    fn rel_assert_fires() {
+        assert_close_rel(1.1, 1.0, 1e-3, "should fire");
+    }
+}

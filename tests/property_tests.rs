@@ -55,8 +55,13 @@ proptest! {
 
     #[test]
     fn normal_quantile_inverts_cdf(x in -6.0f64..6.0) {
+        // The round-trip error is limited by representing p near 1 (the
+        // quantile's sensitivity there is 1/φ(6) ≈ 1.6e8 per ulp of p), not
+        // by the algorithms — so the bound is ~1e-8, not the 1e-5 that once
+        // hid a polynomial-accuracy quantile.
         let p = normal::cdf(x);
-        prop_assert!((normal::quantile(p) - x).abs() < 1e-5);
+        prop_assert!((normal::quantile(p) - x).abs() < 5e-8,
+            "quantile(cdf({})) = {}", x, normal::quantile(p));
     }
 
     #[test]
