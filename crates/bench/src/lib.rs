@@ -62,11 +62,22 @@ pub fn surrogate_write_model() -> SramSurrogateModel {
     SramSurrogateModel::new(SramSurrogate::typical_45nm(), space, SramMetric::WriteDelay)
 }
 
-/// Builds the default transient-simulation-backed model for `metric`.
+/// Builds the default transient-simulation-backed model for `metric` (sparse
+/// kernel).
 pub fn transient_model(metric: SramMetric) -> SramTransientModel {
     let cell = SramCellConfig::typical_45nm();
     let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
     SramTransientModel::new(SramTestbench::typical_45nm(), space, metric)
+}
+
+/// Builds the default transient model on an explicit solver kernel — the
+/// dense variant backs the kernel-equivalence assertions of
+/// `bench_evaluation`.
+pub fn transient_model_with_kernel(
+    metric: SramMetric,
+    kernel: gis_core::TransientKernel,
+) -> SramTransientModel {
+    transient_model(metric).with_kernel(kernel)
 }
 
 /// Builds a failure problem whose spec is `spec_factor ×` the nominal metric of

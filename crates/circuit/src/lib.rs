@@ -47,12 +47,15 @@ pub mod transient;
 pub mod waveform;
 
 pub use error::CircuitError;
-pub use mna::{DynamicState, MnaSystem};
+pub use mna::{DynamicState, MnaSystem, SimulationWorkspace};
 pub use mosfet::{MosfetOperatingPoint, MosfetParams, MosfetPolarity};
 pub use netlist::{Circuit, Device, NodeId, SourceWaveform, GROUND};
 pub use sweep::{dc_sweep, DcSweepResult};
-pub use transient::{transient_analysis, TransientConfig, TransientResult};
-pub use waveform::{CrossingDirection, Waveform};
+pub use transient::{
+    transient_analysis, transient_analysis_dense, transient_analysis_with, TransientConfig,
+    TransientKernel, TransientResult,
+};
+pub use waveform::{CrossingDirection, Waveform, WaveformView};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CircuitError>;

@@ -6,9 +6,27 @@
 //! Norton linearization around the current iterate; capacitors are stamped as
 //! backward-Euler companion models during transient analysis and are open
 //! circuits during DC analysis.
+//!
+//! # Two kernels, one arithmetic
+//!
+//! The solver exists in two bit-identical flavours:
+//!
+//! * the **dense reference kernel** ([`MnaSystem::solve_newton`]) allocates a
+//!   fresh [`Matrix`]/[`Vector`]/[`LuDecomposition`] per Newton iteration —
+//!   simple, kept as the golden reference;
+//! * the **sparse production kernel** ([`MnaSystem::solve_newton_in`])
+//!   assembles into a reusable [`SimulationWorkspace`] whose symbolic LU plan
+//!   is computed once per netlist topology; the steady-state Newton loop
+//!   performs zero heap allocations and skips all structurally-zero
+//!   arithmetic, which is floating-point exact (see [`gis_linalg::sparse`]).
+//!
+//! Both kernels stamp through the same generic assembly walk, so every sum is
+//! accumulated in the same order and fixed-seed results are bit-identical
+//! regardless of the kernel.
 
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, Device, NodeId, GROUND};
+use gis_linalg::sparse::{PatternBuilder, SparseLu, SymbolicLu};
 use gis_linalg::{LuDecomposition, Matrix, Vector};
 
 /// Minimum conductance tied from every non-ground node to ground. Prevents
@@ -29,13 +47,308 @@ pub const MAX_VOLTAGE_STEP: f64 = 0.3;
 pub const MAX_NEWTON_ITERATIONS: usize = 200;
 
 /// State carried between transient time points, enabling the capacitor
-/// companion models.
-#[derive(Debug, Clone)]
-pub struct DynamicState {
+/// companion models. Borrows the previous time point's node voltages so the
+/// per-step clone of the dense-era implementation is gone.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicState<'a> {
     /// Node voltages (full, including ground at index 0) at the previous accepted time point.
-    pub previous_node_voltages: Vec<f64>,
+    pub previous_node_voltages: &'a [f64],
     /// Time step in seconds.
     pub dt: f64,
+}
+
+/// Destination of an assembly walk: the dense matrix, the sparse workspace,
+/// and the pattern extractor all receive the identical stamp sequence.
+trait Stamper {
+    fn mat_add(&mut self, i: usize, j: usize, v: f64);
+    fn rhs_add(&mut self, i: usize, v: f64);
+    fn rhs_set(&mut self, i: usize, v: f64);
+}
+
+/// Stamps into a dense [`Matrix`]/[`Vector`] pair (reference kernel).
+struct DenseStamper<'a> {
+    a: &'a mut Matrix,
+    z: &'a mut Vector,
+}
+
+impl Stamper for DenseStamper<'_> {
+    #[inline]
+    fn mat_add(&mut self, i: usize, j: usize, v: f64) {
+        self.a.add_at(i, j, v);
+    }
+    #[inline]
+    fn rhs_add(&mut self, i: usize, v: f64) {
+        self.z[i] += v;
+    }
+    #[inline]
+    fn rhs_set(&mut self, i: usize, v: f64) {
+        self.z[i] = v;
+    }
+}
+
+/// Records the set of touched matrix slots (symbolic pre-pass).
+struct PatternStamper<'a> {
+    pattern: &'a mut PatternBuilder,
+}
+
+impl Stamper for PatternStamper<'_> {
+    #[inline]
+    fn mat_add(&mut self, i: usize, j: usize, _v: f64) {
+        self.pattern.insert(i, j);
+    }
+    #[inline]
+    fn rhs_add(&mut self, _i: usize, _v: f64) {}
+    #[inline]
+    fn rhs_set(&mut self, _i: usize, _v: f64) {}
+}
+
+/// Sentinel slot/index for "terminal is ground / stamp absent".
+const NONE_SLOT: u32 = u32::MAX;
+
+/// One precompiled assembly action of a [`SimulationWorkspace`].
+///
+/// The sparse hot loop re-assembles the MNA system hundreds of times per
+/// sample with the *same* topology; the workspace therefore compiles the
+/// netlist walk once into a flat program with every matrix slot and unknown
+/// index precomputed, leaving only the value arithmetic for the per-iteration
+/// replay. The replay performs the identical floating-point operations in the
+/// identical order as [`MnaSystem::assemble`]'s generic walk (asserted by the
+/// kernel-equivalence golden tests).
+#[derive(Debug, Clone)]
+enum StampOp {
+    /// Conductance `g = 1/R` from device `dev`: `+g` on the diagonal slots,
+    /// `-g` on the cross slots ([`NONE_SLOT`] entries are skipped).
+    Resistor {
+        dev: u32,
+        diag: [u32; 2],
+        cross: [u32; 2],
+    },
+    /// Backward-Euler companion stamp (transient only): conductance
+    /// `geq = C/dt` plus the history current `geq · v_prev` into the RHS.
+    /// `node_a`/`node_b` index the previous-step node-voltage array;
+    /// `rhs_into`/`rhs_from` are unknown rows.
+    Capacitor {
+        dev: u32,
+        node_a: u32,
+        node_b: u32,
+        diag: [u32; 2],
+        cross: [u32; 2],
+        rhs_into: u32,
+        rhs_from: u32,
+    },
+    /// Voltage-source branch stamps (`±1` incidence) and the RHS drive.
+    VoltageSource {
+        dev: u32,
+        row: u32,
+        plus: [u32; 2],
+        minus: [u32; 2],
+    },
+    /// Current-source RHS stamps.
+    CurrentSource {
+        dev: u32,
+        rhs_into: u32,
+        rhs_from: u32,
+    },
+    /// MOSFET Norton linearization stamps. `eval` indexes the per-iteration
+    /// scratch filled by the batched evaluation pass; the slot arrays hold
+    /// the 8 Jacobian stamp destinations for the normal and the
+    /// drain/source-swapped orientation, and `rhs_*` the equivalent-current
+    /// rows (eff-drain, eff-source).
+    Mosfet {
+        eval: u32,
+        slots_normal: [u32; 8],
+        slots_swapped: [u32; 8],
+        rhs_normal: [u32; 2],
+        rhs_swapped: [u32; 2],
+    },
+}
+
+/// One MOSFET's evaluation inputs for the batched model pass: device index
+/// plus the four terminal unknown indices ([`NONE_SLOT`] = ground).
+#[derive(Debug, Clone, Copy)]
+struct MosfetEvalSpec {
+    dev: u32,
+    d: u32,
+    g: u32,
+    s: u32,
+    b: u32,
+}
+
+/// Output of one MOSFET evaluation, consumed by the stamp replay.
+///
+/// Evaluating all transistors *before* stamping lets their independent
+/// floating-point dependency chains overlap in the out-of-order window; the
+/// stamp replay then applies the results in exact netlist order, so the
+/// assembled system is bit-identical to the interleaved walk.
+#[derive(Debug, Clone, Copy, Default)]
+struct MosfetScratch {
+    /// The 8 Jacobian stamp values in `stamp_mosfet`'s order.
+    values: [f64; 8],
+    /// Norton equivalent current.
+    ieq: f64,
+    /// Whether the symmetric-conduction swap is active this iterate.
+    swapped: bool,
+}
+
+/// Compact per-device topology signature used to detect whether a workspace's
+/// symbolic plan is still valid for a circuit. Values (resistances, model
+/// cards, waveforms) are deliberately excluded: only connectivity determines
+/// the stamp pattern.
+type DeviceSignature = (u8, NodeId, NodeId, NodeId, NodeId);
+
+fn device_signature(device: &Device) -> DeviceSignature {
+    match device {
+        Device::Resistor { a, b, .. } => (0, *a, *b, 0, 0),
+        Device::Capacitor { a, b, .. } => (1, *a, *b, 0, 0),
+        Device::VoltageSource {
+            positive, negative, ..
+        } => (2, *positive, *negative, 0, 0),
+        Device::CurrentSource { from, into, .. } => (3, *from, *into, 0, 0),
+        Device::Mosfet {
+            drain,
+            gate,
+            source,
+            body,
+            ..
+        } => (4, *drain, *gate, *source, *body),
+    }
+}
+
+/// Reusable, allocation-free state for the sparse transient kernel.
+///
+/// A workspace binds lazily to a netlist *topology*: the first
+/// [`MnaSystem::solve_newton_in`] (or [`SimulationWorkspace::bind`]) call
+/// builds the stamp pattern and the symbolic LU plan; every further solve with
+/// the same connectivity — Newton iterations, time steps, and Monte-Carlo
+/// samples that only change device *values* — reuses the plan and the numeric
+/// buffers without touching the heap.
+///
+/// The SRAM sessions hold one workspace each, so an executor work chunk
+/// carries exactly one plan for its whole batch.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationWorkspace {
+    core: Option<WorkspaceCore>,
+}
+
+#[derive(Debug, Clone)]
+struct WorkspaceCore {
+    num_nodes: usize,
+    dim: usize,
+    signature: Vec<DeviceSignature>,
+    /// The compiled assembly program (netlist walk with precomputed slots).
+    program: Vec<StampOp>,
+    /// Evaluation inputs of every MOSFET, in netlist order.
+    mosfet_evals: Vec<MosfetEvalSpec>,
+    /// Per-iteration outputs of the batched MOSFET evaluation pass.
+    mosfet_scratch: Vec<MosfetScratch>,
+    lu: SparseLu,
+    /// Right-hand side of the linearized system.
+    z: Vec<f64>,
+    /// Newton iterate (the solution after a successful solve).
+    x: Vec<f64>,
+    /// Raw solution of one linearized system before damping.
+    x_new: Vec<f64>,
+}
+
+impl SimulationWorkspace {
+    /// Creates an empty workspace; it binds to a topology on first use.
+    pub fn new() -> Self {
+        SimulationWorkspace::default()
+    }
+
+    /// Returns `true` if the workspace's symbolic plan matches `system`'s
+    /// topology (same dimension, node count, and device connectivity).
+    fn matches(&self, system: &MnaSystem) -> bool {
+        let Some(core) = &self.core else {
+            return false;
+        };
+        core.dim == system.dim
+            && core.num_nodes == system.num_nodes
+            && core.signature.len() == system.circuit.num_devices()
+            && core
+                .signature
+                .iter()
+                .zip(system.circuit.devices())
+                .all(|(sig, dev)| *sig == device_signature(dev))
+    }
+
+    /// Binds the workspace to `system`, rebuilding the symbolic plan only if
+    /// the topology changed. Value-only changes (the Monte-Carlo hot path)
+    /// are free.
+    pub fn bind(&mut self, system: &MnaSystem) {
+        if self.matches(system) {
+            return;
+        }
+        let dim = system.dim;
+        let mut builder = PatternBuilder::new(dim);
+        // Symbolic pre-pass over the same assembly walk as the numeric
+        // kernels. Capacitor companion stamps are included (dummy dynamic
+        // state) so one plan covers both DC and transient solves; the extra
+        // slots hold exact zeros during DC, which is arithmetic-exact.
+        let zeros_x = vec![0.0; dim];
+        let zeros_nodes = vec![0.0; system.num_nodes];
+        let dynamic = DynamicState {
+            previous_node_voltages: &zeros_nodes,
+            dt: 1.0,
+        };
+        system.assemble_with(
+            &zeros_x,
+            0.0,
+            Some(&dynamic),
+            &mut PatternStamper {
+                pattern: &mut builder,
+            },
+        );
+        let symbolic = SymbolicLu::analyze(&builder.build());
+        let (program, mosfet_evals) = compile_program(system);
+        let mosfet_scratch = vec![MosfetScratch::default(); mosfet_evals.len()];
+        self.core = Some(WorkspaceCore {
+            num_nodes: system.num_nodes,
+            dim,
+            signature: system
+                .circuit
+                .devices()
+                .iter()
+                .map(device_signature)
+                .collect(),
+            program,
+            mosfet_evals,
+            mosfet_scratch,
+            lu: SparseLu::new(symbolic),
+            z: vec![0.0; dim],
+            x: vec![0.0; dim],
+            x_new: vec![0.0; dim],
+        });
+    }
+
+    /// The current solution/iterate vector (length = system dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace has never been bound.
+    pub fn state(&self) -> &[f64] {
+        &self.core.as_ref().expect("workspace is bound").x
+    }
+
+    /// Seeds the Newton iterate. Entries beyond `x0.len()` are zeroed, which
+    /// mirrors the dense kernel's zero-padding of short initial guesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace has never been bound.
+    pub fn set_state(&mut self, x0: &[f64]) {
+        let core = self.core.as_mut().expect("workspace is bound");
+        let n = core.x.len().min(x0.len());
+        core.x[..n].copy_from_slice(&x0[..n]);
+        for v in &mut core.x[n..] {
+            *v = 0.0;
+        }
+    }
+
+    /// The symbolic plan, if the workspace is bound (for diagnostics/tests).
+    pub fn symbolic(&self) -> Option<&SymbolicLu> {
+        self.core.as_ref().map(|c| c.lu.symbolic())
+    }
 }
 
 /// An assembled view of a circuit ready for MNA analysis.
@@ -91,6 +404,7 @@ impl<'a> MnaSystem<'a> {
     }
 
     /// Index of node `node` in the unknown vector, or `None` for ground.
+    #[inline]
     fn node_index(&self, node: NodeId) -> Option<usize> {
         if node == GROUND {
             None
@@ -101,6 +415,12 @@ impl<'a> MnaSystem<'a> {
 
     /// Voltage of `node` in the solution vector `x` (0 for ground).
     pub fn node_voltage(&self, x: &Vector, node: NodeId) -> f64 {
+        self.node_voltage_in(x.as_slice(), node)
+    }
+
+    /// Voltage of `node` in the solution slice `x` (0 for ground).
+    #[inline]
+    pub fn node_voltage_in(&self, x: &[f64], node: NodeId) -> f64 {
         match self.node_index(node) {
             None => 0.0,
             Some(i) => x[i],
@@ -110,9 +430,22 @@ impl<'a> MnaSystem<'a> {
     /// Expands a solution vector into per-node voltages (index = node id,
     /// ground included as 0.0).
     pub fn node_voltages(&self, x: &Vector) -> Vec<f64> {
-        (0..self.num_nodes)
-            .map(|n| self.node_voltage(x, n))
-            .collect()
+        let mut out = vec![0.0; self.num_nodes];
+        self.node_voltages_into(x.as_slice(), &mut out);
+        out
+    }
+
+    /// Writes per-node voltages of the solution slice `x` into `out`
+    /// (index = node id, ground as 0.0), without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != num_nodes`.
+    pub fn node_voltages_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_nodes, "node voltage buffer mismatch");
+        for (n, slot) in out.iter_mut().enumerate() {
+            *slot = self.node_voltage_in(x, n);
+        }
     }
 
     /// Branch current through the `k`-th voltage source in the solution `x`.
@@ -123,44 +456,70 @@ impl<'a> MnaSystem<'a> {
         Some(x[(self.num_nodes - 1) + branch])
     }
 
-    fn stamp_conductance(&self, a: NodeId, b: NodeId, g: f64, matrix: &mut Matrix) {
+    #[inline]
+    fn stamp_conductance<S: Stamper>(&self, a: NodeId, b: NodeId, g: f64, stamper: &mut S) {
         let ia = self.node_index(a);
         let ib = self.node_index(b);
         if let Some(i) = ia {
-            matrix.add_at(i, i, g);
+            stamper.mat_add(i, i, g);
         }
         if let Some(j) = ib {
-            matrix.add_at(j, j, g);
+            stamper.mat_add(j, j, g);
         }
         if let (Some(i), Some(j)) = (ia, ib) {
-            matrix.add_at(i, j, -g);
-            matrix.add_at(j, i, -g);
+            stamper.mat_add(i, j, -g);
+            stamper.mat_add(j, i, -g);
         }
     }
 
-    fn stamp_current(&self, from: NodeId, into: NodeId, current: f64, rhs: &mut Vector) {
+    #[inline]
+    fn stamp_current<S: Stamper>(&self, from: NodeId, into: NodeId, current: f64, stamper: &mut S) {
         if let Some(i) = self.node_index(into) {
-            rhs[i] += current;
+            stamper.rhs_add(i, current);
         }
         if let Some(i) = self.node_index(from) {
-            rhs[i] -= current;
+            stamper.rhs_add(i, -current);
         }
     }
 
-    /// Assembles the linearized MNA system `A · x_new = z` around the iterate `x`.
+    /// Assembles the linearized MNA system `A · x_new = z` around the iterate
+    /// `x` into fresh dense storage. This is the reference path; the hot loop
+    /// uses the workspace-backed sparse assembly via
+    /// [`MnaSystem::solve_newton_in`].
     pub fn assemble(
         &self,
         x: &Vector,
         time: f64,
-        dynamic: Option<&DynamicState>,
+        dynamic: Option<&DynamicState<'_>>,
     ) -> (Matrix, Vector) {
         let mut a = Matrix::zeros(self.dim, self.dim);
         let mut z = Vector::zeros(self.dim);
+        self.assemble_with(
+            x.as_slice(),
+            time,
+            dynamic,
+            &mut DenseStamper {
+                a: &mut a,
+                z: &mut z,
+            },
+        );
+        (a, z)
+    }
 
+    /// The single assembly walk shared by every kernel: identical stamp order
+    /// (and therefore identical floating-point accumulation order) regardless
+    /// of the destination.
+    fn assemble_with<S: Stamper>(
+        &self,
+        x: &[f64],
+        time: f64,
+        dynamic: Option<&DynamicState<'_>>,
+        stamper: &mut S,
+    ) {
         // GMIN from every non-ground node to ground.
         for n in 1..self.num_nodes {
             let i = n - 1;
-            a.add_at(i, i, GMIN);
+            stamper.mat_add(i, i, GMIN);
         }
 
         for (dev_index, device) in self.circuit.devices().iter().enumerate() {
@@ -171,7 +530,7 @@ impl<'a> MnaSystem<'a> {
                     resistance,
                     ..
                 } => {
-                    self.stamp_conductance(*na, *nb, 1.0 / resistance, &mut a);
+                    self.stamp_conductance(*na, *nb, 1.0 / resistance, stamper);
                 }
                 Device::Capacitor {
                     a: na,
@@ -184,9 +543,9 @@ impl<'a> MnaSystem<'a> {
                         let geq = capacitance / state.dt;
                         let v_prev =
                             state.previous_node_voltages[*na] - state.previous_node_voltages[*nb];
-                        self.stamp_conductance(*na, *nb, geq, &mut a);
+                        self.stamp_conductance(*na, *nb, geq, stamper);
                         // The history term acts as a current source from b into a.
-                        self.stamp_current(*nb, *na, geq * v_prev, &mut z);
+                        self.stamp_current(*nb, *na, geq * v_prev, stamper);
                     }
                     // DC: capacitor is an open circuit — nothing to stamp.
                 }
@@ -200,14 +559,14 @@ impl<'a> MnaSystem<'a> {
                         .expect("voltage source has a branch index by construction");
                     let row = (self.num_nodes - 1) + branch;
                     if let Some(i) = self.node_index(*positive) {
-                        a.add_at(i, row, 1.0);
-                        a.add_at(row, i, 1.0);
+                        stamper.mat_add(i, row, 1.0);
+                        stamper.mat_add(row, i, 1.0);
                     }
                     if let Some(i) = self.node_index(*negative) {
-                        a.add_at(i, row, -1.0);
-                        a.add_at(row, i, -1.0);
+                        stamper.mat_add(i, row, -1.0);
+                        stamper.mat_add(row, i, -1.0);
                     }
-                    z[row] = waveform.value_at(time);
+                    stamper.rhs_set(row, waveform.value_at(time));
                 }
                 Device::CurrentSource {
                     from,
@@ -215,7 +574,7 @@ impl<'a> MnaSystem<'a> {
                     waveform,
                     ..
                 } => {
-                    self.stamp_current(*from, *into, waveform.value_at(time), &mut z);
+                    self.stamp_current(*from, *into, waveform.value_at(time), stamper);
                 }
                 Device::Mosfet {
                     drain,
@@ -225,30 +584,28 @@ impl<'a> MnaSystem<'a> {
                     params,
                     ..
                 } => {
-                    self.stamp_mosfet(*drain, *gate, *source, *body, params, x, &mut a, &mut z);
+                    self.stamp_mosfet(*drain, *gate, *source, *body, params, x, stamper);
                 }
             }
         }
-        (a, z)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn stamp_mosfet(
+    fn stamp_mosfet<S: Stamper>(
         &self,
         drain: NodeId,
         gate: NodeId,
         source: NodeId,
         body: NodeId,
         params: &crate::mosfet::MosfetParams,
-        x: &Vector,
-        a: &mut Matrix,
-        z: &mut Vector,
+        x: &[f64],
+        stamper: &mut S,
     ) {
         let sign = params.polarity.sign();
-        let vd = self.node_voltage(x, drain);
-        let vg = self.node_voltage(x, gate);
-        let vs = self.node_voltage(x, source);
-        let vb = self.node_voltage(x, body);
+        let vd = self.node_voltage_in(x, drain);
+        let vg = self.node_voltage_in(x, gate);
+        let vs = self.node_voltage_in(x, source);
+        let vb = self.node_voltage_in(x, body);
 
         // Normalize to an N-type device: for PMOS flip all voltages.
         let (nvd, nvg, nvs, nvb) = (sign * vd, sign * vg, sign * vs, sign * vb);
@@ -282,45 +639,44 @@ impl<'a> MnaSystem<'a> {
         // reversed, which is equivalent to stamping in the flipped frame with
         // flipped voltage differences — handled by multiplying the stamped
         // current by `sign` while conductances stay positive.
-        let stamp_row = |node: NodeId| self.node_index(node);
-
-        let gd = stamp_row(eff_drain);
-        let gs_idx = stamp_row(eff_source);
-        let gg = stamp_row(gate);
-        let gb = stamp_row(body);
+        let gd = self.node_index(eff_drain);
+        let gs_idx = self.node_index(eff_source);
+        let gg = self.node_index(gate);
+        let gb = self.node_index(body);
 
         // Conductance stamps (Jacobian contributions). Row for eff_drain gets
         // +∂i/∂v_terminal, row for eff_source gets the negative.
         // i depends on vgs = vg − vs, vds = vd − vs, vbs = vb − vs
         // (all in the normalized frame; the sign flip for PMOS cancels because
         // both the current and the voltages flip).
-        let add = |m: &mut Matrix, row: Option<usize>, col: Option<usize>, val: f64| {
+        let add = |s: &mut S, row: Option<usize>, col: Option<usize>, val: f64| {
             if let (Some(r), Some(c)) = (row, col) {
-                m.add_at(r, c, val);
+                s.mat_add(r, c, val);
             }
         };
 
         // Row eff_drain.
-        add(a, gd, gg, op.gm);
-        add(a, gd, gd, op.gds);
-        add(a, gd, gb, op.gmb);
-        add(a, gd, gs_idx, -(op.gm + op.gds + op.gmb));
+        add(stamper, gd, gg, op.gm);
+        add(stamper, gd, gd, op.gds);
+        add(stamper, gd, gb, op.gmb);
+        add(stamper, gd, gs_idx, -(op.gm + op.gds + op.gmb));
         // Row eff_source (current leaves the source terminal).
-        add(a, gs_idx, gg, -op.gm);
-        add(a, gs_idx, gd, -op.gds);
-        add(a, gs_idx, gb, -op.gmb);
-        add(a, gs_idx, gs_idx, op.gm + op.gds + op.gmb);
+        add(stamper, gs_idx, gg, -op.gm);
+        add(stamper, gs_idx, gd, -op.gds);
+        add(stamper, gs_idx, gb, -op.gmb);
+        add(stamper, gs_idx, gs_idx, op.gm + op.gds + op.gmb);
 
         // Equivalent current source: flows out of eff_drain, into eff_source.
         if let Some(r) = gd {
-            z[r] -= ieq;
+            stamper.rhs_add(r, -ieq);
         }
         if let Some(r) = gs_idx {
-            z[r] += ieq;
+            stamper.rhs_add(r, ieq);
         }
     }
 
-    /// Runs damped Newton–Raphson from the initial guess `x0`.
+    /// Runs damped Newton–Raphson from the initial guess `x0` using the dense
+    /// reference kernel.
     ///
     /// # Errors
     ///
@@ -330,10 +686,27 @@ impl<'a> MnaSystem<'a> {
         &self,
         x0: Vector,
         time: f64,
-        dynamic: Option<&DynamicState>,
+        dynamic: Option<&DynamicState<'_>>,
         analysis: &'static str,
         max_iterations: usize,
     ) -> Result<Vector, CircuitError> {
+        self.solve_newton_counted(x0, time, dynamic, analysis, max_iterations)
+            .map(|(x, _)| x)
+    }
+
+    /// Dense-kernel Newton solve that also reports the iterations spent.
+    ///
+    /// # Errors
+    ///
+    /// See [`MnaSystem::solve_newton`].
+    pub fn solve_newton_counted(
+        &self,
+        x0: Vector,
+        time: f64,
+        dynamic: Option<&DynamicState<'_>>,
+        analysis: &'static str,
+        max_iterations: usize,
+    ) -> Result<(Vector, usize), CircuitError> {
         let mut x = if x0.len() == self.dim {
             x0
         } else {
@@ -348,30 +721,114 @@ impl<'a> MnaSystem<'a> {
                 .solve(&z)
                 .map_err(|source| CircuitError::SingularSystem { time, source })?;
 
-            // Damped update: limit per-iteration voltage change. If the
-            // iteration has not settled after half the budget (typically a
-            // limit cycle between two near-solutions in weak inversion), shrink
-            // the step progressively to force convergence.
-            let relaxation = if iteration * 2 > max_iterations {
-                0.25
-            } else {
-                1.0
-            };
-            let mut max_delta: f64 = 0.0;
-            let mut x_next = x.clone();
-            let node_unknowns = self.num_nodes - 1;
-            for i in 0..self.dim {
-                let mut delta = x_new[i] - x[i];
-                if i < node_unknowns {
-                    delta = relaxation * delta.clamp(-MAX_VOLTAGE_STEP, MAX_VOLTAGE_STEP);
-                    max_delta = max_delta.max(delta.abs());
-                }
-                x_next[i] = x[i] + delta;
-            }
-            x = x_next;
+            let (max_delta, norm_inf) = newton_update(
+                x.as_mut_slice(),
+                x_new.as_slice(),
+                self.num_nodes - 1,
+                iteration,
+                max_iterations,
+            );
             last_delta = max_delta;
-            if max_delta < VOLTAGE_TOLERANCE + RELATIVE_TOLERANCE * x.norm_inf().min(1.0) {
-                return Ok(x);
+            if newton_converged(max_delta, norm_inf) {
+                return Ok((x, iteration + 1));
+            }
+        }
+        Err(CircuitError::NewtonDidNotConverge {
+            analysis,
+            time,
+            iterations: max_iterations,
+            residual: last_delta,
+        })
+    }
+
+    /// Runs damped Newton–Raphson in place on `workspace` using the sparse
+    /// kernel, returning the iterations spent. The converged solution is left
+    /// in [`SimulationWorkspace::state`]; the incoming state is the initial
+    /// guess (warm start).
+    ///
+    /// The workspace binds (or re-binds) to this system's topology
+    /// automatically; in the steady state — same topology, new values — the
+    /// entire call is allocation-free. The arithmetic is bit-identical to
+    /// [`MnaSystem::solve_newton`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MnaSystem::solve_newton`].
+    pub fn solve_newton_in(
+        &self,
+        workspace: &mut SimulationWorkspace,
+        time: f64,
+        dynamic: Option<&DynamicState<'_>>,
+        analysis: &'static str,
+        max_iterations: usize,
+    ) -> Result<usize, CircuitError> {
+        workspace.bind(self);
+        let core = workspace.core.as_mut().expect("workspace bound above");
+        self.solve_newton_bound(core, time, dynamic, analysis, max_iterations)
+    }
+
+    /// Like [`MnaSystem::solve_newton_in`] but assumes the workspace is
+    /// already bound to this system (used by the transient driver, which
+    /// binds once per analysis instead of once per time step).
+    pub(crate) fn solve_newton_prebound(
+        &self,
+        workspace: &mut SimulationWorkspace,
+        time: f64,
+        dynamic: Option<&DynamicState<'_>>,
+        analysis: &'static str,
+        max_iterations: usize,
+    ) -> Result<usize, CircuitError> {
+        debug_assert!(workspace.matches(self), "workspace not bound to system");
+        let core = workspace.core.as_mut().expect("caller bound the workspace");
+        self.solve_newton_bound(core, time, dynamic, analysis, max_iterations)
+    }
+
+    /// The bound sparse Newton loop: `core` must already belong to this
+    /// system's topology (the transient driver binds once per analysis and
+    /// then skips the per-step signature check).
+    fn solve_newton_bound(
+        &self,
+        core: &mut WorkspaceCore,
+        time: f64,
+        dynamic: Option<&DynamicState<'_>>,
+        analysis: &'static str,
+        max_iterations: usize,
+    ) -> Result<usize, CircuitError> {
+        let devices = self.circuit.devices();
+        let node_unknowns = self.num_nodes - 1;
+        let mut last_delta = f64::INFINITY;
+        for iteration in 0..max_iterations {
+            core.lu.clear();
+            core.z.iter_mut().for_each(|v| *v = 0.0);
+            execute_program(
+                &core.program,
+                &core.mosfet_evals,
+                &mut core.mosfet_scratch,
+                devices,
+                node_unknowns,
+                &core.x,
+                time,
+                dynamic,
+                &mut core.lu,
+                &mut core.z,
+            );
+            core.lu
+                .factorize()
+                .map_err(|source| CircuitError::SingularSystem { time, source })?;
+            core.lu
+                .solve(&core.z, &mut core.x_new)
+                .map_err(|source| CircuitError::SingularSystem { time, source })?;
+
+            let (max_delta, norm_inf) = newton_update(
+                &mut core.x,
+                &core.x_new,
+                node_unknowns,
+                iteration,
+                max_iterations,
+            );
+            last_delta = max_delta;
+            if newton_converged(max_delta, norm_inf) {
+                return Ok(iteration + 1);
             }
         }
         Err(CircuitError::NewtonDidNotConverge {
@@ -399,6 +856,330 @@ impl<'a> MnaSystem<'a> {
             }
         }
         self.solve_newton(x0, 0.0, None, "dc", MAX_NEWTON_ITERATIONS)
+    }
+}
+
+/// The damped Newton update shared by both kernels: applies the step from
+/// `x_new` onto `x` in place and returns `(max_delta, norm_inf(x))` of the
+/// updated iterate. Identical arithmetic to the historical dense loop (which
+/// cloned `x` per iteration and took `norm_inf` in a second pass — `max` is a
+/// pure selection, so fusing the passes returns the same value).
+#[inline]
+fn newton_update(
+    x: &mut [f64],
+    x_new: &[f64],
+    node_unknowns: usize,
+    iteration: usize,
+    max_iterations: usize,
+) -> (f64, f64) {
+    // Damped update: limit per-iteration voltage change. If the iteration has
+    // not settled after half the budget (typically a limit cycle between two
+    // near-solutions in weak inversion), shrink the step progressively to
+    // force convergence.
+    let relaxation = if iteration * 2 > max_iterations {
+        0.25
+    } else {
+        1.0
+    };
+    let mut max_delta: f64 = 0.0;
+    let mut norm_inf: f64 = 0.0;
+    for i in 0..x.len() {
+        let mut delta = x_new[i] - x[i];
+        if i < node_unknowns {
+            delta = relaxation * delta.clamp(-MAX_VOLTAGE_STEP, MAX_VOLTAGE_STEP);
+            max_delta = max_delta.max(delta.abs());
+        }
+        let updated = x[i] + delta;
+        x[i] = updated;
+        norm_inf = norm_inf.max(updated.abs());
+    }
+    (max_delta, norm_inf)
+}
+
+/// The convergence test shared by both kernels (same expression as the
+/// historical dense loop).
+#[inline]
+fn newton_converged(max_delta: f64, norm_inf: f64) -> bool {
+    max_delta < VOLTAGE_TOLERANCE + RELATIVE_TOLERANCE * norm_inf.min(1.0)
+}
+
+/// Compiles the netlist walk of `system` into a flat stamp program with every
+/// matrix slot precomputed (see [`StampOp`]).
+fn compile_program(system: &MnaSystem) -> (Vec<StampOp>, Vec<MosfetEvalSpec>) {
+    let n = system.dim;
+    let idx = |node: NodeId| -> u32 {
+        match system.node_index(node) {
+            None => NONE_SLOT,
+            Some(i) => i as u32,
+        }
+    };
+    let slot = |r: u32, c: u32| -> u32 {
+        if r == NONE_SLOT || c == NONE_SLOT {
+            NONE_SLOT
+        } else {
+            r * n as u32 + c
+        }
+    };
+    // Conductance stamp destinations in the generic walk's order:
+    // (ia,ia), (ib,ib) on the diagonal, then (ia,ib), (ib,ia) across.
+    let conductance = |a: NodeId, b: NodeId| -> ([u32; 2], [u32; 2]) {
+        let ia = idx(a);
+        let ib = idx(b);
+        ([slot(ia, ia), slot(ib, ib)], [slot(ia, ib), slot(ib, ia)])
+    };
+
+    let mut program = Vec::with_capacity(system.circuit.num_devices());
+    let mut mosfet_evals = Vec::new();
+    for (dev_index, device) in system.circuit.devices().iter().enumerate() {
+        let dev = dev_index as u32;
+        match device {
+            Device::Resistor { a, b, .. } => {
+                let (diag, cross) = conductance(*a, *b);
+                program.push(StampOp::Resistor { dev, diag, cross });
+            }
+            Device::Capacitor { a, b, .. } => {
+                let (diag, cross) = conductance(*a, *b);
+                program.push(StampOp::Capacitor {
+                    dev,
+                    node_a: *a as u32,
+                    node_b: *b as u32,
+                    diag,
+                    cross,
+                    // stamp_current(from = b, into = a): rhs[a] += i, rhs[b] -= i.
+                    rhs_into: idx(*a),
+                    rhs_from: idx(*b),
+                });
+            }
+            Device::VoltageSource {
+                positive, negative, ..
+            } => {
+                let branch = system.vsrc_branch[dev_index]
+                    .expect("voltage source has a branch index by construction");
+                let row = ((system.num_nodes - 1) + branch) as u32;
+                let ip = idx(*positive);
+                let ineg = idx(*negative);
+                program.push(StampOp::VoltageSource {
+                    dev,
+                    row,
+                    plus: [slot(ip, row), slot(row, ip)],
+                    minus: [slot(ineg, row), slot(row, ineg)],
+                });
+            }
+            Device::CurrentSource { from, into, .. } => {
+                program.push(StampOp::CurrentSource {
+                    dev,
+                    rhs_into: idx(*into),
+                    rhs_from: idx(*from),
+                });
+            }
+            Device::Mosfet {
+                drain,
+                gate,
+                source,
+                body,
+                ..
+            } => {
+                let d = idx(*drain);
+                let g = idx(*gate);
+                let s = idx(*source);
+                let b = idx(*body);
+                // The 8 Jacobian stamps of `stamp_mosfet`, in its exact order,
+                // for eff_drain/eff_source = (d, s) and the swapped (s, d).
+                let jacobian = |gd: u32, gs: u32| -> [u32; 8] {
+                    [
+                        slot(gd, g),
+                        slot(gd, gd),
+                        slot(gd, b),
+                        slot(gd, gs),
+                        slot(gs, g),
+                        slot(gs, gd),
+                        slot(gs, b),
+                        slot(gs, gs),
+                    ]
+                };
+                program.push(StampOp::Mosfet {
+                    eval: mosfet_evals.len() as u32,
+                    slots_normal: jacobian(d, s),
+                    slots_swapped: jacobian(s, d),
+                    rhs_normal: [d, s],
+                    rhs_swapped: [s, d],
+                });
+                mosfet_evals.push(MosfetEvalSpec { dev, d, g, s, b });
+            }
+        }
+    }
+    (program, mosfet_evals)
+}
+
+/// The batched MOSFET evaluation pass: runs every transistor's compact model
+/// against the current iterate and leaves the stamp values in `scratch`.
+/// Each evaluation is the identical arithmetic `stamp_mosfet` performs
+/// in-line; only the scheduling differs (all evaluations before any stamp).
+#[inline]
+fn evaluate_mosfets(
+    evals: &[MosfetEvalSpec],
+    devices: &[Device],
+    x: &[f64],
+    scratch: &mut [MosfetScratch],
+) {
+    for (spec, out) in evals.iter().zip(scratch) {
+        let Device::Mosfet { params, .. } = &devices[spec.dev as usize] else {
+            unreachable!("program op desynchronized from netlist");
+        };
+        let volt = |i: u32| if i == NONE_SLOT { 0.0 } else { x[i as usize] };
+        let sign = params.polarity.sign();
+        let vd = volt(spec.d);
+        let vg = volt(spec.g);
+        let vs = volt(spec.s);
+        let vb = volt(spec.b);
+
+        // Identical normalization as `stamp_mosfet` (see there for the sign
+        // conventions).
+        let (nvd, nvg, nvs, nvb) = (sign * vd, sign * vg, sign * vs, sign * vb);
+        let swapped = nvd < nvs;
+        let (evd, evs) = if swapped { (nvs, nvd) } else { (nvd, nvs) };
+        let vgs = nvg - evs;
+        let vds = evd - evs;
+        let vbs = nvb - evs;
+        let op_point = params.evaluate_normalized(vgs, vds, vbs);
+        let ieq =
+            sign * (op_point.id - op_point.gm * vgs - op_point.gds * vds - op_point.gmb * vbs);
+
+        let total = op_point.gm + op_point.gds + op_point.gmb;
+        out.values = [
+            op_point.gm,
+            op_point.gds,
+            op_point.gmb,
+            -total,
+            -op_point.gm,
+            -op_point.gds,
+            -op_point.gmb,
+            total,
+        ];
+        out.ieq = ieq;
+        out.swapped = swapped;
+    }
+}
+
+/// Replays a compiled stamp program: the allocation-free, dispatch-free
+/// equivalent of [`MnaSystem::assemble`] used by the sparse Newton loop.
+/// Performs the identical floating-point operations in the identical order.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn execute_program(
+    program: &[StampOp],
+    mosfet_evals: &[MosfetEvalSpec],
+    mosfet_scratch: &mut [MosfetScratch],
+    devices: &[Device],
+    num_node_unknowns: usize,
+    x: &[f64],
+    time: f64,
+    dynamic: Option<&DynamicState<'_>>,
+    lu: &mut SparseLu,
+    z: &mut [f64],
+) {
+    evaluate_mosfets(mosfet_evals, devices, x, mosfet_scratch);
+    let n = z.len() as u32;
+    // GMIN from every non-ground node to ground.
+    for i in 0..num_node_unknowns as u32 {
+        lu.add_to_slot(i * n + i, GMIN);
+    }
+    let stamp = |lu: &mut SparseLu, slot: u32, v: f64| {
+        if slot != NONE_SLOT {
+            lu.add_to_slot(slot, v);
+        }
+    };
+    let rhs = |z: &mut [f64], row: u32, v: f64| {
+        if row != NONE_SLOT {
+            z[row as usize] += v;
+        }
+    };
+    for op in program {
+        match op {
+            StampOp::Resistor { dev, diag, cross } => {
+                let Device::Resistor { resistance, .. } = &devices[*dev as usize] else {
+                    unreachable!("program op desynchronized from netlist");
+                };
+                let g = 1.0 / resistance;
+                stamp(lu, diag[0], g);
+                stamp(lu, diag[1], g);
+                stamp(lu, cross[0], -g);
+                stamp(lu, cross[1], -g);
+            }
+            StampOp::Capacitor {
+                dev,
+                node_a,
+                node_b,
+                diag,
+                cross,
+                rhs_into,
+                rhs_from,
+            } => {
+                if let Some(state) = dynamic {
+                    let Device::Capacitor { capacitance, .. } = &devices[*dev as usize] else {
+                        unreachable!("program op desynchronized from netlist");
+                    };
+                    // Backward-Euler companion model.
+                    let geq = capacitance / state.dt;
+                    let v_prev = state.previous_node_voltages[*node_a as usize]
+                        - state.previous_node_voltages[*node_b as usize];
+                    stamp(lu, diag[0], geq);
+                    stamp(lu, diag[1], geq);
+                    stamp(lu, cross[0], -geq);
+                    stamp(lu, cross[1], -geq);
+                    let current = geq * v_prev;
+                    rhs(z, *rhs_into, current);
+                    rhs(z, *rhs_from, -current);
+                }
+                // DC: capacitor is an open circuit — nothing to stamp.
+            }
+            StampOp::VoltageSource {
+                dev,
+                row,
+                plus,
+                minus,
+            } => {
+                let Device::VoltageSource { waveform, .. } = &devices[*dev as usize] else {
+                    unreachable!("program op desynchronized from netlist");
+                };
+                stamp(lu, plus[0], 1.0);
+                stamp(lu, plus[1], 1.0);
+                stamp(lu, minus[0], -1.0);
+                stamp(lu, minus[1], -1.0);
+                z[*row as usize] = waveform.value_at(time);
+            }
+            StampOp::CurrentSource {
+                dev,
+                rhs_into,
+                rhs_from,
+            } => {
+                let Device::CurrentSource { waveform, .. } = &devices[*dev as usize] else {
+                    unreachable!("program op desynchronized from netlist");
+                };
+                let current = waveform.value_at(time);
+                rhs(z, *rhs_into, current);
+                rhs(z, *rhs_from, -current);
+            }
+            StampOp::Mosfet {
+                eval,
+                slots_normal,
+                slots_swapped,
+                rhs_normal,
+                rhs_swapped,
+            } => {
+                let result = &mosfet_scratch[*eval as usize];
+                let (slots, rhs_rows) = if result.swapped {
+                    (slots_swapped, rhs_swapped)
+                } else {
+                    (slots_normal, rhs_normal)
+                };
+                for (&slot_id, &v) in slots.iter().zip(&result.values) {
+                    stamp(lu, slot_id, v);
+                }
+                rhs(z, rhs_rows[0], -result.ieq);
+                rhs(z, rhs_rows[1], result.ieq);
+            }
+        }
     }
 }
 
@@ -537,5 +1318,117 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert_eq!(v[0], 0.0);
         assert!((v[1] - 0.7).abs() < 1e-9);
+    }
+
+    /// Solves the same system with both kernels and asserts bit-identity.
+    fn assert_kernels_agree(ckt: &Circuit, init: Option<&[f64]>) {
+        let sys = MnaSystem::new(ckt).unwrap();
+        let mut x0 = Vector::zeros(sys.dim());
+        if let Some(init) = init {
+            for node in 1..sys.circuit().num_nodes().min(init.len()) {
+                x0[node - 1] = init[node];
+            }
+        }
+        let (dense_x, dense_iters) = sys
+            .solve_newton_counted(x0.clone(), 0.0, None, "dc", MAX_NEWTON_ITERATIONS)
+            .unwrap();
+        let mut ws = SimulationWorkspace::new();
+        ws.bind(&sys);
+        ws.set_state(x0.as_slice());
+        let sparse_iters = sys
+            .solve_newton_in(&mut ws, 0.0, None, "dc", MAX_NEWTON_ITERATIONS)
+            .unwrap();
+        assert_eq!(dense_iters, sparse_iters);
+        for i in 0..sys.dim() {
+            assert_eq!(
+                dense_x[i].to_bits(),
+                ws.state()[i].to_bits(),
+                "kernel divergence at unknown {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_matches_dense_on_dc_solves() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let input = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("VDD", vdd, GROUND, SourceWaveform::dc(1.0));
+        ckt.add_voltage_source("VIN", input, GROUND, SourceWaveform::dc(0.45));
+        ckt.add_mosfet("MP", out, input, vdd, vdd, MosfetParams::pmos_45nm())
+            .unwrap();
+        ckt.add_mosfet("MN", out, input, GROUND, GROUND, MosfetParams::nmos_45nm())
+            .unwrap();
+        assert_kernels_agree(&ckt, Some(&[0.0, 1.0, 0.45, 0.5]));
+
+        let mut divider = Circuit::new();
+        let a = divider.node("a");
+        let b = divider.node("b");
+        divider.add_voltage_source("V", a, GROUND, SourceWaveform::dc(1.8));
+        divider.add_resistor("R1", a, b, 4.7e3).unwrap();
+        divider.add_resistor("R2", b, GROUND, 10e3).unwrap();
+        assert_kernels_agree(&divider, None);
+    }
+
+    #[test]
+    fn workspace_rebinds_on_topology_change_only() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_voltage_source("V", a, GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor("R", a, GROUND, 1e3).unwrap();
+        let sys = MnaSystem::new(&ckt).unwrap();
+        let mut ws = SimulationWorkspace::new();
+        assert!(ws.symbolic().is_none());
+        ws.bind(&sys);
+        let nnz = ws.symbolic().unwrap().stamp_nnz();
+        assert!(nnz > 0);
+        // Value-only change: same plan (binding is a no-op and keeps state).
+        ws.set_state(&[0.0, 0.123]);
+        let mut changed = ckt.clone();
+        if let Device::Resistor { resistance, .. } = &mut changed.devices_mut()[1] {
+            *resistance = 2e3;
+        }
+        let sys2 = MnaSystem::new(&changed).unwrap();
+        assert!(ws.matches(&sys2));
+        ws.bind(&sys2);
+        assert_eq!(ws.state()[1], 0.123);
+        // Topology change: rebind.
+        let mut grown = ckt.clone();
+        let b = grown.node("b");
+        grown.add_resistor("R2", a, b, 1e3).unwrap();
+        grown.add_capacitor("C", b, GROUND, 1e-12).unwrap();
+        let sys3 = MnaSystem::new(&grown).unwrap();
+        assert!(!ws.matches(&sys3));
+        ws.bind(&sys3);
+        assert_eq!(ws.state().len(), sys3.dim());
+    }
+
+    #[test]
+    fn workspace_pattern_is_genuinely_sparse() {
+        // A chain of resistors produces a tridiagonal-ish pattern; the fill
+        // bound must stay far below dense.
+        let mut ckt = Circuit::new();
+        let first = ckt.node("n0");
+        ckt.add_voltage_source("V", first, GROUND, SourceWaveform::dc(1.0));
+        let mut prev = first;
+        for i in 1..12 {
+            let next = ckt.node(&format!("n{i}"));
+            ckt.add_resistor(&format!("R{i}"), prev, next, 1e3).unwrap();
+            prev = next;
+        }
+        ckt.add_resistor("Rend", prev, GROUND, 1e3).unwrap();
+        let sys = MnaSystem::new(&ckt).unwrap();
+        let mut ws = SimulationWorkspace::new();
+        ws.bind(&sys);
+        let sym = ws.symbolic().unwrap();
+        assert!(
+            sym.fill_fraction() < 0.5,
+            "chain circuit should be sparse, fill fraction {}",
+            sym.fill_fraction()
+        );
+        assert!(sym.fill_nnz() >= sym.stamp_nnz());
+        // And the kernels still agree on it.
+        assert_kernels_agree(&ckt, None);
     }
 }

@@ -166,6 +166,7 @@ pub struct MosfetOperatingPoint {
 
 /// Numerically safe soft-plus `s·ln(1 + exp(x/s))` and its derivative (the
 /// logistic function).
+#[inline]
 fn softplus(x: f64, s: f64) -> (f64, f64) {
     let t = x / s;
     if t > 40.0 {
@@ -185,6 +186,7 @@ impl MosfetParams {
     /// sign afterwards — see [`crate::mna`]).
     ///
     /// The returned current is guaranteed finite for finite inputs.
+    #[inline]
     pub fn evaluate_normalized(&self, vgs: f64, vds: f64, vbs: f64) -> MosfetOperatingPoint {
         debug_assert!(vds >= 0.0, "evaluate_normalized requires vds >= 0");
         let n_phi_t = self.subthreshold_slope * THERMAL_VOLTAGE;

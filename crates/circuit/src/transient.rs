@@ -6,13 +6,45 @@
 //! the integrator) and — because the statistical layer compares *relative*
 //! behaviour across millions of samples — more important than a higher-order
 //! integrator is that every sample sees the identical discretization.
+//!
+//! # Kernels
+//!
+//! [`transient_analysis`] runs on the sparse, allocation-free kernel (see
+//! [`crate::mna::SimulationWorkspace`]); [`transient_analysis_with`] is the
+//! Monte-Carlo hot path, reusing a caller-owned workspace across samples so
+//! even the per-call symbolic analysis disappears.
+//! [`transient_analysis_dense`] is the dense reference kernel kept for golden
+//! tests; all paths produce bit-identical results.
 
 use crate::error::CircuitError;
-use crate::mna::{DynamicState, MnaSystem, MAX_NEWTON_ITERATIONS};
+use crate::mna::{DynamicState, MnaSystem, SimulationWorkspace, MAX_NEWTON_ITERATIONS};
 use crate::netlist::{Circuit, NodeId};
-use crate::waveform::Waveform;
+use crate::waveform::{Waveform, WaveformView};
 use gis_linalg::Vector;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which solver kernel a transient runs on. Both produce bit-identical
+/// results; [`TransientKernel::Sparse`] is the production default and
+/// [`TransientKernel::Dense`] is the allocation-heavy reference kept for
+/// end-to-end verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransientKernel {
+    /// Sparse, workspace-reusing kernel (default).
+    Sparse,
+    /// Dense reference kernel.
+    Dense,
+}
+
+impl TransientKernel {
+    /// Stable name used in benchmark artifacts ("sparse"/"dense").
+    pub fn name(self) -> &'static str {
+        match self {
+            TransientKernel::Sparse => "sparse",
+            TransientKernel::Dense => "dense",
+        }
+    }
+}
 
 /// Configuration of a transient analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,9 +102,13 @@ impl TransientConfig {
 }
 
 /// Result of a transient analysis: node voltages over time.
+///
+/// The time axis is stored once behind an [`Arc`] and shared by every
+/// [`Waveform`] extracted from the result; [`TransientResult::waveform_view`]
+/// avoids even the value copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransientResult {
-    times: Vec<f64>,
+    times: Arc<[f64]>,
     /// `node_voltages[node][step]`.
     node_voltages: Vec<Vec<f64>>,
     newton_iterations_total: usize,
@@ -90,7 +126,8 @@ impl TransientResult {
     }
 
     /// Total Newton iterations spent across all time points (a cheap proxy for
-    /// simulation cost reported by the benchmark harness).
+    /// simulation cost reported by the benchmark harness). Identical between
+    /// the sparse and dense kernels.
     pub fn newton_iterations_total(&self) -> usize {
         self.newton_iterations_total
     }
@@ -110,14 +147,26 @@ impl TransientResult {
             })
     }
 
-    /// Builds a [`Waveform`] for `node`.
+    /// Builds a [`Waveform`] for `node`. The returned waveform shares this
+    /// result's time axis (no time-vector copy); only the values are cloned.
     ///
     /// # Errors
     ///
     /// Returns [`CircuitError::UnknownNode`] if the node does not exist.
     pub fn waveform(&self, node: NodeId) -> Result<Waveform, CircuitError> {
         let values = self.node_voltage_samples(node)?.to_vec();
-        Waveform::from_samples(self.times.clone(), values)
+        Waveform::from_shared(Arc::clone(&self.times), values)
+    }
+
+    /// A zero-copy measurement view of `node`'s waveform — the hot path for
+    /// metric extraction (nothing is cloned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if the node does not exist.
+    pub fn waveform_view(&self, node: NodeId) -> Result<WaveformView<'_>, CircuitError> {
+        let values = self.node_voltage_samples(node)?;
+        Ok(WaveformView::new(&self.times, values))
     }
 
     /// Final voltage of `node`.
@@ -133,7 +182,7 @@ impl TransientResult {
     }
 }
 
-/// Runs a backward-Euler transient analysis of `circuit`.
+/// Runs a backward-Euler transient analysis of `circuit` on the sparse kernel.
 ///
 /// # Errors
 ///
@@ -165,6 +214,117 @@ pub fn transient_analysis(
     circuit: &Circuit,
     config: &TransientConfig,
 ) -> Result<TransientResult, CircuitError> {
+    let mut workspace = SimulationWorkspace::new();
+    transient_analysis_with(circuit, config, &mut workspace)
+}
+
+/// Runs a transient analysis on the sparse kernel, reusing `workspace`.
+///
+/// This is the Monte-Carlo hot path: when the same netlist topology is
+/// simulated repeatedly with different device values (the SRAM sessions), the
+/// workspace's symbolic LU plan and every numeric buffer carry over between
+/// calls, leaving only the result storage to allocate. Bit-identical to
+/// [`transient_analysis`] and [`transient_analysis_dense`].
+///
+/// # Errors
+///
+/// See [`transient_analysis`].
+pub fn transient_analysis_with(
+    circuit: &Circuit,
+    config: &TransientConfig,
+    workspace: &mut SimulationWorkspace,
+) -> Result<TransientResult, CircuitError> {
+    config.validate()?;
+    let system = MnaSystem::new(circuit)?;
+    let num_nodes = circuit.num_nodes();
+    workspace.bind(&system);
+
+    // Initial state.
+    match &config.initial_conditions {
+        Some(ic) => {
+            let mut x0 = vec![0.0; system.dim()];
+            for node in 1..num_nodes {
+                if node < ic.len() {
+                    x0[node - 1] = ic[node];
+                }
+            }
+            // Solve the t = 0 system with the capacitors holding their initial
+            // voltages (treated as ideal voltage history) so branch currents of
+            // the voltage sources start consistent.
+            workspace.set_state(&x0);
+        }
+        None => {
+            workspace.set_state(&[]);
+            system.solve_newton_in(workspace, 0.0, None, "dc", MAX_NEWTON_ITERATIONS)?;
+        }
+    }
+
+    let num_steps = (config.stop_time / config.time_step).ceil() as usize;
+    let mut times = Vec::with_capacity(num_steps + 1);
+    let mut node_voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(num_steps + 1); num_nodes];
+
+    let record = |t: f64, voltages: &[f64], times: &mut Vec<f64>, store: &mut Vec<Vec<f64>>| {
+        times.push(t);
+        for (node, value) in voltages.iter().enumerate() {
+            store[node].push(*value);
+        }
+    };
+
+    let mut previous = vec![0.0; num_nodes];
+    system.node_voltages_into(workspace.state(), &mut previous);
+    // If explicit initial conditions were given they take precedence over the
+    // (zero-filled) solution vector for the recorded t = 0 point.
+    if let Some(ic) = &config.initial_conditions {
+        for node in 0..num_nodes {
+            if node < ic.len() {
+                previous[node] = ic[node];
+            }
+        }
+    }
+    record(0.0, &previous, &mut times, &mut node_voltages);
+
+    let mut newton_total = 0usize;
+    for step in 1..=num_steps {
+        let t = (step as f64 * config.time_step).min(config.stop_time);
+        let dynamic = DynamicState {
+            previous_node_voltages: &previous,
+            dt: config.time_step,
+        };
+        newton_total += system.solve_newton_prebound(
+            workspace,
+            t,
+            Some(&dynamic),
+            "transient",
+            config.max_newton_iterations,
+        )?;
+        system.node_voltages_into(workspace.state(), &mut previous);
+        record(t, &previous, &mut times, &mut node_voltages);
+        if t >= config.stop_time {
+            break;
+        }
+    }
+
+    Ok(TransientResult {
+        times: times.into(),
+        node_voltages,
+        newton_iterations_total: newton_total,
+    })
+}
+
+/// Runs a transient analysis on the dense reference kernel.
+///
+/// Allocates fresh dense systems every Newton iteration; kept as the golden
+/// reference the sparse kernel is validated against (and selectable through
+/// the SRAM layer for end-to-end verification). Bit-identical to
+/// [`transient_analysis`].
+///
+/// # Errors
+///
+/// See [`transient_analysis`].
+pub fn transient_analysis_dense(
+    circuit: &Circuit,
+    config: &TransientConfig,
+) -> Result<TransientResult, CircuitError> {
     config.validate()?;
     let system = MnaSystem::new(circuit)?;
     let num_nodes = circuit.num_nodes();
@@ -178,9 +338,6 @@ pub fn transient_analysis(
                     x[node - 1] = ic[node];
                 }
             }
-            // Solve the t = 0 system with the capacitors holding their initial
-            // voltages (treated as ideal voltage history) so branch currents of
-            // the voltage sources start consistent.
             x
         }
         None => system.dc_operating_point(None)?,
@@ -198,8 +355,6 @@ pub fn transient_analysis(
     };
 
     let mut previous = system.node_voltages(&x0);
-    // If explicit initial conditions were given they take precedence over the
-    // (zero-filled) solution vector for the recorded t = 0 point.
     if let Some(ic) = &config.initial_conditions {
         for node in 0..num_nodes {
             if node < ic.len() {
@@ -214,18 +369,19 @@ pub fn transient_analysis(
     for step in 1..=num_steps {
         let t = (step as f64 * config.time_step).min(config.stop_time);
         let dynamic = DynamicState {
-            previous_node_voltages: previous.clone(),
+            previous_node_voltages: &previous,
             dt: config.time_step,
         };
-        x = system.solve_newton(
+        let (x_next, iterations) = system.solve_newton_counted(
             x,
             t,
             Some(&dynamic),
             "transient",
             config.max_newton_iterations,
         )?;
-        newton_total += 1;
-        previous = system.node_voltages(&x);
+        x = x_next;
+        newton_total += iterations;
+        system.node_voltages_into(x.as_slice(), &mut previous);
         record(t, &previous, &mut times, &mut node_voltages);
         if t >= config.stop_time {
             break;
@@ -233,7 +389,7 @@ pub fn transient_analysis(
     }
 
     Ok(TransientResult {
-        times,
+        times: times.into(),
         node_voltages,
         newton_iterations_total: newton_total,
     })
@@ -339,7 +495,89 @@ mod tests {
         let cfg = TransientConfig::new(1e-6, 1e-8);
         let result = transient_analysis(&ckt, &cfg).unwrap();
         assert!(result.waveform(57).is_err());
+        assert!(result.waveform_view(57).is_err());
         assert!(result.final_voltage(57).is_err());
         assert!(result.node_voltage_samples(out).is_ok());
+    }
+
+    #[test]
+    fn waveforms_share_the_result_time_axis() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_resistor("R1", out, GROUND, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, GROUND, 1e-9).unwrap();
+        let cfg = TransientConfig::new(1e-6, 1e-8).with_initial_conditions(vec![0.0, 0.5]);
+        let result = transient_analysis(&ckt, &cfg).unwrap();
+        let w0 = result.waveform(0).unwrap();
+        let w1 = result.waveform(out).unwrap();
+        assert!(Arc::ptr_eq(&w0.shared_times(), &w1.shared_times()));
+        // Views borrow the same axis without any clone.
+        let v = result.waveform_view(out).unwrap();
+        assert_eq!(v.times().as_ptr(), result.times().as_ptr());
+        assert_eq!(v.final_value(), result.final_voltage(out).unwrap());
+    }
+
+    #[test]
+    fn sparse_and_dense_transients_are_bit_identical() {
+        // Inverter + load: nonlinear devices, voltage sources, capacitor.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let input = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_voltage_source("VDD", vdd, GROUND, SourceWaveform::dc(1.0));
+        ckt.add_voltage_source(
+            "VIN",
+            input,
+            GROUND,
+            SourceWaveform::pulse(0.0, 1.0, 0.2e-9, 20e-12, 2e-9),
+        );
+        ckt.add_mosfet("MP", out, input, vdd, vdd, MosfetParams::pmos_45nm())
+            .unwrap();
+        ckt.add_mosfet("MN", out, input, GROUND, GROUND, MosfetParams::nmos_45nm())
+            .unwrap();
+        ckt.add_capacitor("CL", out, GROUND, 2e-15).unwrap();
+        let cfg =
+            TransientConfig::new(1e-9, 2e-12).with_initial_conditions(vec![0.0, 1.0, 0.0, 1.0]);
+        let sparse = transient_analysis(&ckt, &cfg).unwrap();
+        let dense = transient_analysis_dense(&ckt, &cfg).unwrap();
+        assert_eq!(
+            sparse.newton_iterations_total(),
+            dense.newton_iterations_total()
+        );
+        assert_eq!(sparse.times().len(), dense.times().len());
+        for node in 0..ckt.num_nodes() {
+            let s = sparse.node_voltage_samples(node).unwrap();
+            let d = dense.node_voltage_samples(node).unwrap();
+            for (i, (a, b)) in s.iter().zip(d).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "node {node} step {i}: {a:e} vs {b:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_samples_is_bit_identical() {
+        // The session pattern: same topology, different device values, one
+        // long-lived workspace.
+        let build = |r: f64| {
+            let mut ckt = Circuit::new();
+            let vin = ckt.node("in");
+            let out = ckt.node("out");
+            ckt.add_voltage_source("V1", vin, GROUND, SourceWaveform::dc(1.0));
+            ckt.add_resistor("R1", vin, out, r).unwrap();
+            ckt.add_capacitor("C1", out, GROUND, 1e-9).unwrap();
+            ckt
+        };
+        let cfg = TransientConfig::new(2e-6, 2e-8).with_initial_conditions(vec![0.0, 1.0, 0.0]);
+        let mut ws = SimulationWorkspace::new();
+        for r in [1e3, 3.3e3, 470.0, 1e3] {
+            let ckt = build(r);
+            let reused = transient_analysis_with(&ckt, &cfg, &mut ws).unwrap();
+            let fresh = transient_analysis(&ckt, &cfg).unwrap();
+            assert_eq!(reused, fresh, "workspace reuse diverged at R={r}");
+        }
     }
 }

@@ -153,6 +153,7 @@ pub use calibration::{CalibrationReport, CalibrationRow, Calibrator, Replication
 pub use estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
 pub use exec::{ExecutionConfig, Executor};
 pub use gis::{GisConfig, GradientImportanceSampling};
+pub use gis_sram::TransientKernel;
 pub use importance::{
     run_importance_sampling, ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal,
 };

@@ -8,7 +8,7 @@
 
 use crate::model::PerformanceModel;
 use gis_linalg::Vector;
-use gis_sram::{SramSurrogate, SramTestbench};
+use gis_sram::{SramSurrogate, SramTestbench, TransientKernel};
 use gis_variation::VariationSpace;
 use serde::{Deserialize, Serialize};
 
@@ -149,11 +149,12 @@ pub struct SramTransientModel {
     testbench: SramTestbench,
     space: VariationSpace,
     metric: SramMetric,
+    kernel: TransientKernel,
     name: String,
 }
 
 impl SramTransientModel {
-    /// Creates a transient-simulation-backed model.
+    /// Creates a transient-simulation-backed model on the sparse kernel.
     ///
     /// # Panics
     ///
@@ -169,8 +170,22 @@ impl SramTransientModel {
             testbench,
             space,
             metric,
+            kernel: TransientKernel::Sparse,
             name,
         }
+    }
+
+    /// Selects the solver kernel (default [`TransientKernel::Sparse`]). The
+    /// dense reference kernel produces bit-identical metrics; the benchmark
+    /// harness uses it to assert end-to-end kernel equivalence.
+    pub fn with_kernel(mut self, kernel: TransientKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel this model simulates on.
+    pub fn kernel(&self) -> TransientKernel {
+        self.kernel
     }
 
     /// The metric this model evaluates.
@@ -192,17 +207,23 @@ impl SramTransientModel {
         match self.metric {
             SramMetric::ReadAccessTime => self
                 .testbench
-                .read(deltas)
+                .read_session()
+                .map(|s| s.with_kernel(self.kernel))
+                .and_then(|mut s| s.run(deltas))
                 .map(|r| r.access_time)
                 .unwrap_or(f64::INFINITY),
             SramMetric::WriteDelay => self
                 .testbench
-                .write(deltas)
+                .write_session()
+                .map(|s| s.with_kernel(self.kernel))
+                .and_then(|mut s| s.run(deltas))
                 .map(|w| w.write_delay)
                 .unwrap_or(f64::INFINITY),
             SramMetric::ReadDisturb => self
                 .testbench
-                .read(deltas)
+                .read_session()
+                .map(|s| s.with_kernel(self.kernel))
+                .and_then(|mut s| s.run(deltas))
                 .map(|r| r.disturb_peak)
                 .unwrap_or(f64::INFINITY),
         }
@@ -240,30 +261,39 @@ impl PerformanceModel for SramTransientModel {
         };
         match self.metric {
             SramMetric::ReadAccessTime => match self.testbench.read_session() {
-                Ok(mut session) => eval_with(&mut |deltas| {
-                    session
-                        .run(deltas)
-                        .map(|r| r.access_time)
-                        .unwrap_or(f64::INFINITY)
-                }),
+                Ok(session) => {
+                    let mut session = session.with_kernel(self.kernel);
+                    eval_with(&mut |deltas| {
+                        session
+                            .run(deltas)
+                            .map(|r| r.access_time)
+                            .unwrap_or(f64::INFINITY)
+                    })
+                }
                 Err(_) => vec![f64::INFINITY; points.len()],
             },
             SramMetric::ReadDisturb => match self.testbench.read_session() {
-                Ok(mut session) => eval_with(&mut |deltas| {
-                    session
-                        .run(deltas)
-                        .map(|r| r.disturb_peak)
-                        .unwrap_or(f64::INFINITY)
-                }),
+                Ok(session) => {
+                    let mut session = session.with_kernel(self.kernel);
+                    eval_with(&mut |deltas| {
+                        session
+                            .run(deltas)
+                            .map(|r| r.disturb_peak)
+                            .unwrap_or(f64::INFINITY)
+                    })
+                }
                 Err(_) => vec![f64::INFINITY; points.len()],
             },
             SramMetric::WriteDelay => match self.testbench.write_session() {
-                Ok(mut session) => eval_with(&mut |deltas| {
-                    session
-                        .run(deltas)
-                        .map(|w| w.write_delay)
-                        .unwrap_or(f64::INFINITY)
-                }),
+                Ok(session) => {
+                    let mut session = session.with_kernel(self.kernel);
+                    eval_with(&mut |deltas| {
+                        session
+                            .run(deltas)
+                            .map(|w| w.write_delay)
+                            .unwrap_or(f64::INFINITY)
+                    })
+                }
                 Err(_) => vec![f64::INFINITY; points.len()],
             },
         }
@@ -382,6 +412,27 @@ mod tests {
                     model.evaluate(z).to_bits(),
                     "{metric:?} batch diverged from scalar evaluation"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_kernel_model_is_bit_identical() {
+        let tb = SramTestbench::typical_45nm();
+        for metric in [SramMetric::ReadAccessTime, SramMetric::WriteDelay] {
+            let sparse = SramTransientModel::new(tb.clone(), space(), metric);
+            let dense = SramTransientModel::new(tb.clone(), space(), metric)
+                .with_kernel(TransientKernel::Dense);
+            assert_eq!(sparse.kernel(), TransientKernel::Sparse);
+            assert_eq!(dense.kernel(), TransientKernel::Dense);
+            let points = vec![
+                Vector::zeros(6),
+                Vector::from_slice(&[2.0, -1.0, 0.5, 0.0, 1.5, -0.5]),
+            ];
+            let s = sparse.evaluate_batch(&points);
+            let d = dense.evaluate_batch(&points);
+            for (a, b) in s.iter().zip(&d) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{metric:?} kernels diverged");
             }
         }
     }

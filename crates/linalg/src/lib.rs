@@ -29,6 +29,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+pub mod sparse;
 mod vector;
 
 pub use cholesky::Cholesky;

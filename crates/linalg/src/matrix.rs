@@ -174,6 +174,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the indices are out of range.
+    #[inline]
     pub fn add_at(&mut self, i: usize, j: usize, value: f64) {
         self[(i, j)] += value;
     }
@@ -315,6 +316,7 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
+    #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
         debug_assert!(i < self.rows && j < self.cols, "matrix index out of range");
         &self.data[i * self.cols + j]
@@ -322,6 +324,7 @@ impl Index<(usize, usize)> for Matrix {
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
         debug_assert!(i < self.rows && j < self.cols, "matrix index out of range");
         &mut self.data[i * self.cols + j]

@@ -45,6 +45,9 @@ pub use surrogate::SramSurrogate;
 pub use testbench::{
     ReadResult, ReadSession, SramTestbench, TestbenchTiming, WriteResult, WriteSession,
 };
+// The kernel selector travels with the sessions so downstream layers can
+// request the dense reference kernel for verification runs.
+pub use gis_circuit::TransientKernel;
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, SramError>;

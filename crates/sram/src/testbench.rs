@@ -32,8 +32,9 @@
 use crate::cell::{build_6t_cell, CellNodes, CellTransistor, SramCellConfig};
 use crate::error::SramError;
 use gis_circuit::{
-    transient_analysis, Circuit, CircuitError, CrossingDirection, Device, MosfetParams,
-    SourceWaveform, TransientConfig,
+    transient_analysis_dense, transient_analysis_with, Circuit, CircuitError, CrossingDirection,
+    Device, MosfetParams, SimulationWorkspace, SourceWaveform, TransientConfig, TransientKernel,
+    TransientResult,
 };
 use serde::{Deserialize, Serialize};
 
@@ -255,6 +256,8 @@ impl SramTestbench {
             config,
             vdd,
             sense_level: vdd - self.timing.sense_margin,
+            kernel: TransientKernel::Sparse,
+            workspace: SimulationWorkspace::new(),
         })
     }
 
@@ -312,6 +315,8 @@ impl SramTestbench {
             cell,
             config,
             vdd,
+            kernel: TransientKernel::Sparse,
+            workspace: SimulationWorkspace::new(),
         })
     }
 }
@@ -375,7 +380,10 @@ impl CellParameterInjector {
 /// A reusable read-access transient with the netlist built once.
 ///
 /// Produced by [`SramTestbench::read_session`]. Each [`ReadSession::run`] is
-/// bit-identical to [`SramTestbench::read`] for the same ΔV_T vector.
+/// bit-identical to [`SramTestbench::read`] for the same ΔV_T vector. The
+/// session owns a [`SimulationWorkspace`], so the sparse kernel's symbolic
+/// plan and numeric buffers are shared by every sample of a batch; metric
+/// extraction measures zero-copy [`gis_circuit::WaveformView`]s.
 #[derive(Debug, Clone)]
 pub struct ReadSession {
     circuit: Circuit,
@@ -384,9 +392,24 @@ pub struct ReadSession {
     config: TransientConfig,
     vdd: f64,
     sense_level: f64,
+    kernel: TransientKernel,
+    workspace: SimulationWorkspace,
 }
 
 impl ReadSession {
+    /// Selects the solver kernel (default [`TransientKernel::Sparse`]). The
+    /// dense kernel exists for end-to-end verification; results are
+    /// bit-identical either way.
+    pub fn with_kernel(mut self, kernel: TransientKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel this session solves on.
+    pub fn kernel(&self) -> TransientKernel {
+        self.kernel
+    }
+
     /// Runs one read transient with the given per-transistor ΔV_T (canonical
     /// order, volts).
     ///
@@ -396,11 +419,16 @@ impl ReadSession {
     /// non-converging transient.
     pub fn run(&mut self, vth_deltas: &[f64]) -> Result<ReadResult, SramError> {
         self.cell.inject(&mut self.circuit, vth_deltas)?;
-        let result = transient_analysis(&self.circuit, &self.config)?;
+        let result = run_transient(
+            &self.circuit,
+            &self.config,
+            self.kernel,
+            &mut self.workspace,
+        )?;
 
-        let wl = result.waveform(self.nodes.wordline)?;
-        let bl = result.waveform(self.nodes.bitline)?;
-        let q = result.waveform(self.nodes.q)?;
+        let wl = result.waveform_view(self.nodes.wordline)?;
+        let bl = result.waveform_view(self.nodes.bitline)?;
+        let q = result.waveform_view(self.nodes.q)?;
 
         let t_wl = wl.crossing_time(self.vdd / 2.0, CrossingDirection::Rising, 0.0)?;
         let (access_time, sensed) =
@@ -421,7 +449,8 @@ impl ReadSession {
 /// A reusable write transient with the netlist built once.
 ///
 /// Produced by [`SramTestbench::write_session`]. Each [`WriteSession::run`] is
-/// bit-identical to [`SramTestbench::write`] for the same ΔV_T vector.
+/// bit-identical to [`SramTestbench::write`] for the same ΔV_T vector. See
+/// [`ReadSession`] for the workspace/kernel mechanics.
 #[derive(Debug, Clone)]
 pub struct WriteSession {
     circuit: Circuit,
@@ -429,9 +458,24 @@ pub struct WriteSession {
     cell: CellParameterInjector,
     config: TransientConfig,
     vdd: f64,
+    kernel: TransientKernel,
+    workspace: SimulationWorkspace,
 }
 
 impl WriteSession {
+    /// Selects the solver kernel (default [`TransientKernel::Sparse`]). The
+    /// dense kernel exists for end-to-end verification; results are
+    /// bit-identical either way.
+    pub fn with_kernel(mut self, kernel: TransientKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel this session solves on.
+    pub fn kernel(&self) -> TransientKernel {
+        self.kernel
+    }
+
     /// Runs one write transient with the given per-transistor ΔV_T (canonical
     /// order, volts).
     ///
@@ -441,11 +485,16 @@ impl WriteSession {
     /// non-converging transient.
     pub fn run(&mut self, vth_deltas: &[f64]) -> Result<WriteResult, SramError> {
         self.cell.inject(&mut self.circuit, vth_deltas)?;
-        let result = transient_analysis(&self.circuit, &self.config)?;
+        let result = run_transient(
+            &self.circuit,
+            &self.config,
+            self.kernel,
+            &mut self.workspace,
+        )?;
 
-        let wl = result.waveform(self.nodes.wordline)?;
-        let q = result.waveform(self.nodes.q)?;
-        let q_bar = result.waveform(self.nodes.q_bar)?;
+        let wl = result.waveform_view(self.nodes.wordline)?;
+        let q = result.waveform_view(self.nodes.q)?;
+        let q_bar = result.waveform_view(self.nodes.q_bar)?;
 
         let t_wl = wl.crossing_time(self.vdd / 2.0, CrossingDirection::Rising, 0.0)?;
         // The cell has flipped when Q falls below VDD/2 *and* stays flipped
@@ -462,6 +511,19 @@ impl WriteSession {
             write_delay,
             flipped,
         })
+    }
+}
+
+/// Dispatches one transient to the selected kernel.
+fn run_transient(
+    circuit: &Circuit,
+    config: &TransientConfig,
+    kernel: TransientKernel,
+    workspace: &mut SimulationWorkspace,
+) -> Result<TransientResult, CircuitError> {
+    match kernel {
+        TransientKernel::Sparse => transient_analysis_with(circuit, config, workspace),
+        TransientKernel::Dense => transient_analysis_dense(circuit, config),
     }
 }
 
@@ -617,6 +679,39 @@ mod tests {
             nominal_again.access_time.to_bits(),
             tb.read(&[0.0; 6]).unwrap().access_time.to_bits()
         );
+    }
+
+    #[test]
+    fn sparse_and_dense_kernels_agree_bit_for_bit() {
+        let tb = SramTestbench::typical_45nm();
+        let mut sparse_read = tb.read_session().unwrap();
+        let mut dense_read = tb
+            .read_session()
+            .unwrap()
+            .with_kernel(TransientKernel::Dense);
+        let mut sparse_write = tb.write_session().unwrap();
+        let mut dense_write = tb
+            .write_session()
+            .unwrap()
+            .with_kernel(TransientKernel::Dense);
+        assert_eq!(sparse_read.kernel(), TransientKernel::Sparse);
+        assert_eq!(dense_read.kernel(), TransientKernel::Dense);
+        let samples: [[f64; 6]; 3] = [
+            [0.0; 6],
+            [0.12, -0.03, 0.05, 0.0, 0.08, -0.02],
+            [-0.08, 0.15, -0.05, 0.1, 0.0, 0.07],
+        ];
+        for deltas in &samples {
+            let s = sparse_read.run(deltas).unwrap();
+            let d = dense_read.run(deltas).unwrap();
+            assert_eq!(s.access_time.to_bits(), d.access_time.to_bits());
+            assert_eq!(s.disturb_peak.to_bits(), d.disturb_peak.to_bits());
+            assert_eq!(s.sensed, d.sensed);
+            let sw = sparse_write.run(deltas).unwrap();
+            let dw = dense_write.run(deltas).unwrap();
+            assert_eq!(sw.write_delay.to_bits(), dw.write_delay.to_bits());
+            assert_eq!(sw.flipped, dw.flipped);
+        }
     }
 
     #[test]

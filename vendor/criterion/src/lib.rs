@@ -19,12 +19,16 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Criterion {
     /// Target measurement time per benchmark.
     measurement_time: Duration,
+    /// Smoke mode (`cargo bench -- --test`): run each benchmark body once,
+    /// skip the timed measurement. Mirrors upstream criterion's `--test`.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             measurement_time: Duration::from_millis(200),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -37,6 +41,7 @@ impl Criterion {
             name: name.to_string(),
             sample_size: 100,
             measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
             _criterion: self,
         }
     }
@@ -47,6 +52,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -72,9 +78,19 @@ impl BenchmarkGroup<'_> {
             iterations: 0,
             elapsed: Duration::ZERO,
             max_iterations: self.sample_size as u64,
-            budget: self.measurement_time,
+            // Smoke mode keeps the warm-up call (one real execution) and
+            // skips the timed loop entirely.
+            budget: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time
+            },
         };
         f(&mut bencher);
+        if self.test_mode {
+            println!("  {}/{id}: smoke ok", self.name);
+            return self;
+        }
         let per_iter = if bencher.iterations > 0 {
             bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64
         } else {
