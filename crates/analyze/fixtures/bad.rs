@@ -1,0 +1,59 @@
+// Deliberately-violating fixture: every lint must fire exactly where the
+// `EXPECT:` markers say. Parsed by tests/self_test.rs, never compiled.
+// The fixture is analyzed as `crates/fixture/src/bad.rs` under a config where
+// `fixture` is result-affecting and this file is on the panic-audit list.
+
+use std::collections::HashMap; // EXPECT: nondet-iter
+
+pub struct Acc {
+    sum_w: f64,
+}
+
+impl Acc {
+    pub fn push(&mut self, w: f64) {
+        self.sum_w += w; // EXPECT: naive-accum
+    }
+
+    pub fn merge(&mut self, other: &Acc) {
+        self.sum_w += other.sum_w; // EXPECT: naive-accum
+    }
+}
+
+/// gis-analyze: no_alloc
+fn hot_path(buf: &[f64]) -> Vec<f64> {
+    let copied = buf.to_vec(); // EXPECT: no-alloc
+    let doubled: Vec<f64> = copied.iter().map(|x| x * 2.0).collect(); // EXPECT: no-alloc
+    doubled
+}
+
+fn compare(x: f64) -> bool {
+    x == 0.0 // EXPECT: float-eq
+}
+
+fn infinity_check(x: f64) -> bool {
+    x != f64::INFINITY // EXPECT: float-eq
+}
+
+fn truncate(x: f64) -> usize {
+    x.floor() as usize // EXPECT: float-cast
+}
+
+fn narrow(x: f64) -> f32 {
+    x as f32 // EXPECT: float-cast
+}
+
+fn lookup(table: &HashMap<String, u64>, key: &str) -> u64 { // EXPECT: nondet-iter
+    *table.get(key).unwrap() // EXPECT: panic-site
+}
+
+fn boom() {
+    panic!("sweep path must not abort"); // EXPECT: panic-site
+}
+
+// EXPECT-NEXT: bad-annotation
+// gis-analyze: allow(nondet-iter)
+fn missing_reason() {}
+
+// EXPECT-NEXT: bad-annotation
+// gis-analyze: allow(made-up-lint, some reason)
+fn unknown_lint() {}

@@ -1,0 +1,74 @@
+// Clean fixture: realistic code that uses every suppression form correctly.
+// The analyzer must report zero unallowlisted findings here (allowed findings
+// are fine — they are the point). Parsed by tests/self_test.rs, never
+// compiled. Analyzed as `crates/fixture/src/clean.rs` under the same config
+// as bad.rs.
+
+use std::collections::BTreeMap;
+
+pub struct Acc {
+    sum_w: f64,
+    mean: f64,
+    m2: f64,
+    count: u64,
+}
+
+impl Acc {
+    pub fn push(&mut self, w: f64) {
+        // Welford for the variance; the plain sum is justified and annotated.
+        self.count += 1;
+        let delta = w - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (w - self.mean);
+        self.sum_w += w; // gis-analyze: allow(naive-accum, non-negative terms cannot cancel)
+    }
+
+    pub fn merge(&mut self, other: &Acc) {
+        // gis-analyze: allow(naive-accum, merge of non-negative partial sums)
+        self.sum_w += other.sum_w;
+    }
+}
+
+/// Steady-state hot path: reuses `out`, allocates nothing.
+/// gis-analyze: no_alloc
+fn hot_path(buf: &[f64], out: &mut [f64]) {
+    debug_assert!(buf.iter().copied().collect::<Vec<_>>().len() == out.len());
+    for (o, b) in out.iter_mut().zip(buf) {
+        *o = b * 2.0;
+    }
+}
+
+fn guard(x: f64) -> f64 {
+    if x == 0.0 { // gis-analyze: allow(float-eq, division guard against exact zero)
+        return f64::INFINITY;
+    }
+    1.0 / x
+}
+
+fn bits_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn bucket(pos: f64) -> usize {
+    pos.floor() as usize // gis-analyze: allow(float-cast, bracketing an in-range index)
+}
+
+fn lookup(table: &BTreeMap<String, u64>, key: &str) -> Option<u64> {
+    table.get(key).copied()
+}
+
+fn audited(v: &[u64]) -> u64 {
+    v.first().copied().expect("caller guarantees non-empty") // gis-analyze: allow(panic-site, invariant documented at the call site)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let mut m = HashMap::new();
+        m.insert("k", 1.0);
+        assert!(*m.get("k").unwrap() == 1.0);
+    }
+}

@@ -1,0 +1,16 @@
+// Stale-allowlist fixture: annotations that suppress nothing must themselves
+// be findings, so suppressions cannot outlive the code they excused.
+// Parsed by tests/self_test.rs, never compiled.
+
+// EXPECT-NEXT: stale-allow
+use std::collections::BTreeMap; // gis-analyze: allow(nondet-iter, the HashMap this excused is long gone)
+
+// EXPECT-NEXT: stale-allow
+// gis-analyze: allow(float-eq, comparison was rewritten with to_bits)
+fn bits_equal(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn lookup(table: &BTreeMap<String, u64>, key: &str) -> Option<u64> {
+    table.get(key).copied()
+}

@@ -1,0 +1,612 @@
+//! A minimal, lossless-enough Rust lexer.
+//!
+//! The lints in this crate are *token-level*: they must never fire on text
+//! inside string literals, comments, or char literals, and they must see
+//! multi-character operators (`==`, `+=`, `::`) as single tokens. That is the
+//! entire contract of this lexer — it does not parse, it does not validate,
+//! and it happily lexes slightly-invalid Rust rather than aborting, because a
+//! static-analysis gate that crashes on the code it guards is worse than one
+//! that misses a corner case.
+//!
+//! Comments are captured out-of-band (they carry the allowlist annotations,
+//! see [`crate::lints`]); everything else becomes a [`Token`] with a 1-based
+//! line and column.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Integer literal (including hex/octal/binary and suffixed forms).
+    Int,
+    /// Float literal (fractional part, exponent, or `f32`/`f64` suffix).
+    Float,
+    /// String literal: `"…"`, raw `r#"…"#`, and byte variants.
+    Str,
+    /// Character literal, including escapes.
+    CharLit,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Punctuation; multi-character operators are merged (`==`, `::`, `+=`).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// One line comment (`//`, `///`, `//!`), captured for annotation parsing.
+///
+/// Block comments are skipped but not captured: allowlist annotations must be
+/// line comments so that their target line is unambiguous.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the leading slashes, trailing EOL excluded.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Whether the comment is the first non-whitespace thing on its line
+    /// (an "own line" comment annotates the next code line; a trailing
+    /// comment annotates its own line).
+    pub own_line: bool,
+}
+
+/// Lexer output: the token stream plus the captured line comments.
+#[derive(Debug)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators merged into single tokens, longest first.
+const PUNCTS_3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const PUNCTS_2: &[&str] = &[
+    "==", "!=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "::", "->", "=>", "<=", ">=", "&&",
+    "||", "<<", ">>", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unrecognizable
+/// bytes are emitted as single-character punctuation.
+pub fn lex(source: &str) -> Lexed {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    };
+    lx.run();
+    let mut lexed = Lexed {
+        tokens: lx.tokens,
+        comments: lx.comments,
+    };
+    mark_own_line_comments(&mut lexed);
+    lexed
+}
+
+/// Computes [`Comment::own_line`]: a comment owns its line when no token
+/// starts before it on the same line.
+fn mark_own_line_comments(lexed: &mut Lexed) {
+    use std::collections::BTreeMap;
+    let mut first_token_col: BTreeMap<u32, u32> = BTreeMap::new();
+    for t in &lexed.tokens {
+        let entry = first_token_col.entry(t.line).or_insert(t.col);
+        if t.col < *entry {
+            *entry = t.col;
+        }
+    }
+    for c in &mut lexed.comments {
+        c.own_line = match first_token_col.get(&c.line) {
+            Some(&col) => col > c.col,
+            None => true,
+        };
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek_at(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek_at(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string_literal(0);
+            } else if (c == 'r' || c == 'b') && self.raw_or_byte_string() {
+                // handled inside raw_or_byte_string
+            } else if c == '\'' {
+                self.char_or_lifetime();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if is_ident_start(c) {
+                self.ident();
+            } else {
+                self.punct();
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment {
+            text,
+            line,
+            col,
+            own_line: false, // fixed up in mark_own_line_comments
+        });
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes an ordinary (or byte) string literal. `skipped` characters of
+    /// prefix (`b`) have already been consumed by the caller. The token text
+    /// preserves the literal body (the `#[doc = "gis-analyze: no_alloc"]`
+    /// marker is recognized by inspecting it), but the token kind keeps lints
+    /// from ever matching identifiers inside it.
+    fn string_literal(&mut self, skipped: usize) {
+        let (line, col) = (self.line, self.col - skipped as u32);
+        let mut text = String::new();
+        if let Some(q) = self.bump() {
+            text.push(q); // opening quote
+        }
+        while let Some(c) = self.peek() {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc); // good enough for \x/\u too
+                }
+            } else if c == '"' {
+                text.push(c);
+                self.bump();
+                break;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push_token(TokKind::Str, text, line, col);
+    }
+
+    /// Detects and consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`. Returns
+    /// `false` (consuming nothing) when the lookahead is not a string, so the
+    /// caller falls through to identifier lexing.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut offset = 0usize;
+        if self.peek_at(offset) == Some('b') {
+            offset += 1;
+        }
+        let raw = self.peek_at(offset) == Some('r');
+        if raw {
+            offset += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek_at(offset) == Some('#') {
+            offset += 1;
+            hashes += 1;
+        }
+        if self.peek_at(offset) != Some('"') {
+            return false;
+        }
+        if !raw && hashes > 0 {
+            return false;
+        }
+        if !raw {
+            // b"…": plain string body with escapes.
+            let skipped = offset; // just the 'b'
+            for _ in 0..skipped {
+                self.bump();
+            }
+            self.string_literal(skipped);
+            return true;
+        }
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        for _ in 0..=offset {
+            if let Some(c) = self.bump() {
+                text.push(c); // prefix chars plus the opening quote
+            }
+        }
+        // Raw body: ends at '"' followed by `hashes` hash characters.
+        'outer: while let Some(c) = self.peek() {
+            if c == '"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek_at(1 + h) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        if let Some(q) = self.bump() {
+                            text.push(q);
+                        }
+                    }
+                    break 'outer;
+                }
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push_token(TokKind::Str, text, line, col);
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let (line, col) = (self.line, self.col);
+        match self.peek_at(1) {
+            Some('\\') => {
+                // Escaped char literal: '\n', '\'', '\x41', '\u{1F600}'.
+                self.bump(); // '
+                self.bump(); // backslash
+                match self.peek() {
+                    Some('x') => {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                    }
+                    Some('u') => {
+                        self.bump();
+                        while let Some(c) = self.peek() {
+                            let done = c == '}';
+                            self.bump();
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                    Some(_) => {
+                        self.bump();
+                    }
+                    None => {}
+                }
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+                self.push_token(TokKind::CharLit, String::from("'…'"), line, col);
+            }
+            Some(_) if self.peek_at(2) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.push_token(TokKind::CharLit, String::from("'…'"), line, col);
+            }
+            _ => {
+                // Lifetime: consume the quote plus identifier characters.
+                self.bump();
+                let mut text = String::from("'");
+                while let Some(c) = self.peek() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push_token(TokKind::Lifetime, text, line, col);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        let mut is_float = false;
+
+        if self.peek() == Some('0')
+            && matches!(
+                self.peek_at(1),
+                Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B')
+            )
+        {
+            // Prefixed integer: consume prefix then alphanumerics/underscores
+            // (digits, hex letters, and any type suffix).
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokKind::Int, text, line, col);
+            return;
+        }
+
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `1.5` is a float, `1..n` is a range over an int,
+        // `1.max(2)` is a method call on an int, `1.` alone is a float.
+        if self.peek() == Some('.') {
+            match self.peek_at(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some(c) if is_ident_start(c) || c == '.' => {}
+                _ => {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                }
+            }
+        }
+        // Exponent: `1e9`, `1.5e-12`, `2E+3` are floats.
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let after_sign = matches!(self.peek_at(1), Some('+') | Some('-'));
+            let digit_offset = if after_sign { 2 } else { 1 };
+            if self
+                .peek_at(digit_offset)
+                .is_some_and(|c| c.is_ascii_digit())
+            {
+                is_float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if after_sign {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Type suffix: `1f64` and `2.0f32` are floats, `3usize` stays an int.
+        let mut suffix = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if is_float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        };
+        self.push_token(kind, text, line, col);
+    }
+
+    fn ident(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let probe = |candidates: &[&str], lx: &Lexer| -> Option<String> {
+            'next: for cand in candidates {
+                for (i, pc) in cand.chars().enumerate() {
+                    if lx.peek_at(i) != Some(pc) {
+                        continue 'next;
+                    }
+                }
+                return Some((*cand).to_string());
+            }
+            None
+        };
+        let matched = probe(PUNCTS_3, self).or_else(|| probe(PUNCTS_2, self));
+        match matched {
+            Some(text) => {
+                for _ in 0..text.chars().count() {
+                    self.bump();
+                }
+                self.push_token(TokKind::Punct, text, line, col);
+            }
+            None => {
+                if let Some(c) = self.bump() {
+                    self.push_token(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn floats_versus_ranges_and_methods() {
+        assert_eq!(kinds("1.5"), vec![TokKind::Float]);
+        assert_eq!(kinds("1e9"), vec![TokKind::Float]);
+        assert_eq!(kinds("1.5e-12"), vec![TokKind::Float]);
+        assert_eq!(kinds("2f64"), vec![TokKind::Float]);
+        assert_eq!(kinds("3usize"), vec![TokKind::Int]);
+        assert_eq!(kinds("0xFF"), vec![TokKind::Int]);
+        // `0..n` lexes as int, range operator, ident.
+        assert_eq!(
+            kinds("0..n"),
+            vec![TokKind::Int, TokKind::Punct, TokKind::Ident]
+        );
+        // `1.max(2)` is an int method call.
+        assert_eq!(kinds("1.max")[0], TokKind::Int);
+    }
+
+    #[test]
+    fn operators_are_merged() {
+        assert_eq!(texts("a == b"), vec!["a", "==", "b"]);
+        assert_eq!(texts("a += b"), vec!["a", "+=", "b"]);
+        assert_eq!(texts("a::b"), vec!["a", "::", "b"]);
+        assert_eq!(texts("a != b"), vec!["a", "!=", "b"]);
+        // `=>` must not be split into `=`/`>` (nor merged into `==`).
+        assert_eq!(texts("x => y"), vec!["x", "=>", "y"]);
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        // Token-level lints must not see idents inside literals.
+        let toks = texts("let s = \"HashMap == clone()\";");
+        assert!(!toks.iter().any(|t| t == "HashMap"));
+        let toks = texts("let c = 'a'; let lt: &'static str = r#\"unwrap()\"#;");
+        assert!(!toks.iter().any(|t| t == "unwrap"));
+        assert!(toks.iter().any(|t| t == "'static"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_derail() {
+        let toks = texts("let q = '\\''; let x = 1;");
+        assert!(toks.iter().any(|t| t == "x"));
+    }
+
+    #[test]
+    fn comments_are_captured_with_ownership() {
+        let lexed = lex("let a = 1; // trailing\n// own line\nlet b = 2;\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[0].text, "// trailing");
+    }
+
+    #[test]
+    fn block_comments_nest_and_are_skipped() {
+        let toks = texts("a /* x /* y */ z */ b");
+        assert_eq!(toks, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! `gis-analyze` — a std-only static analyzer that enforces this workspace's
+//! determinism and hot-path invariants at the token level.
+//!
+//! # Why this exists
+//!
+//! Every guarantee the estimator stack leans on — results bit-identical at
+//! any thread count, the sparse kernel bit-identical to the dense reference,
+//! checkpoint resume equal to a fresh run, an allocation-free damped-Newton
+//! steady state — is a *contract*, and example-based tests only probe it at
+//! a handful of points. A single careless `HashMap` iteration or a stray
+//! `clone()` in the Newton loop voids the contract silently. This crate is
+//! the static side of that enforcement; `tests/no_alloc_contract.rs` at the
+//! workspace root is the runtime side.
+//!
+//! # Lints
+//!
+//! See [`lints`] for the catalogue (`nondet-iter`, `no-alloc`, `float-eq`,
+//! `float-cast`, `naive-accum`, `panic-site`) and the allowlist grammar, and
+//! the README's "Static analysis & invariants" section for the mapping from
+//! each lint to the contract clause it guards.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p gis-analyze              # human-readable, exit 1 on findings
+//! cargo run -p gis-analyze -- --json    # machine-readable CI artifact
+//! cargo run -p gis-analyze -- --verbose # also show allowlisted findings
+//! ```
+//!
+//! The pass is deterministic (files sorted, findings position-sorted) — the
+//! analyzer holds itself to the same contract it enforces.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod lints;
+pub mod report;
+
+use lints::{Config, Finding};
+use report::Report;
+use std::path::{Path, PathBuf};
+
+/// Scans one source tree rooted at `root` (the workspace directory): every
+/// `.rs` file under `crates/*/src` and under the umbrella `src/`, in sorted
+/// order. Returns the report or an IO error message.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs_files(&dir.join("src"), &mut files);
+    }
+    collect_rs_files(&root.join("src"), &mut files);
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lints::analyze_file(&rel, &source, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.lint).cmp(&(b.path.as_str(), b.line, b.col, b.lint))
+    });
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Recursively collects `.rs` files under `dir` (silently skips a missing
+/// directory — not every crate has every tree).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

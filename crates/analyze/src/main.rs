@@ -1,0 +1,75 @@
+//! CLI entry point for the `gis-analyze` CI gate.
+//!
+//! Exit codes: `0` clean (allowed findings only), `1` unallowlisted findings,
+//! `2` usage or IO error.
+
+#![forbid(unsafe_code)]
+
+use gis_analyze::lints::Config;
+use gis_analyze::{analyze_workspace, find_workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut verbose = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--verbose" => verbose = true,
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("gis-analyze: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "gis-analyze — determinism & hot-path invariant checker\n\n\
+                     USAGE: gis-analyze [--json] [--verbose] [--root <workspace-dir>]\n\n\
+                     Scans crates/*/src and src/ for violations of the workspace's\n\
+                     determinism contract. Exits 1 on unallowlisted findings."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gis-analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("gis-analyze: no workspace root found (pass --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+
+    match analyze_workspace(&root, &Config::default()) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text(verbose));
+            }
+            if report.unallowed().next().is_some() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("gis-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

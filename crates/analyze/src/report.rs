@@ -1,0 +1,157 @@
+//! Diagnostic rendering: rustc-style text and hand-emitted JSON.
+//!
+//! The JSON encoder is deliberately hand-rolled — this crate is a CI gate and
+//! must stay dependency-free (the workspace's serde is a vendored stub, and a
+//! gate that depends on the code it checks is a circular trust problem).
+
+use crate::lints::Finding;
+
+/// The full result of an analyzer run.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding across all scanned files (including allowed ones).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that are *not* suppressed by an allow annotation. A nonempty
+    /// result means the gate fails.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+
+    /// Number of suppressed findings (each backed by a reasoned annotation).
+    pub fn allowed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.allowed).count()
+    }
+
+    /// Renders rustc-style diagnostics:
+    ///
+    /// ```text
+    /// error[nondet-iter]: `HashMap` in result-affecting crate `core`: ...
+    ///   --> crates/core/src/sweep.rs:72:23
+    ///    |
+    /// 72 | use std::collections::HashMap;
+    ///    |                       ^
+    ///    = hint: use BTreeMap/BTreeSet or sort before iterating; ...
+    /// ```
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.allowed && !verbose {
+                continue;
+            }
+            let severity = if f.allowed { "allowed" } else { "error" };
+            let line_label = f.line.to_string();
+            let gutter = " ".repeat(line_label.len());
+            out.push_str(&format!("{severity}[{}]: {}\n", f.lint, f.message));
+            out.push_str(&format!("{gutter}--> {}:{}:{}\n", f.path, f.line, f.col));
+            out.push_str(&format!("{gutter} |\n"));
+            out.push_str(&format!("{line_label} | {}\n", f.excerpt));
+            let caret_pad = " ".repeat(f.col.saturating_sub(1) as usize);
+            out.push_str(&format!("{gutter} | {caret_pad}^\n"));
+            out.push_str(&format!("{gutter} = hint: {}\n\n", f.hint));
+        }
+        let unallowed = self.unallowed().count();
+        out.push_str(&format!(
+            "gis-analyze: {} file(s) scanned, {} finding(s) ({} unallowlisted, {} allowed)\n",
+            self.files_scanned,
+            self.findings.len(),
+            unallowed,
+            self.allowed_count()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report consumed by the CI artifact step.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"unallowed_count\": {},\n",
+            self.unallowed().count()
+        ));
+        out.push_str(&format!("  \"allowed_count\": {},\n", self.allowed_count()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"lint\": \"{}\", ", json_escape(f.lint)));
+            out.push_str(&format!("\"path\": \"{}\", ", json_escape(&f.path)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"col\": {}, ", f.col));
+            out.push_str(&format!("\"allowed\": {}, ", f.allowed));
+            out.push_str(&format!("\"message\": \"{}\", ", json_escape(&f.message)));
+            out.push_str(&format!("\"hint\": \"{}\"", json_escape(&f.hint)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{analyze_file, Config};
+
+    fn sample_report() -> Report {
+        let findings = analyze_file(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\n",
+            &Config::default(),
+        );
+        Report {
+            findings,
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn text_has_rustc_shape() {
+        let text = sample_report().render_text(false);
+        assert!(text.contains("error[nondet-iter]"));
+        assert!(text.contains("--> crates/core/src/x.rs:1:23"));
+        assert!(text.contains("= hint:"));
+        assert!(text.contains("1 unallowlisted"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let json = sample_report().render_json();
+        assert!(json.contains("\"unallowed_count\": 1"));
+        assert!(json.contains("\"lint\": \"nondet-iter\""));
+        // Escaping: backticks fine, quotes inside messages escaped.
+        assert!(!json.contains("\"`HashMap\"")); // message is inside one string
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,128 @@
+//! Analyzer self-tests: the embedded fixtures pin the detection behavior, and
+//! `workspace_is_clean` makes `cargo test` itself enforce the gate — the
+//! analyzer cannot drift from the tree it guards.
+
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gis_analyze::lints::{analyze_file, Config, Finding};
+use std::path::Path;
+
+const BAD: &str = include_str!("../fixtures/bad.rs");
+const CLEAN: &str = include_str!("../fixtures/clean.rs");
+const STALE: &str = include_str!("../fixtures/stale.rs");
+
+/// Fixture files are analyzed under a synthetic crate named `fixture` that is
+/// result-affecting and panic-audited, so every lint is live.
+fn fixture_config() -> Config {
+    Config {
+        result_affecting_crates: vec!["fixture".to_string()],
+        panic_audit_files: vec![
+            "crates/fixture/src/bad.rs".to_string(),
+            "crates/fixture/src/clean.rs".to_string(),
+        ],
+    }
+}
+
+/// Parses `// EXPECT: <lint>` (finding on the same line) and
+/// `// EXPECT-NEXT: <lint>` (finding on the following line) markers.
+fn expected_findings(source: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        if let Some(rest) = line.split("EXPECT-NEXT: ").nth(1) {
+            out.push((rest.trim().to_string(), line_no + 1));
+        } else if let Some(rest) = line.split("EXPECT: ").nth(1) {
+            out.push((rest.trim().to_string(), line_no));
+        }
+    }
+    out
+}
+
+fn unallowed(findings: &[Finding]) -> Vec<(String, u32)> {
+    findings
+        .iter()
+        .filter(|f| !f.allowed)
+        .map(|f| (f.lint.to_string(), f.line))
+        .collect()
+}
+
+#[test]
+fn bad_fixture_every_seeded_violation_is_detected() {
+    let findings = analyze_file("crates/fixture/src/bad.rs", BAD, &fixture_config());
+    let mut got = unallowed(&findings);
+    let mut want = expected_findings(BAD);
+    got.sort();
+    want.sort();
+    assert!(!want.is_empty(), "fixture must seed violations");
+    assert_eq!(
+        got, want,
+        "bad fixture: detected findings must match the EXPECT markers exactly"
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_unallowed_findings() {
+    let findings = analyze_file("crates/fixture/src/clean.rs", CLEAN, &fixture_config());
+    let got = unallowed(&findings);
+    assert!(
+        got.is_empty(),
+        "clean fixture must pass the gate, got {got:?}"
+    );
+    let allowed = findings.iter().filter(|f| f.allowed).count();
+    assert!(
+        allowed >= 4,
+        "clean fixture exercises the allowlist (naive-accum x2, float-eq, \
+         float-cast, panic-site), got {allowed} allowed findings"
+    );
+}
+
+#[test]
+fn stale_fixture_reports_every_dead_suppression() {
+    let findings = analyze_file("crates/fixture/src/stale.rs", STALE, &fixture_config());
+    let mut got = unallowed(&findings);
+    let mut want = expected_findings(STALE);
+    got.sort();
+    want.sort();
+    assert_eq!(
+        got, want,
+        "stale fixture: every dead allow must surface as stale-allow"
+    );
+    assert!(got.iter().all(|(lint, _)| lint == "stale-allow"));
+}
+
+#[test]
+fn workspace_is_clean() {
+    // crates/analyze/ → workspace root. This test is the gate: if any crate
+    // picks up an unallowlisted violation, `cargo test` fails right here.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report =
+        gis_analyze::analyze_workspace(&root, &Config::default()).expect("workspace scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "the scan must cover the workspace"
+    );
+    let bad: Vec<String> = report
+        .unallowed()
+        .map(|f| format!("{}:{}:{} [{}] {}", f.path, f.line, f.col, f.lint, f.message))
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "workspace has unallowlisted findings:\n{}",
+        bad.join("\n")
+    );
+}
+
+#[test]
+fn json_report_roundtrips_the_fixture() {
+    let findings = analyze_file("crates/fixture/src/bad.rs", BAD, &fixture_config());
+    let n = findings.iter().filter(|f| !f.allowed).count();
+    let report = gis_analyze::report::Report {
+        findings,
+        files_scanned: 1,
+    };
+    let json = report.render_json();
+    assert!(json.contains(&format!("\"unallowed_count\": {n}")));
+    assert!(json.contains("\"lint\": \"nondet-iter\""));
+    assert!(json.contains("\"path\": \"crates/fixture/src/bad.rs\""));
+}

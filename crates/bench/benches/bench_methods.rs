@@ -5,6 +5,9 @@
 //! overhead (proposal evaluation, weight bookkeeping) is negligible relative to
 //! the simulator calls themselves.
 
+// Benchmark harness: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use gis_bench::{problem_with_relative_spec, surrogate_read_model, MASTER_SEED};
 use gis_core::{

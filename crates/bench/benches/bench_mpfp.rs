@@ -4,6 +4,9 @@
 //! baseline, on an analytic limit state and on the SRAM surrogate. The gap in
 //! wall clock mirrors the gap in simulation counts reported by Figure 6.
 
+// Benchmark harness: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use gis_bench::{problem_with_relative_spec, surrogate_read_model, MASTER_SEED};
 use gis_core::{

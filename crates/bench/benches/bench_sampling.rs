@@ -3,6 +3,9 @@
 //! Sampling and density evaluation dominate the framework overhead of every
 //! estimator; these micro-benchmarks track them.
 
+// Benchmark harness: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use gis_linalg::{Matrix, Vector};
 use gis_stats::{latin_hypercube, normal, MultivariateNormal, RngStream};

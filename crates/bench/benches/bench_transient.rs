@@ -4,6 +4,9 @@
 //! "SPICE-accurate" model; the per-table simulation counts translate into wall
 //! clock through these numbers.
 
+// Benchmark harness: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use gis_sram::{CellTransistor, SramTestbench};
 use std::hint::black_box;

@@ -23,6 +23,9 @@
 //!
 //! Output: `BENCH_calibration.json` at the workspace root.
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{workspace_root, MASTER_SEED};
 use gis_core::{
     standard_estimators, BenchmarkProblem, CalibrationReport, Calibrator, ConvergencePolicy,

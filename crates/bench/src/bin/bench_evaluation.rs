@@ -27,6 +27,9 @@
 //! count comes from `GIS_THREADS`, falling back to the machine's available
 //! parallelism (capped at 8).
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{
     problem_with_relative_spec, transient_model, transient_model_with_kernel, workspace_root,
     MASTER_SEED,

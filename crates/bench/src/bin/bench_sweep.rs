@@ -24,6 +24,9 @@
 //! `bench_sweep --fast --fresh --max-cells 7` (partial, "killed"), then
 //! `bench_sweep --fast --verify-resume` (resumes and proves equality).
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{results_dir, write_json_artifact, MASTER_SEED};
 use gis_core::sweep::clear_checkpoint;
 use gis_core::{

@@ -8,6 +8,9 @@
 //! Run with `cargo run --release -p gis-bench --bin fig2_waveforms`
 //! (`-- --fast` dumps the nominal and +3σ corners only, for the CI smoke).
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{fast_mode, print_csv, write_json_artifact};
 use gis_circuit::{transient_analysis, Circuit, SourceWaveform, TransientConfig};
 use gis_sram::{build_6t_cell, CellTransistor, SramCellConfig, SramTestbench};

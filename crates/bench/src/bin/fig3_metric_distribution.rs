@@ -8,6 +8,9 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin fig3_metric_distribution`.
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{
     print_csv, scaled, surrogate_read_model, transient_model, write_json_artifact, MASTER_SEED,
 };

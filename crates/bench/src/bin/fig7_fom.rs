@@ -7,6 +7,9 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin fig7_fom`.
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{
     print_csv, problem_with_relative_spec, scaled, surrogate_read_model, write_json_artifact,
     MASTER_SEED,

@@ -9,6 +9,9 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin fig9_static_margins`.
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{print_csv, scaled, write_json_artifact, MASTER_SEED};
 use gis_core::{
     default_sram_variation_space, Estimator, FailureProblem, FnModel, GisConfig,

@@ -11,6 +11,9 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin table2_write_failure`.
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{
     print_comparison_table, problem_with_relative_spec, scaled, write_json_artifact, MASTER_SEED,
 };

@@ -8,6 +8,9 @@
 //!
 //! Run with `cargo run --release -p gis-bench --bin table3_dimensionality`.
 
+// Experiment driver: abort-on-error is the right failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use gis_bench::{problem_with_relative_spec, scaled, write_json_artifact, MASTER_SEED};
 use gis_core::{
     default_sram_variation_space, Estimator, GisConfig, GradientImportanceSampling,

@@ -8,6 +8,14 @@
 //! JSON next to the printed tables so EXPERIMENTS.md can reference stable
 //! artifacts.
 
+// The workspace has zero unsafe code; lock that in per crate. (A crate
+// attribute rather than a workspace lint so the counting-allocator
+// integration test, which needs an unsafe GlobalAlloc impl, stays possible.)
+#![forbid(unsafe_code)]
+// Library code must justify every panic site (clippy::unwrap_used/expect_used
+// are warn in [workspace.lints.clippy]); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 use gis_core::{
     default_sram_variation_space, AnalysisReport, FailureProblem, PerformanceModel, Spec,
     SramMetric, SramSurrogateModel, SramTransientModel,
@@ -147,23 +155,23 @@ pub fn workspace_root() -> PathBuf {
 }
 
 /// Resolves the results directory (creating it if needed), anchored at the
-/// workspace root when the binary is run via `cargo run -p gis-bench`.
+/// workspace root regardless of the invoking cwd. The previous cwd-relative
+/// probing mis-resolved when `results/` did not exist yet: the first
+/// candidate's parent is the empty path (which never `exists()`), so the
+/// `../../` fallback fired even from the workspace root and escaped the
+/// repository.
 pub fn results_dir() -> PathBuf {
-    let candidates = [
-        Path::new(RESULTS_DIR).to_path_buf(),
-        Path::new("..").join("..").join(RESULTS_DIR),
-    ];
-    for dir in candidates {
-        if dir.parent().map(|p| p.exists()).unwrap_or(false) || dir.exists() {
-            let _ = std::fs::create_dir_all(&dir);
-            if dir.exists() {
-                return dir;
-            }
-        }
-    }
-    let fallback = Path::new(RESULTS_DIR).to_path_buf();
-    let _ = std::fs::create_dir_all(&fallback);
-    fallback
+    // This crate lives at <workspace>/crates/bench, so the workspace root is
+    // two levels above the compile-time manifest dir.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let dir = if root.join("Cargo.toml").exists() {
+        root.join(RESULTS_DIR)
+    } else {
+        // The binary was moved away from its build tree: fall back to cwd.
+        Path::new(RESULTS_DIR).to_path_buf()
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    dir
 }
 
 /// Serializes `data` as pretty JSON into `<dir>/<name>.json`. Failures to

@@ -326,6 +326,7 @@ impl SimulationWorkspace {
     /// # Panics
     ///
     /// Panics if the workspace has never been bound.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn state(&self) -> &[f64] {
         &self.core.as_ref().expect("workspace is bound").x
     }
@@ -336,6 +337,7 @@ impl SimulationWorkspace {
     /// # Panics
     ///
     /// Panics if the workspace has never been bound.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn set_state(&mut self, x0: &[f64]) {
         let core = self.core.as_mut().expect("workspace is bound");
         let n = core.x.len().min(x0.len());
@@ -509,6 +511,7 @@ impl<'a> MnaSystem<'a> {
     /// The single assembly walk shared by every kernel: identical stamp order
     /// (and therefore identical floating-point accumulation order) regardless
     /// of the destination.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     fn assemble_with<S: Stamper>(
         &self,
         x: &[f64],
@@ -754,6 +757,8 @@ impl<'a> MnaSystem<'a> {
     /// # Errors
     ///
     /// See [`MnaSystem::solve_newton`].
+    /// gis-analyze: no_alloc
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn solve_newton_in(
         &self,
         workspace: &mut SimulationWorkspace,
@@ -770,6 +775,8 @@ impl<'a> MnaSystem<'a> {
     /// Like [`MnaSystem::solve_newton_in`] but assumes the workspace is
     /// already bound to this system (used by the transient driver, which
     /// binds once per analysis instead of once per time step).
+    /// gis-analyze: no_alloc
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub(crate) fn solve_newton_prebound(
         &self,
         workspace: &mut SimulationWorkspace,
@@ -786,6 +793,7 @@ impl<'a> MnaSystem<'a> {
     /// The bound sparse Newton loop: `core` must already belong to this
     /// system's topology (the transient driver binds once per analysis and
     /// then skips the per-step signature check).
+    /// gis-analyze: no_alloc
     fn solve_newton_bound(
         &self,
         core: &mut WorkspaceCore,
@@ -865,6 +873,7 @@ impl<'a> MnaSystem<'a> {
 /// cloned `x` per iteration and took `norm_inf` in a second pass — `max` is a
 /// pure selection, so fusing the passes returns the same value).
 #[inline]
+/// gis-analyze: no_alloc
 fn newton_update(
     x: &mut [f64],
     x_new: &[f64],
@@ -905,6 +914,7 @@ fn newton_converged(max_delta: f64, norm_inf: f64) -> bool {
 
 /// Compiles the netlist walk of `system` into a flat stamp program with every
 /// matrix slot precomputed (see [`StampOp`]).
+#[allow(clippy::expect_used)] // invariants stated in the expect messages
 fn compile_program(system: &MnaSystem) -> (Vec<StampOp>, Vec<MosfetEvalSpec>) {
     let n = system.dim;
     let idx = |node: NodeId| -> u32 {
@@ -1066,6 +1076,7 @@ fn evaluate_mosfets(
 /// Performs the identical floating-point operations in the identical order.
 #[allow(clippy::too_many_arguments)]
 #[inline]
+/// gis-analyze: no_alloc
 fn execute_program(
     program: &[StampOp],
     mosfet_evals: &[MosfetEvalSpec],

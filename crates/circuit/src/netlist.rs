@@ -20,7 +20,7 @@
 use crate::error::CircuitError;
 use crate::mosfet::MosfetParams;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of a circuit node. Node 0 is ground.
 pub type NodeId = usize;
@@ -71,6 +71,7 @@ impl SourceWaveform {
     }
 
     /// Evaluates the waveform at time `t` (seconds).
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn value_at(&self, t: f64) -> f64 {
         match self {
             SourceWaveform::Dc(v) => *v,
@@ -219,7 +220,7 @@ impl Device {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Circuit {
     node_names: Vec<String>,
-    name_to_node: HashMap<String, NodeId>,
+    name_to_node: BTreeMap<String, NodeId>,
     devices: Vec<Device>,
 }
 
@@ -228,7 +229,7 @@ impl Circuit {
     pub fn new() -> Self {
         let mut ckt = Circuit {
             node_names: Vec::new(),
-            name_to_node: HashMap::new(),
+            name_to_node: BTreeMap::new(),
             devices: Vec::new(),
         };
         ckt.node_names.push("0".to_string());

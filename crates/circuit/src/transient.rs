@@ -174,6 +174,7 @@ impl TransientResult {
     /// # Errors
     ///
     /// Returns [`CircuitError::UnknownNode`] if the node does not exist.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn final_voltage(&self, node: NodeId) -> Result<f64, CircuitError> {
         Ok(*self
             .node_voltage_samples(node)?
@@ -259,7 +260,7 @@ pub fn transient_analysis_with(
         }
     }
 
-    let num_steps = (config.stop_time / config.time_step).ceil() as usize;
+    let num_steps = (config.stop_time / config.time_step).ceil() as usize; // gis-analyze: allow(float-cast, step count from ceil of validated positive durations)
     let mut times = Vec::with_capacity(num_steps + 1);
     let mut node_voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(num_steps + 1); num_nodes];
 
@@ -343,7 +344,7 @@ pub fn transient_analysis_dense(
         None => system.dc_operating_point(None)?,
     };
 
-    let num_steps = (config.stop_time / config.time_step).ceil() as usize;
+    let num_steps = (config.stop_time / config.time_step).ceil() as usize; // gis-analyze: allow(float-cast, step count from ceil of validated positive durations)
     let mut times = Vec::with_capacity(num_steps + 1);
     let mut node_voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(num_steps + 1); num_nodes];
 

@@ -234,11 +234,13 @@ impl<'a> WaveformView<'a> {
     }
 
     /// Last time point.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn end_time(&self) -> f64 {
         *self.times.last().expect("waveform is never empty")
     }
 
     /// Value at the final time point.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn final_value(&self) -> f64 {
         *self.values.last().expect("waveform is never empty")
     }
@@ -258,6 +260,7 @@ impl<'a> WaveformView<'a> {
 
     /// Linearly interpolated value at time `t`. Clamps to the first/last sample
     /// outside the sampled range.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn value_at(&self, t: f64) -> f64 {
         if t <= self.times[0] {
             return self.values[0];

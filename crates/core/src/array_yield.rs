@@ -9,10 +9,13 @@ use serde::{Deserialize, Serialize};
 /// Numerically stable `ln(exp(a) + exp(b))`.
 fn log_sum_exp(a: f64, b: f64) -> f64 {
     let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    // gis-analyze: allow(float-eq, empty-accumulator sentinel: log-sum-exp of nothing is -inf)
     if lo == f64::NEG_INFINITY {
         return hi;
     }
-    hi + (lo - hi).exp().ln_1p()
+    let out = hi + (lo - hi).exp().ln_1p();
+    debug_assert!(!out.is_nan(), "log_sum_exp({a}, {b}) produced NaN");
+    out
 }
 
 /// Array-level yield model.
@@ -89,6 +92,7 @@ impl ArrayYield {
             return 0.0;
         }
         let lambda = self.cells as f64 * per_cell_failure_probability;
+        // gis-analyze: allow(float-eq, exact-zero rate short-circuits the Poisson tail)
         if lambda == 0.0 {
             return 0.0;
         }
@@ -110,6 +114,10 @@ impl ArrayYield {
             log_term += ln_lambda - (i as f64).ln();
             log_sum = log_sum_exp(log_sum, log_term);
         }
+        debug_assert!(
+            !log_sum.is_nan(),
+            "Poisson log-CDF accumulation produced NaN (lambda={lambda}, k={k})"
+        );
         log_sum.min(0.0)
     }
 

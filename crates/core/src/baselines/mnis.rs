@@ -94,6 +94,7 @@ impl MinimumNormIs {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn new(config: MnisConfig) -> Self {
         config.validate().expect("invalid MNIS configuration");
         MinimumNormIs {
@@ -127,6 +128,7 @@ impl MinimumNormIs {
     /// Derivative-free search with each presampling cloud evaluated as one
     /// batch on `exec`. The minimum-norm selection and the radial bisection
     /// reduce sequentially, so the outcome is identical at any thread count.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     fn search_on(
         &self,
         problem: &FailureProblem,

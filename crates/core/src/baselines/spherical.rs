@@ -86,6 +86,7 @@ impl SphericalSampling {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn new(config: SphericalSamplingConfig) -> Self {
         config
             .validate()

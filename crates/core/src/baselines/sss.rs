@@ -88,6 +88,7 @@ impl ScaledSigmaSampling {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn new(config: SssConfig) -> Self {
         config.validate().expect("invalid SSS configuration");
         ScaledSigmaSampling {
@@ -119,6 +120,7 @@ impl Estimator for ScaledSigmaSampling {
         "scaled-sigma-sampling"
     }
 
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
         let executor = self.exec.executor();

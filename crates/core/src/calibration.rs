@@ -451,7 +451,7 @@ impl Calibrator {
             relative_rmse,
             mean_reported_relative_error,
             converged_fraction: cell.iter().filter(|r| r.converged).count() as f64 / n,
-            zero_estimates: cell.iter().filter(|r| r.estimate == 0.0).count() as u32,
+            zero_estimates: cell.iter().filter(|r| r.estimate == 0.0).count() as u32, // gis-analyze: allow(float-eq, exact-zero sentinel counting estimators that saw no failures)
             mean_evaluations,
             empirical_figure_of_merit,
         }

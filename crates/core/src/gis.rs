@@ -116,6 +116,7 @@ impl GradientImportanceSampling {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn new(config: GisConfig) -> Self {
         config.validate().expect("invalid GIS configuration");
         GradientImportanceSampling {
@@ -164,6 +165,7 @@ impl Estimator for GradientImportanceSampling {
         "gradient-is"
     }
 
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
         let dim = problem.dim();
         let executor = self.exec.executor();

@@ -324,6 +324,7 @@ impl LinearLimitState {
     /// # Panics
     ///
     /// Panics if `direction` has zero norm or `beta` is not finite.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn new(direction: Vector, beta: f64) -> Self {
         assert!(beta.is_finite(), "beta must be finite");
         let direction = direction
@@ -333,6 +334,7 @@ impl LinearLimitState {
     }
 
     /// Axis-aligned variant: failure plane perpendicular to the first axis.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn along_first_axis(dim: usize, beta: f64) -> Self {
         LinearLimitState::new(Vector::basis(dim, 0).expect("dim must be at least 1"), beta)
     }
@@ -364,6 +366,7 @@ impl PerformanceModel for LinearLimitState {
         self.direction.len()
     }
 
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     fn evaluate(&self, z: &Vector) -> f64 {
         self.direction.dot(z).expect("dimension mismatch") - self.beta
     }
@@ -427,6 +430,7 @@ impl QuadraticLimitState {
     /// parameter ranges used in the tests.
     pub fn reference_failure_probability(&self) -> f64 {
         use gis_stats::normal::upper_tail_probability;
+        // gis-analyze: allow(float-eq, exact-zero curvature selects the closed-form linear limit)
         if self.dim == 1 || self.curvature == 0.0 {
             return upper_tail_probability(self.beta);
         }

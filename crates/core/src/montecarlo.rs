@@ -79,6 +79,7 @@ impl MonteCarlo {
     ///
     /// Panics if the configuration is invalid (zero budget, non-positive
     /// tolerance).
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn new(config: MonteCarloConfig) -> Self {
         config
             .validate()

@@ -110,6 +110,7 @@ impl GradientMpfpSearch {
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn new(config: MpfpConfig) -> Self {
         config.validate().expect("invalid MPFP configuration");
         GradientMpfpSearch { config }
@@ -174,6 +175,7 @@ impl GradientMpfpSearch {
     /// zero-gradient plateaus (censored regions), so the search is
     /// deterministic whenever the metric is smooth — and bit-identical at any
     /// thread count either way.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn search_on(
         &self,
         problem: &FailureProblem,

@@ -58,6 +58,7 @@ pub struct BenchmarkProblem {
 /// Deterministic oblique unit direction: every component non-zero and all
 /// magnitudes distinct, so nothing aligns with a coordinate axis and no
 /// estimator gets an accidental symmetry gift.
+#[allow(clippy::expect_used)] // invariants stated in the expect messages
 fn oblique_direction(dim: usize) -> Vector {
     let v: Vector = (0..dim)
         .map(|i| 1.0 + 0.6 * (0.7 * i as f64 + 0.3).sin())
@@ -93,6 +94,7 @@ impl BenchmarkProblem {
     /// # Panics
     ///
     /// Panics if `dim == 0` or `beta` is not a positive finite sigma level.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn linear(dim: usize, beta: f64) -> Self {
         assert!(dim >= 1, "dimension must be at least 1");
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
@@ -122,6 +124,7 @@ impl BenchmarkProblem {
     /// Panics if `dim < 2`, `beta` is not positive finite, or `rho` is
     /// outside `[0, 1)` (the equicorrelation matrix must stay positive
     /// definite).
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn correlated(dim: usize, beta: f64, rho: f64) -> Self {
         assert!(dim >= 2, "correlation needs at least two dimensions");
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
@@ -165,6 +168,7 @@ impl BenchmarkProblem {
     /// # Panics
     ///
     /// Panics if `dim == 0` or `beta` is not positive finite.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn bimodal(dim: usize, beta: f64) -> Self {
         assert!(dim >= 1, "dimension must be at least 1");
         assert!(beta.is_finite() && beta > 0.0, "beta must be positive");
@@ -189,6 +193,7 @@ impl BenchmarkProblem {
     /// # Panics
     ///
     /// Panics if `dim < 2` or either beta is not positive finite.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn union(dim: usize, beta_primary: f64, beta_secondary: f64) -> Self {
         assert!(dim >= 2, "a two-region union needs at least two dimensions");
         assert!(

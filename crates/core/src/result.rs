@@ -110,6 +110,7 @@ impl ExtractionResult {
     /// reference never observed a failure.
     pub fn speedup_over(&self, reference: &ExtractionResult) -> f64 {
         let fom_ref = reference.figure_of_merit();
+        // gis-analyze: allow(float-eq, division guard: FOM is exactly 0.0 when no failure was observed)
         if fom_ref == 0.0 {
             f64::INFINITY
         } else {

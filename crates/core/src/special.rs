@@ -97,6 +97,7 @@ fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
 pub fn gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0, "gamma_q requires a > 0");
     assert!(x >= 0.0, "gamma_q requires x >= 0");
+    // gis-analyze: allow(float-eq, exact boundary case Q(a, 0) = 1 of the incomplete gamma)
     if x == 0.0 {
         return 1.0;
     }

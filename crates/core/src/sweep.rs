@@ -69,7 +69,7 @@ use crate::sram_models::{SramMetric, SramSurrogateModel};
 use gis_sram::{SramCellConfig, SramSurrogate};
 use gis_variation::{GlobalCorner, PelgromModel};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -83,7 +83,7 @@ pub const VTH_TEMPERATURE_COEFFICIENT: f64 = -1.0e-3;
 /// checkpoint key cells by name, so aliased names would silently clone one
 /// cell's results into another.
 fn assert_unique(kind: &str, names: &[String]) {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for name in names {
         assert!(
             seen.insert(name.as_str()),
@@ -359,7 +359,7 @@ impl SweepPlan {
                 }
             }
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for scenario in &out {
             assert!(
                 seen.insert(scenario.name.as_str()),
@@ -587,6 +587,7 @@ impl SweepRunner {
     /// [`YieldAnalysis::run`]), on duplicate problem or estimator names (the
     /// scheduler keys cells by name), or when the checkpoint file cannot be
     /// opened or appended to — durability failures must not be silent.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn run(&self, analysis: &mut YieldAnalysis) -> SweepOutcome {
         analysis.apply_configuration();
         let estimator_names: Vec<String> = analysis
@@ -623,6 +624,7 @@ impl SweepRunner {
         // checkpoint fails fast instead of after hours of simulation.
         let appender = self.checkpoint.as_ref().map(|path| {
             if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                // gis-analyze: allow(panic-site, deliberate fail-fast: an unwritable checkpoint dir must abort before hours of simulation)
                 std::fs::create_dir_all(parent).expect("checkpoint directory is creatable");
             }
             Mutex::new(
@@ -630,7 +632,7 @@ impl SweepRunner {
                     .create(true)
                     .append(true)
                     .open(path)
-                    .expect("checkpoint file is openable for append"),
+                    .expect("checkpoint file is openable for append"), // gis-analyze: allow(panic-site, deliberate fail-fast: an unopenable checkpoint file must abort before work starts)
             )
         });
 
@@ -648,10 +650,10 @@ impl SweepRunner {
                         report: report.clone(),
                     };
                     let line =
-                        serde_json::to_string(&record).expect("sweep cell record serializes");
-                    let mut file = appender.lock().expect("checkpoint appender not poisoned");
-                    writeln!(file, "{line}").expect("checkpoint line is appendable");
-                    file.flush().expect("checkpoint flushes");
+                        serde_json::to_string(&record).expect("sweep cell record serializes"); // gis-analyze: allow(panic-site, serializing an in-memory record to a string cannot fail)
+                    let mut file = appender.lock().expect("checkpoint appender not poisoned"); // gis-analyze: allow(panic-site, a poisoned appender only follows a worker panic that already aborted the sweep)
+                    writeln!(file, "{line}").expect("checkpoint line is appendable"); // gis-analyze: allow(panic-site, a lost checkpoint line would silently fake resume safety; abort instead)
+                    file.flush().expect("checkpoint flushes"); // gis-analyze: allow(panic-site, an unflushed checkpoint would silently fake resume safety; abort instead)
                 }
                 ((pi, ei), report)
             });
@@ -674,7 +676,7 @@ impl SweepRunner {
                         .map(|e| {
                             completed
                                 .get(&(p.clone(), e.clone()))
-                                .expect("complete status implies every cell present")
+                                .expect("complete status implies every cell present") // gis-analyze: allow(panic-site, Complete status is only constructed after every cell is present)
                                 .clone()
                         })
                         .collect()
@@ -693,8 +695,8 @@ impl SweepRunner {
     fn restore(
         &self,
         analysis: &YieldAnalysis,
-    ) -> (HashMap<(String, String), MethodReport>, usize) {
-        let mut restored = HashMap::new();
+    ) -> (BTreeMap<(String, String), MethodReport>, usize) {
+        let mut restored = BTreeMap::new();
         let mut discarded = 0usize;
         let Some(path) = &self.checkpoint else {
             return (restored, discarded);
@@ -750,7 +752,7 @@ impl SweepRunner {
     fn build_status(
         &self,
         analysis: &YieldAnalysis,
-        completed: &HashMap<(String, String), MethodReport>,
+        completed: &BTreeMap<(String, String), MethodReport>,
         restored: usize,
         discarded: usize,
     ) -> SweepStatus {

@@ -86,6 +86,7 @@ impl LuDecomposition {
             for i in (k + 1)..n {
                 let multiplier = factors[(i, k)] / pivot;
                 factors[(i, k)] = multiplier;
+                // gis-analyze: allow(float-eq, structural-zero skip: exact zeros stay exact in elimination)
                 if multiplier != 0.0 {
                     for j in (k + 1)..n {
                         let delta = multiplier * factors[(k, j)];

@@ -245,6 +245,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
+                // gis-analyze: allow(float-eq, structural-zero skip preserves sparsity without rounding)
                 if aik == 0.0 {
                     continue;
                 }

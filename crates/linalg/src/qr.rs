@@ -50,6 +50,7 @@ impl QrDecomposition {
                 norm += packed[(i, k)] * packed[(i, k)];
             }
             let norm = norm.sqrt();
+            // gis-analyze: allow(float-eq, exact-zero column norm: the Householder reflection degenerates)
             if norm == 0.0 {
                 betas[k] = 0.0;
                 continue;
@@ -61,6 +62,7 @@ impl QrDecomposition {
             for i in (k + 1)..m {
                 vtv += packed[(i, k)] * packed[(i, k)];
             }
+            // gis-analyze: allow(float-eq, exact-zero v'v: reflection is the identity, beta stays 0)
             if vtv == 0.0 {
                 betas[k] = 0.0;
                 packed[(k, k)] = alpha;
@@ -120,6 +122,7 @@ impl QrDecomposition {
         let mut y = b.clone();
         for k in 0..n {
             let beta = self.betas[k];
+            // gis-analyze: allow(float-eq, beta stored as exact 0.0 marks a skipped reflection)
             if beta == 0.0 {
                 continue;
             }

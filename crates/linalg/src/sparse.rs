@@ -480,6 +480,7 @@ impl SparseLu {
     /// Resets every fill-pattern slot to `+0.0`, readying the workspace for a
     /// fresh assembly. Slots outside the fill pattern are never written, so
     /// they do not need resetting.
+    /// gis-analyze: no_alloc
     pub fn clear(&mut self) {
         for &slot in &self.symbolic.fill_slots {
             self.work[slot as usize] = 0.0;
@@ -497,6 +498,7 @@ impl SparseLu {
     /// release builds rely on the caller stamping the analyzed pattern (the
     /// circuit layer derives both from the same netlist walk).
     #[inline]
+    /// gis-analyze: no_alloc
     pub fn add_at(&mut self, row: usize, col: usize, value: f64) {
         debug_assert!(
             self.symbolic.in_stamp(row, col),
@@ -522,6 +524,7 @@ impl SparseLu {
 
     /// Adds `value` at a slot previously obtained from [`SparseLu::slot`].
     #[inline]
+    /// gis-analyze: no_alloc
     pub fn add_to_slot(&mut self, slot: u32, value: f64) {
         self.work[slot as usize] += value;
     }
@@ -540,6 +543,7 @@ impl SparseLu {
     /// Returns [`LinalgError::Singular`] under exactly the same condition as
     /// the dense kernel: a pivot magnitude below [`SINGULARITY_TOLERANCE`]
     /// relative to the largest assembled magnitude.
+    /// gis-analyze: no_alloc
     pub fn factorize(&mut self) -> Result<()> {
         for (pos, r) in self.row_at.iter_mut().enumerate() {
             *r = pos as u32;
@@ -586,6 +590,7 @@ impl SparseLu {
     /// identical comparisons as the recording pass; if the winning position
     /// deviates from the recorded one (values moved enough to change the
     /// pivot), the validated prefix is kept and the suffix re-recorded.
+    /// gis-analyze: no_alloc
     fn replay(&mut self, scale: f64) -> Result<()> {
         let n = self.symbolic.n;
         for k in 0..n {
@@ -633,6 +638,7 @@ impl SparseLu {
                 cursor += 2;
                 let multiplier = self.work[mslot] / pivot;
                 self.work[mslot] = multiplier;
+                // gis-analyze: allow(float-eq, structural-zero skip keeps sparse elimination bit-identical to dense)
                 if multiplier != 0.0 {
                     for _ in 0..npairs {
                         let dst = ops[cursor] as usize;
@@ -726,6 +732,7 @@ impl SparseLu {
                     self.upper = upper_buf;
                 }
                 let mut npairs = 0u32;
+                // gis-analyze: allow(float-eq, structural-zero skip keeps sparse elimination bit-identical to dense)
                 if multiplier != 0.0 {
                     for &j in &self.symbolic.fill_cols[pr] {
                         let j = j as usize;
@@ -842,6 +849,7 @@ impl SparseLu {
                 }
                 let multiplier = self.work[r * n + k] / pivot;
                 self.work[r * n + k] = multiplier;
+                // gis-analyze: allow(float-eq, structural-zero skip keeps sparse elimination bit-identical to dense)
                 if multiplier != 0.0 {
                     self.symbolic.absorb(r, &self.upper);
                     let pivot_cols = &self.symbolic.fill_cols[pr];
@@ -870,6 +878,7 @@ impl SparseLu {
     /// Returns [`LinalgError::DimensionMismatch`] if `b`/`x` have the wrong
     /// length, or [`LinalgError::InvalidArgument`] if [`SparseLu::factorize`]
     /// has not succeeded since the last [`SparseLu::clear`].
+    /// gis-analyze: no_alloc
     pub fn solve(&self, b: &[f64], x: &mut [f64]) -> Result<()> {
         let n = self.symbolic.n;
         if b.len() != n || x.len() != n {

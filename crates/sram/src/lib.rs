@@ -30,6 +30,13 @@
 //! # }
 //! ```
 
+// The workspace has zero unsafe code; lock that in per crate. (A crate
+// attribute rather than a workspace lint so the counting-allocator
+// integration test, which needs an unsafe GlobalAlloc impl, stays possible.)
+#![forbid(unsafe_code)]
+// Library code must justify every panic site (clippy::unwrap_used/expect_used
+// are warn in [workspace.lints.clippy]); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 pub mod cell;

@@ -148,6 +148,7 @@ impl StaticAnalysis {
     }
 
     /// Static analysis of the default 45 nm cell.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn typical_45nm() -> Self {
         StaticAnalysis::new(SramCellConfig::typical_45nm()).expect("default config is valid")
     }

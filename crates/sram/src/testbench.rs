@@ -143,6 +143,7 @@ impl SramTestbench {
     }
 
     /// Testbench with the default 45 nm cell and timing.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn typical_45nm() -> Self {
         SramTestbench::new(SramCellConfig::typical_45nm(), TestbenchTiming::default())
             .expect("default configuration is valid")
@@ -332,6 +333,7 @@ struct CellParameterInjector {
 }
 
 impl CellParameterInjector {
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     fn new(circuit: &Circuit, cell: &SramCellConfig) -> Self {
         let mut device_indices = [0usize; 6];
         let mut nominal_params = [cell.pass_gate; 6];

@@ -62,6 +62,7 @@ impl MultivariateNormal {
     }
 
     /// The standard normal `N(0, I)` in `dim` dimensions.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn standard(dim: usize) -> Self {
         MultivariateNormal::new(Vector::zeros(dim), &Matrix::identity(dim))
             .expect("identity covariance is always valid")
@@ -69,6 +70,7 @@ impl MultivariateNormal {
 
     /// A mean-shifted standard normal `N(μ, I)` — the canonical mean-shift
     /// importance-sampling proposal.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn shifted_standard(mean: Vector) -> Self {
         let dim = mean.len();
         MultivariateNormal::new(mean, &Matrix::identity(dim))
@@ -80,6 +82,7 @@ impl MultivariateNormal {
     /// # Panics
     ///
     /// Panics if `scale <= 0`.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn isotropic(mean: Vector, scale: f64) -> Self {
         assert!(scale > 0.0, "scale must be positive");
         let dim = mean.len();
@@ -98,6 +101,7 @@ impl MultivariateNormal {
     }
 
     /// Draws one sample `x = μ + L z`.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn sample(&self, rng: &mut RngStream) -> Vector {
         let z = rng.standard_normal_vector(self.dim());
         let colored = self
@@ -224,6 +228,7 @@ impl GaussianMixture {
             terms.push(lw + c.log_pdf(x)?);
         }
         let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // gis-analyze: allow(float-eq, all-terms-at--inf sentinel before the log-sum-exp shift)
         if max == f64::NEG_INFINITY {
             return Ok(f64::NEG_INFINITY);
         }

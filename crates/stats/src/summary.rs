@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -42,6 +42,7 @@ impl OnlineStats {
     }
 
     /// Adds one observation.
+    /// gis-analyze: no_alloc
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;
@@ -53,12 +54,13 @@ impl OnlineStats {
     }
 
     /// Merges another accumulator into this one (parallel-friendly).
+    /// gis-analyze: no_alloc
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
-            *self = other.clone();
+            *self = *other;
             return;
         }
         let total = self.count + other.count;
@@ -183,6 +185,7 @@ impl ConfidenceInterval {
     /// the high-sigma literature (stop when the 90% CI is within ±10%).
     pub fn relative_half_width(&self) -> f64 {
         let centre = 0.5 * (self.lower + self.upper);
+        // gis-analyze: allow(float-eq, division guard against an exactly-zero interval centre)
         if centre == 0.0 {
             f64::INFINITY
         } else {
@@ -229,25 +232,27 @@ impl WeightedStats {
     /// # Panics
     ///
     /// Panics if `w` is negative or not finite.
+    /// gis-analyze: no_alloc
     pub fn push(&mut self, weight: f64, value: f64) {
         assert!(
             weight >= 0.0 && weight.is_finite(),
             "importance weights must be non-negative and finite, got {weight}"
         );
         self.count += 1;
-        self.sum_w += weight;
-        self.sum_w_sq += weight * weight;
-        self.sum_wh += weight * value;
-        self.sum_wh_sq += (weight * value) * (weight * value);
+        self.sum_w += weight; // gis-analyze: allow(naive-accum, asserted non-negative weights: no cancellation in the sum)
+        self.sum_w_sq += weight * weight; // gis-analyze: allow(naive-accum, non-negative squared weights: no cancellation possible)
+        self.sum_wh += weight * value; // gis-analyze: allow(naive-accum, delta-method moment; terms bounded by the asserted-finite weight)
+        self.sum_wh_sq += (weight * value) * (weight * value); // gis-analyze: allow(naive-accum, non-negative squared terms: no cancellation possible)
     }
 
     /// Merges another accumulator into this one.
+    /// gis-analyze: no_alloc
     pub fn merge(&mut self, other: &WeightedStats) {
         self.count += other.count;
-        self.sum_w += other.sum_w;
-        self.sum_w_sq += other.sum_w_sq;
-        self.sum_wh += other.sum_wh;
-        self.sum_wh_sq += other.sum_wh_sq;
+        self.sum_w += other.sum_w; // gis-analyze: allow(naive-accum, merge of non-negative partial sums in deterministic lane order)
+        self.sum_w_sq += other.sum_w_sq; // gis-analyze: allow(naive-accum, merge of non-negative partial sums in deterministic lane order)
+        self.sum_wh += other.sum_wh; // gis-analyze: allow(naive-accum, merge of partial moments in deterministic lane order)
+        self.sum_wh_sq += other.sum_wh_sq; // gis-analyze: allow(naive-accum, merge of non-negative partial sums in deterministic lane order)
     }
 
     /// Number of observations.
@@ -284,6 +289,7 @@ impl WeightedStats {
 
     /// Self-normalized importance-sampling mean `Σ(w·h)/Σw`.
     pub fn weighted_mean(&self) -> f64 {
+        // gis-analyze: allow(float-eq, division guard: the weight sum is exactly 0.0 only when empty)
         if self.sum_w == 0.0 {
             0.0
         } else {
@@ -293,6 +299,7 @@ impl WeightedStats {
 
     /// Kish effective sample size `(Σw)² / Σw²`; `0` when empty.
     pub fn effective_sample_size(&self) -> f64 {
+        // gis-analyze: allow(float-eq, division guard: exact 0.0 only before any push)
         if self.sum_w_sq == 0.0 {
             0.0
         } else {
@@ -333,9 +340,11 @@ pub fn binomial_cdf(k: u64, n: u64, p: f64) -> f64 {
     if k >= n {
         return 1.0;
     }
+    // gis-analyze: allow(float-eq, exact boundary p = 0: every trial fails, CDF is 1)
     if p == 0.0 {
         return 1.0;
     }
+    // gis-analyze: allow(float-eq, exact boundary p = 1: all trials succeed, CDF is 0)
     if p == 1.0 {
         return 0.0; // k < n and all trials succeed.
     }
@@ -453,6 +462,7 @@ pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
         var_x += dx * dx;
         var_y += dy * dy;
     }
+    // gis-analyze: allow(float-eq, division guard: zero variance leaves correlation undefined)
     if var_x == 0.0 || var_y == 0.0 {
         0.0
     } else {
@@ -466,14 +476,15 @@ pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if `values` is empty or `q` is outside `[0, 1]`.
+#[allow(clippy::expect_used)] // invariants stated in the expect messages
 pub fn quantile_of(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let lo = pos.floor() as usize; // gis-analyze: allow(float-cast, quantile bracketing: floor of an in-range rank position)
+    let hi = pos.ceil() as usize; // gis-analyze: allow(float-cast, quantile bracketing: ceil of an in-range rank position)
     if lo == hi {
         sorted[lo]
     } else {
@@ -515,7 +526,7 @@ mod tests {
         let mut empty = OnlineStats::new();
         empty.merge(&all);
         assert_eq!(empty.count(), all.count());
-        let mut full = all.clone();
+        let mut full = all;
         full.merge(&OnlineStats::new());
         assert_eq!(full.count(), all.count());
     }

@@ -31,6 +31,13 @@
 //! assert_eq!(deltas.len(), 6);
 //! ```
 
+// The workspace has zero unsafe code; lock that in per crate. (A crate
+// attribute rather than a workspace lint so the counting-allocator
+// integration test, which needs an unsafe GlobalAlloc impl, stays possible.)
+#![forbid(unsafe_code)]
+// Library code must justify every panic site (clippy::unwrap_used/expect_used
+// are warn in [workspace.lints.clippy]); tests are free to unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 use gis_linalg::{Cholesky, Matrix, Vector};
@@ -270,6 +277,7 @@ impl VariationSpace {
     /// # Panics
     ///
     /// Panics if `z.len() != dim()`.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn to_physical(&self, z: &Vector) -> Vector {
         assert_eq!(z.len(), self.dim(), "dimension mismatch in to_physical");
         let correlated = match &self.correlation_chol {
@@ -289,6 +297,7 @@ impl VariationSpace {
     /// # Panics
     ///
     /// Panics if `deltas.len() != dim()`.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn to_whitened(&self, deltas: &Vector) -> Vector {
         assert_eq!(
             deltas.len(),

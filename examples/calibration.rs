@@ -8,6 +8,9 @@
 //!
 //! Run with `cargo run --release --example calibration`.
 
+// Example code: abort-on-error keeps the walkthrough linear.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::{
     standard_estimators, BenchmarkProblem, Calibrator, ConvergencePolicy,
 };

@@ -8,6 +8,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+// Example code: abort-on-error keeps the walkthrough linear.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::{
     default_sram_variation_space, required_samples, Estimator, FailureProblem, GisConfig,
     GradientImportanceSampling, Spec, SramMetric, SramSurrogateModel,

@@ -12,6 +12,9 @@
 //!
 //! Run with `cargo run --release --example read_yield_extraction`.
 
+// Example code: abort-on-error keeps the walkthrough linear.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::{
     default_sram_variation_space, Estimator, FailureProblem, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, Spec, SramMetric, SramTransientModel,

@@ -18,6 +18,9 @@
 //! [`SweepPlan`]: sram_highsigma::highsigma::SweepPlan
 //! [`SweepRunner`]: sram_highsigma::highsigma::SweepRunner
 
+// Example code: abort-on-error keeps the walkthrough linear.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::sweep::clear_checkpoint;
 use sram_highsigma::highsigma::{
     standard_estimators, ConvergencePolicy, ExecutionConfig, SweepPlan, SweepRunner, YieldAnalysis,

@@ -13,6 +13,9 @@
 //!
 //! [`YieldAnalysis`]: sram_highsigma::highsigma::YieldAnalysis
 
+// Example code: abort-on-error keeps the walkthrough linear.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::{
     default_sram_variation_space, ConvergencePolicy, FailureProblem, GisConfig,
     GradientImportanceSampling, Spec, SramMetric, SramSurrogateModel, YieldAnalysis,

@@ -4,6 +4,9 @@
 //! These are the ground-truth experiments: if an estimator is biased or its
 //! cost accounting is wrong, it shows up here before any SRAM is involved.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 mod common;
 
 use common::{assert_close_abs, assert_close_rel};

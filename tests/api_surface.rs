@@ -3,6 +3,9 @@
 //! the central types implement the expected std traits, and serialized results
 //! round-trip.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::circuit::{Circuit, MosfetParams, SourceWaveform, GROUND};
 use sram_highsigma::highsigma::{
     standard_estimators, ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome,

@@ -9,6 +9,9 @@
 //! coverage inside the acceptance band, and the replication matrix must be
 //! exactly reproducible at any dispatch width.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 mod common;
 
 use common::assert_close_rel;

@@ -7,6 +7,9 @@
 //! the `YieldAnalysis` report exposes enough information (convergence flags,
 //! diagnostics) to judge each estimate.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::{
     ConvergencePolicy, Estimator, FailureProblem, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, LinearLimitState, MinimumNormIs, MnisConfig, MonteCarlo,

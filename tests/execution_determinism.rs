@@ -12,6 +12,9 @@
 //! 3. **Driver invariance** — whole `YieldAnalysis` reports compare equal
 //!    across thread counts.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use sram_highsigma::highsigma::{
     default_sram_variation_space, standard_estimators, ConvergencePolicy, Estimator,

@@ -3,6 +3,9 @@
 //! importance-weight bounds, variation-space transforms and surrogate
 //! monotonicity.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use sram_highsigma::highsigma::{IsAccumulator, Proposal, Spec};
 use sram_highsigma::linalg::{Cholesky, LuDecomposition, Matrix, Vector};

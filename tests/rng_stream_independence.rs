@@ -9,6 +9,9 @@
 //! goodness-of-fit helpers from `gis_stats` and the chi-square survival
 //! function from `gis_core::special`.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use sram_highsigma::highsigma::special::chi_square_survival;
 use sram_highsigma::highsigma::{exec::DEFAULT_CHUNK_SIZE, Executor};

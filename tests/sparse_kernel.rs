@@ -7,6 +7,9 @@
 //! the kernel. These tests pin that contract on the production SRAM
 //! testbench netlists and on randomized circuits/matrices.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use sram_highsigma::circuit::{
     transient_analysis, transient_analysis_dense, Circuit, MosfetParams, SimulationWorkspace,

@@ -1,6 +1,9 @@
 //! End-to-end integration tests of the full stack: variation model → SRAM
 //! testbench / surrogate → failure problem → extraction.
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::{
     default_sram_variation_space, Estimator, FailureProblem, GisConfig, GradientImportanceSampling,
     ImportanceSamplingConfig, MonteCarlo, MonteCarloConfig, MpfpConfig, Spec, SramMetric,

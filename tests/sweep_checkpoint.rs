@@ -3,6 +3,9 @@
 //! checkpoint/resume contract (a killed-and-resumed sweep reproduces the
 //! uninterrupted report exactly).
 
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sram_highsigma::highsigma::sweep::clear_checkpoint;
 use sram_highsigma::highsigma::{
     standard_estimators, ConvergencePolicy, ExecutionConfig, Executor, FailureProblem,
