@@ -70,12 +70,43 @@ pub fn surrogate_write_model() -> SramSurrogateModel {
     SramSurrogateModel::new(SramSurrogate::typical_45nm(), space, SramMetric::WriteDelay)
 }
 
-/// Builds the default transient-simulation-backed model for `metric` (sparse
-/// kernel).
+/// Environment variable that switches [`transient_model`] onto the
+/// calibration-gated fast-math kernel ([`gis_core::TransientKernel::Fast`]).
+/// Any non-empty value other than `0` enables it.
+///
+/// The fast lane is deterministic (bit-identical across runs and thread
+/// counts) but **not** bit-identical to the sparse kernel; it is admissible
+/// for experiments because the CI gate runs the calibration matrix and the
+/// evaluation harness with this variable set and asserts the fast-lane
+/// estimates agree with the exact kernel (see README "Performance &
+/// parallelism" for the tolerance contract).
+pub const FAST_LANE_ENV_VAR: &str = "GIS_FAST_LANE";
+
+/// Reads the `GIS_FAST_LANE` environment variable — `true` when the fast
+/// transcendental lane is requested. Single definition of the contract;
+/// reuse it instead of re-parsing the variable.
+pub fn fast_lane_enabled() -> bool {
+    std::env::var(FAST_LANE_ENV_VAR)
+        .map(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+        .unwrap_or(false)
+}
+
+/// Builds the default transient-simulation-backed model for `metric`: the
+/// sparse kernel, or the fast lane when `GIS_FAST_LANE` is set (see
+/// [`FAST_LANE_ENV_VAR`]). Harness code that *compares* kernels must pin
+/// them explicitly via [`transient_model_with_kernel`] instead.
 pub fn transient_model(metric: SramMetric) -> SramTransientModel {
     let cell = SramCellConfig::typical_45nm();
     let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
-    SramTransientModel::new(SramTestbench::typical_45nm(), space, metric)
+    let model = SramTransientModel::new(SramTestbench::typical_45nm(), space, metric);
+    if fast_lane_enabled() {
+        model.with_kernel(gis_core::TransientKernel::Fast)
+    } else {
+        model
+    }
 }
 
 /// Builds the default transient model on an explicit solver kernel — the

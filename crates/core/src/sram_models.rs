@@ -176,8 +176,11 @@ impl SramTransientModel {
     }
 
     /// Selects the solver kernel (default [`TransientKernel::Sparse`]). The
-    /// dense reference kernel produces bit-identical metrics; the benchmark
-    /// harness uses it to assert end-to-end kernel equivalence.
+    /// dense reference and lockstep kernels produce bit-identical metrics
+    /// (see [`TransientKernel::bit_identical`]); the benchmark harness uses
+    /// them to assert end-to-end kernel equivalence. [`TransientKernel::Fast`]
+    /// trades bit-identity for vectorizable transcendentals and is gated by
+    /// the calibration suite.
     pub fn with_kernel(mut self, kernel: TransientKernel) -> Self {
         self.kernel = kernel;
         self
@@ -244,56 +247,49 @@ impl PerformanceModel for SramTransientModel {
     /// Batched transient evaluation: one [`gis_sram::ReadSession`] /
     /// [`gis_sram::WriteSession`] is built per batch, hoisting the netlist
     /// construction and solver setup out of the per-point loop; each point then
-    /// only injects its six threshold shifts and solves the transient. The
-    /// executor calls this once per work chunk, so batches evaluate
-    /// concurrently on worker threads while each metric stays bit-identical to
-    /// the scalar path.
+    /// only injects its six threshold shifts and solves the transient. On the
+    /// lockstep kernels the session additionally advances up to
+    /// [`gis_sram::LANE_GROUP`] points per solver call through one shared
+    /// elimination program. The executor calls this once per work chunk, so
+    /// batches evaluate concurrently on worker threads while each
+    /// [`TransientKernel::Lockstep`] (and scalar-kernel) metric stays
+    /// bit-identical to the scalar path; failed points — rejected shifts or
+    /// non-converging lanes — evaluate to `f64::INFINITY` individually.
     fn evaluate_batch(&self, points: &[Vector]) -> Vec<f64> {
-        let eval_with = |metric_of: &mut dyn FnMut(&[f64]) -> f64| -> Vec<f64> {
-            points
-                .iter()
-                .map(|z| {
-                    assert_eq!(z.len(), 6, "dimension mismatch");
-                    let deltas = self.space.to_physical(z);
-                    metric_of(deltas.as_slice())
-                })
-                .collect()
-        };
+        let deltas: Vec<Vector> = points
+            .iter()
+            .map(|z| {
+                assert_eq!(z.len(), 6, "dimension mismatch");
+                self.space.to_physical(z)
+            })
+            .collect();
+        let delta_refs: Vec<&[f64]> = deltas.iter().map(Vector::as_slice).collect();
         match self.metric {
-            SramMetric::ReadAccessTime => match self.testbench.read_session() {
-                Ok(session) => {
-                    let mut session = session.with_kernel(self.kernel);
-                    eval_with(&mut |deltas| {
-                        session
-                            .run(deltas)
-                            .map(|r| r.access_time)
-                            .unwrap_or(f64::INFINITY)
-                    })
+            SramMetric::ReadAccessTime | SramMetric::ReadDisturb => {
+                match self.testbench.read_session() {
+                    Ok(session) => session
+                        .with_kernel(self.kernel)
+                        .run_batch(&delta_refs)
+                        .into_iter()
+                        .map(|result| {
+                            result
+                                .map(|r| match self.metric {
+                                    SramMetric::ReadAccessTime => r.access_time,
+                                    _ => r.disturb_peak,
+                                })
+                                .unwrap_or(f64::INFINITY)
+                        })
+                        .collect(),
+                    Err(_) => vec![f64::INFINITY; points.len()],
                 }
-                Err(_) => vec![f64::INFINITY; points.len()],
-            },
-            SramMetric::ReadDisturb => match self.testbench.read_session() {
-                Ok(session) => {
-                    let mut session = session.with_kernel(self.kernel);
-                    eval_with(&mut |deltas| {
-                        session
-                            .run(deltas)
-                            .map(|r| r.disturb_peak)
-                            .unwrap_or(f64::INFINITY)
-                    })
-                }
-                Err(_) => vec![f64::INFINITY; points.len()],
-            },
+            }
             SramMetric::WriteDelay => match self.testbench.write_session() {
-                Ok(session) => {
-                    let mut session = session.with_kernel(self.kernel);
-                    eval_with(&mut |deltas| {
-                        session
-                            .run(deltas)
-                            .map(|w| w.write_delay)
-                            .unwrap_or(f64::INFINITY)
-                    })
-                }
+                Ok(session) => session
+                    .with_kernel(self.kernel)
+                    .run_batch(&delta_refs)
+                    .into_iter()
+                    .map(|result| result.map(|w| w.write_delay).unwrap_or(f64::INFINITY))
+                    .collect(),
                 Err(_) => vec![f64::INFINITY; points.len()],
             },
         }
@@ -434,6 +430,57 @@ mod tests {
             for (a, b) in s.iter().zip(&d) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{metric:?} kernels diverged");
             }
+        }
+    }
+
+    #[test]
+    fn lockstep_kernel_model_is_bit_identical() {
+        let tb = SramTestbench::typical_45nm();
+        for metric in [
+            SramMetric::ReadAccessTime,
+            SramMetric::WriteDelay,
+            SramMetric::ReadDisturb,
+        ] {
+            let sparse = SramTransientModel::new(tb.clone(), space(), metric);
+            let lockstep = SramTransientModel::new(tb.clone(), space(), metric)
+                .with_kernel(TransientKernel::Lockstep);
+            assert!(lockstep.kernel().bit_identical());
+            // Five points: one full lane group of four plus a ragged tail.
+            let points = vec![
+                Vector::zeros(6),
+                Vector::from_slice(&[2.0, -1.0, 0.5, 0.0, 1.5, -0.5]),
+                Vector::from_slice(&[-1.0, 0.5, 1.0, -0.5, 0.0, 2.0]),
+                Vector::from_slice(&[0.5, 0.5, -0.5, 1.0, -1.0, 0.0]),
+                Vector::from_slice(&[3.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            ];
+            let s = sparse.evaluate_batch(&points);
+            let l = lockstep.evaluate_batch(&points);
+            for (z, (a, b)) in points.iter().zip(s.iter().zip(&l)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{metric:?} kernels diverged");
+                // The batched lockstep path also matches its own scalar entry.
+                assert_eq!(b.to_bits(), lockstep.evaluate(z).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_kernel_model_tracks_the_exact_metrics() {
+        let tb = SramTestbench::typical_45nm();
+        let exact = SramTransientModel::new(tb.clone(), space(), SramMetric::ReadAccessTime);
+        let fast = SramTransientModel::new(tb, space(), SramMetric::ReadAccessTime)
+            .with_kernel(TransientKernel::Fast);
+        assert!(!fast.kernel().bit_identical());
+        let points = vec![
+            Vector::zeros(6),
+            Vector::from_slice(&[2.0, -1.0, 0.5, 0.0, 1.5, -0.5]),
+        ];
+        for (a, b) in exact
+            .evaluate_batch(&points)
+            .iter()
+            .zip(fast.evaluate_batch(&points))
+        {
+            let rel = (a - b).abs() / a;
+            assert!(rel < 1e-3, "fast kernel deviates by {rel:e}");
         }
     }
 

@@ -1,0 +1,297 @@
+//! Phase-by-phase timing of the transient kernels on the read testbench.
+//!
+//! Not a benchmark artifact — a diagnostic for kernel work. Run with
+//! `cargo run --release -p gis-sram --example profile_lockstep`.
+
+// A throwaway diagnostic: aborting on a malformed fixture is the right move.
+#![allow(clippy::unwrap_used)]
+
+use std::time::Instant;
+
+use gis_circuit::mna::MAX_NEWTON_ITERATIONS;
+use gis_circuit::{
+    Circuit, LockstepWorkspace, MnaSystem, MosfetParams, SimulationWorkspace, SourceWaveform,
+    TransientKernel,
+};
+use gis_sram::{build_6t_cell, SramCellConfig, SramTestbench};
+
+fn deltas_for(i: usize) -> [f64; 6] {
+    let mut d = [0.0; 6];
+    for (j, v) in d.iter_mut().enumerate() {
+        *v = 0.02 * ((i * 6 + j) as f64 * 0.7).sin();
+    }
+    d
+}
+
+fn main() {
+    let tb = SramTestbench::typical_45nm();
+    let samples: Vec<[f64; 6]> = (0..64).map(deltas_for).collect();
+    let refs: Vec<&[f64]> = samples.iter().map(|d| d.as_slice()).collect();
+
+    // Scalar sparse baseline.
+    let mut session = tb.read_session().unwrap();
+    session.run(&samples[0]).unwrap(); // warm
+    let t0 = Instant::now();
+    for d in &samples {
+        session.run(d).unwrap();
+    }
+    let scalar = t0.elapsed();
+    println!(
+        "scalar sparse : {:>8.2?} total, {:>8.2?}/eval",
+        scalar,
+        scalar / 64
+    );
+
+    for kernel in [TransientKernel::Lockstep, TransientKernel::Fast] {
+        let mut session = tb.read_session().unwrap().with_kernel(kernel);
+        session.run_batch(&refs[..4]); // warm
+        let t0 = Instant::now();
+        let out = session.run_batch(&refs);
+        let dt = t0.elapsed();
+        assert!(out.iter().all(Result::is_ok));
+        println!(
+            "{:<14}: {:>8.2?} total, {:>8.2?}/eval ({:.2}x vs scalar)",
+            kernel.name(),
+            dt,
+            dt / 64,
+            scalar.as_secs_f64() / dt.as_secs_f64()
+        );
+    }
+
+    // Warm Newton microbenchmark: per-iteration kernel cost, scalar vs
+    // four-lane lockstep (warm solves converge in one iteration, so this
+    // times one stamp + factorize + solve + update round).
+    let cfg = SramCellConfig::typical_45nm();
+    let make = |shift: f64| -> Circuit {
+        let mut ckt = Circuit::new();
+        let nodes = build_6t_cell(&mut ckt, &cfg, &[shift; 6]).unwrap();
+        ckt.add_voltage_source(
+            "V_VDD",
+            nodes.vdd,
+            Circuit::ground(),
+            SourceWaveform::dc(cfg.vdd),
+        );
+        ckt.add_voltage_source(
+            "V_WL",
+            nodes.wordline,
+            Circuit::ground(),
+            SourceWaveform::dc(cfg.vdd),
+        );
+        ckt.add_capacitor(
+            "C_BL",
+            nodes.bitline,
+            Circuit::ground(),
+            cfg.bitline_capacitance,
+        )
+        .unwrap();
+        ckt.add_capacitor(
+            "C_BLB",
+            nodes.bitline_bar,
+            Circuit::ground(),
+            cfg.bitline_capacitance,
+        )
+        .unwrap();
+        ckt
+    };
+    let owned: Vec<Circuit> = (0..4).map(|l| make(0.005 * l as f64)).collect();
+    let reps = 100_000u32;
+
+    let system = MnaSystem::new(&owned[0]).unwrap();
+    let mut ws = SimulationWorkspace::new();
+    system
+        .solve_newton_in(&mut ws, 0.0, None, "dc", MAX_NEWTON_ITERATIONS)
+        .unwrap();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        system
+            .solve_newton_in(&mut ws, 0.0, None, "dc", MAX_NEWTON_ITERATIONS)
+            .unwrap();
+    }
+    let scalar_it = t0.elapsed() / reps;
+    println!("warm dc solve : scalar {scalar_it:>8.2?}/solve");
+
+    let circuits: Vec<&Circuit> = owned.iter().collect();
+    let mut lws = LockstepWorkspace::new();
+    let mut errors = vec![None; 4];
+    let mut iters = [0usize; 4];
+    let mut alive = [true; 4];
+    system.solve_newton_lockstep_in(
+        &mut lws,
+        &circuits,
+        0.0,
+        None,
+        "dc",
+        MAX_NEWTON_ITERATIONS,
+        false,
+        &mut alive,
+        &mut errors,
+        &mut iters,
+    );
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut alive = [true; 4];
+        system.solve_newton_lockstep_in(
+            &mut lws,
+            &circuits,
+            0.0,
+            None,
+            "dc",
+            MAX_NEWTON_ITERATIONS,
+            false,
+            &mut alive,
+            &mut errors,
+            &mut iters,
+        );
+    }
+    let lock_it = t0.elapsed() / reps;
+    println!(
+        "warm dc solve : lockstep-4 {lock_it:>8.2?}/solve, {:>8.2?}/lane ({:.2}x vs scalar)",
+        lock_it / 4,
+        scalar_it.as_secs_f64() / (lock_it / 4).as_secs_f64()
+    );
+
+    let mut fws = LockstepWorkspace::new();
+    system.solve_newton_lockstep_in(
+        &mut fws,
+        &circuits,
+        0.0,
+        None,
+        "dc",
+        MAX_NEWTON_ITERATIONS,
+        true,
+        &mut [true; 4],
+        &mut errors,
+        &mut iters,
+    );
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut alive = [true; 4];
+        system.solve_newton_lockstep_in(
+            &mut fws,
+            &circuits,
+            0.0,
+            None,
+            "dc",
+            MAX_NEWTON_ITERATIONS,
+            true,
+            &mut alive,
+            &mut errors,
+            &mut iters,
+        );
+    }
+    let fast_it = t0.elapsed() / reps;
+    println!(
+        "warm dc solve : fast-4     {fast_it:>8.2?}/solve, {:>8.2?}/lane ({:.2}x vs scalar)",
+        fast_it / 4,
+        scalar_it.as_secs_f64() / (fast_it / 4).as_secs_f64()
+    );
+
+    // LU microbenchmark: clear+stamp+factorize+solve on an SRAM-like pattern,
+    // four scalar solves vs one four-lane lockstep call.
+    {
+        use gis_linalg::sparse::{LockstepLu, PatternBuilder, SparseLu, SymbolicLu};
+        let n = 12usize;
+        let mut pb = PatternBuilder::new(n);
+        let mut entries: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            entries.push((i, i));
+        }
+        // MOSFET-style 4-node cliques plus voltage-source borders.
+        for clique in [[0usize, 1, 2, 3], [2, 3, 4, 5], [4, 5, 6, 7], [5, 6, 7, 8]] {
+            for &r in &clique {
+                for &c in &clique {
+                    entries.push((r, c));
+                }
+            }
+        }
+        for (r, c) in [(0, 9), (9, 0), (4, 10), (10, 4), (8, 11), (11, 8)] {
+            entries.push((r, c));
+        }
+        entries.sort_unstable();
+        entries.dedup();
+        for &(r, c) in &entries {
+            pb.insert(r, c);
+        }
+        let symbolic = SymbolicLu::analyze(&pb.build());
+        let values: Vec<[f64; 4]> = entries
+            .iter()
+            .map(|&(r, c)| {
+                let mut v = [0.0; 4];
+                for (lane, out) in v.iter_mut().enumerate() {
+                    *out = if r == c {
+                        10.0 + r as f64 + 0.01 * lane as f64
+                    } else {
+                        ((r * 31 + c * 7 + lane) as f64 * 0.37).sin()
+                    };
+                }
+                v
+            })
+            .collect();
+        let reps = 200_000u32;
+
+        let mut lu = SparseLu::new(symbolic.clone());
+        let mut x = vec![0.0; n];
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for lane in 0..4 {
+                lu.clear();
+                for (&(r, c), v) in entries.iter().zip(&values) {
+                    lu.add_at(r, c, v[lane]);
+                }
+                lu.factorize().unwrap();
+                lu.solve(&b, &mut x).unwrap();
+            }
+        }
+        let scalar_lu = t0.elapsed() / reps;
+        println!("lu 4 solves   : scalar {scalar_lu:>8.2?}");
+
+        let mut llu = LockstepLu::new(symbolic, 4);
+        let mut xl = vec![0.0; n * 4];
+        let bl: Vec<f64> = (0..n * 4).map(|i| 1.0 + (i / 4) as f64).collect();
+        let active = [true; 4];
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            llu.clear();
+            for (&(r, c), v) in entries.iter().zip(&values) {
+                for (lane, &vl) in v.iter().enumerate() {
+                    llu.add_at(r, c, lane, vl);
+                }
+            }
+            llu.factorize(&active);
+            for lane in 0..4 {
+                llu.lane_result(lane).unwrap();
+            }
+            llu.solve(&bl, &mut xl, &active).unwrap();
+        }
+        let lock_lu = t0.elapsed() / reps;
+        println!(
+            "lu 4 solves   : lockstep {lock_lu:>8.2?} ({:.2}x vs scalar)",
+            scalar_lu.as_secs_f64() / lock_lu.as_secs_f64()
+        );
+    }
+
+    // Compact-model microbenchmark: exact vs fast transcendentals.
+    let p = MosfetParams::nmos_45nm();
+    let n = 2_000_000usize;
+    let mut acc = 0.0f64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        let vgs = 0.1 + 0.9 * ((i % 1000) as f64 / 1000.0);
+        acc += p.evaluate_normalized(vgs, 0.5, -0.05).id;
+    }
+    let exact = t0.elapsed();
+    let mut acc2 = 0.0f64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        let vgs = 0.1 + 0.9 * ((i % 1000) as f64 / 1000.0);
+        acc2 += p.evaluate_normalized_fast(vgs, 0.5, -0.05).id;
+    }
+    let fast = t0.elapsed();
+    println!(
+        "model eval    : exact {:>6.2?} fast {:>6.2?} ({:.2}x) [{acc:.3e} {acc2:.3e}]",
+        exact / n as u32,
+        fast / n as u32,
+        exact.as_secs_f64() / fast.as_secs_f64()
+    );
+}

@@ -17,7 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use sram_highsigma::circuit::mna::MAX_NEWTON_ITERATIONS;
-use sram_highsigma::circuit::{Circuit, MnaSystem, SimulationWorkspace, SourceWaveform};
+use sram_highsigma::circuit::{
+    Circuit, CircuitError, LockstepWorkspace, MnaSystem, SimulationWorkspace, SourceWaveform,
+};
 use sram_highsigma::highsigma::IsAccumulator;
 use sram_highsigma::sram::{build_6t_cell, SramCellConfig, SramTestbench};
 
@@ -71,9 +73,9 @@ fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
 /// Builds the read-condition 6T netlist from `SramTestbench::read_session`
 /// (supply + asserted wordline + precharged-bitline capacitors) for driving
 /// the sparse Newton kernel directly.
-fn read_condition_circuit(cfg: &SramCellConfig) -> Circuit {
+fn read_condition_circuit(cfg: &SramCellConfig, vth_deltas: &[f64; 6]) -> Circuit {
     let mut ckt = Circuit::new();
-    let nodes = build_6t_cell(&mut ckt, cfg, &[0.0; 6]).unwrap();
+    let nodes = build_6t_cell(&mut ckt, cfg, vth_deltas).unwrap();
     ckt.add_voltage_source(
         "V_VDD",
         nodes.vdd,
@@ -112,7 +114,7 @@ fn read_condition_circuit(cfg: &SramCellConfig) -> Circuit {
 fn sparse_newton_steady_state_is_allocation_free() {
     let _serial = SERIAL.lock().unwrap();
     let cfg = SramCellConfig::typical_45nm();
-    let ckt = read_condition_circuit(&cfg);
+    let ckt = read_condition_circuit(&cfg, &[0.0; 6]);
     let system = MnaSystem::new(&ckt).unwrap();
     let mut ws = SimulationWorkspace::new();
 
@@ -132,6 +134,69 @@ fn sparse_newton_steady_state_is_allocation_free() {
         assert_eq!(
             allocs, 0,
             "steady-state sparse Newton solve allocated on round {round}"
+        );
+    }
+}
+
+/// The lockstep mirror of the claim above: once a [`LockstepWorkspace`] is
+/// bound and its elimination program is recorded, repeated
+/// `solve_newton_lockstep_in` calls over a full four-lane group perform
+/// **zero** heap allocations — stamping, factorization replay and the
+/// per-lane Newton updates all run inside preallocated lane-major buffers.
+#[test]
+fn lockstep_newton_steady_state_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
+    let cfg = SramCellConfig::typical_45nm();
+    // Four lanes with distinct threshold shifts on one shared topology.
+    let owned: Vec<Circuit> = (0..4)
+        .map(|lane| read_condition_circuit(&cfg, &[0.005 * lane as f64; 6]))
+        .collect();
+    let circuits: Vec<&Circuit> = owned.iter().collect();
+    let system = MnaSystem::new(circuits[0]).unwrap();
+    let mut ws = LockstepWorkspace::new();
+    let mut errors: Vec<Option<CircuitError>> = vec![None; 4];
+    let mut iterations = [0usize; 4];
+
+    // Warm-up: binds the workspace and records the elimination program.
+    let mut alive = [true; 4];
+    system.solve_newton_lockstep_in(
+        &mut ws,
+        &circuits,
+        0.0,
+        None,
+        "dc",
+        MAX_NEWTON_ITERATIONS,
+        false,
+        &mut alive,
+        &mut errors,
+        &mut iterations,
+    );
+    assert!(alive.iter().all(|&a| a), "warm-up lanes must converge");
+
+    for round in 0..5 {
+        let mut alive = [true; 4];
+        let (allocs, ()) = allocations_during(|| {
+            system.solve_newton_lockstep_in(
+                &mut ws,
+                &circuits,
+                0.0,
+                None,
+                "dc",
+                MAX_NEWTON_ITERATIONS,
+                false,
+                &mut alive,
+                &mut errors,
+                &mut iterations,
+            );
+        });
+        assert!(
+            alive.iter().all(|&a| a),
+            "round {round} lanes must converge"
+        );
+        assert!(errors.iter().all(Option::is_none));
+        assert_eq!(
+            allocs, 0,
+            "steady-state lockstep Newton solve allocated on round {round}"
         );
     }
 }
