@@ -81,6 +81,14 @@ impl Default for Config {
                 "crates/core/src/sweep.rs",
                 "crates/core/src/exec.rs",
                 "crates/core/src/analysis.rs",
+                // The daemon path: every panic site in the serving stack
+                // must carry a written justification — a connection thread
+                // that panics on wire data would look like a hung client.
+                "crates/serve/src/protocol.rs",
+                "crates/serve/src/job.rs",
+                "crates/serve/src/cache.rs",
+                "crates/serve/src/server.rs",
+                "crates/serve/src/client.rs",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -19,6 +19,12 @@
 //!   exactly equal. This is the CI gate for the checkpoint/resume contract.
 //! * `--checkpoint PATH` — checkpoint file (default
 //!   `results/sweep_checkpoint.jsonl`).
+//! * `--connect HOST:PORT` — thin-client mode: ship the identical sweep as
+//!   a job to a running `gis-serve` daemon instead of executing locally.
+//!   The streamed rows are bit-identical to the direct path (the daemon
+//!   derives every per-cell seed from the same master seed and policy), so
+//!   the summary and `SWEEP_report.json` artifact are unchanged.
+//!   Incompatible with the checkpoint flags — the daemon owns durability.
 //!
 //! The kill-and-resume smoke in CI is:
 //! `bench_sweep --fast --fresh --max-cells 7` (partial, "killed"), then
@@ -27,12 +33,15 @@
 // Experiment driver: abort-on-error is the right failure mode.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use gis_bench::{results_dir, write_json_artifact, MASTER_SEED};
+use gis_bench::{
+    parse_flag_value, results_dir, submit_served_job, write_json_artifact, MASTER_SEED,
+};
 use gis_core::sweep::clear_checkpoint;
 use gis_core::{
     standard_estimators, AnalysisReport, ConvergencePolicy, ExecutionConfig, SramMetric, SweepPlan,
     SweepRunner, SweepStatus, SweepSummaryRow, YieldAnalysis,
 };
+use gis_serve::{EstimatorSpec, JobSpec, ProblemSpec};
 use gis_variation::GlobalCorner;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -64,21 +73,53 @@ fn plan(fast: bool) -> SweepPlan {
     }
 }
 
+fn policy(fast: bool) -> ConvergencePolicy {
+    ConvergencePolicy::with_budget(if fast { 2_000 } else { 20_000 })
+        .target_relative_error(0.1)
+        .min_failures(20)
+}
+
 fn analysis(plan: &SweepPlan, fast: bool) -> YieldAnalysis {
     plan.analysis()
         .master_seed(MASTER_SEED + 41)
-        .convergence_policy(
-            ConvergencePolicy::with_budget(if fast { 2_000 } else { 20_000 })
-                .target_relative_error(0.1)
-                .min_failures(20),
-        )
+        .convergence_policy(policy(fast))
         .estimators(standard_estimators())
 }
 
-fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Thin-client mode: ship the sweep to a `gis-serve` daemon as a job. The
+/// plan itself travels over the wire (it is fully serializable), the daemon
+/// rebuilds the identical scenario problems, and the returned rows feed the
+/// same summary/artifact path as a local run.
+fn run_served(addr: &str, plan: &SweepPlan, fast: bool, matrix: &ExecutionConfig) {
+    let job = JobSpec {
+        problem: ProblemSpec::Plan { plan: plan.clone() },
+        estimators: EstimatorSpec::standard(),
+        master_seed: MASTER_SEED + 41,
+        policy: Some(policy(fast)),
+    };
+    let receipt = submit_served_job(addr, &job);
+
+    let total = receipt.cells_executed + receipt.cells_cached;
+    let summary = plan.summarize(&receipt.report);
+    print_summary(&summary, &plan.sigma_requirements());
+    let artifact = SweepArtifact {
+        master_seed: MASTER_SEED + 41,
+        fast_mode: fast,
+        matrix_threads: matrix.resolved_threads(),
+        // Served runs have no local checkpoint; cache hits play the role of
+        // restored cells in the artifact's status block.
+        status: SweepStatus {
+            total_cells: total,
+            completed_cells: total,
+            restored_cells: receipt.cells_cached,
+            discarded_records: 0,
+            pending: Vec::new(),
+        },
+        sigma_requirements: plan.sigma_requirements(),
+        summary,
+        report: receipt.report,
+    };
+    write_json_artifact("SWEEP_report", &artifact);
 }
 
 fn print_status(status: &SweepStatus) {
@@ -139,8 +180,24 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| results_dir().join("sweep_checkpoint.jsonl"));
 
+    let connect = parse_flag_value(&args, "--connect");
+
     let plan = plan(fast);
     let matrix = ExecutionConfig::from_env();
+
+    if let Some(addr) = connect {
+        assert!(
+            !fresh && !status_only && !verify_resume && max_cells.is_none(),
+            "--connect is incompatible with the local checkpoint flags"
+        );
+        println!(
+            "bench_sweep: {} scenarios x 5 estimators, served by {addr}",
+            plan.scenarios().len()
+        );
+        run_served(&addr, &plan, fast, &matrix);
+        return;
+    }
+
     println!(
         "bench_sweep: {} scenarios x 5 estimators, matrix threads {}, checkpoint {}",
         plan.scenarios().len(),

@@ -10,19 +10,24 @@
 //! driver, which derives a deterministic seed per method from the master seed.
 //!
 //! Run with `cargo run --release -p gis-bench --bin table1_read_failure`.
+//! With `--connect HOST:PORT` the identical configuration is shipped to a
+//! running `gis-serve` daemon instead (the estimator configs below travel
+//! over the wire in full fidelity), and the returned rows are bit-identical
+//! to the local path — unless the local run opted into `GIS_FAST_LANE`,
+//! which the daemon deliberately does not honor.
 
 // Experiment driver: abort-on-error is the right failure mode.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gis_bench::{
-    print_comparison_table, problem_with_relative_spec, scaled, transient_model,
-    write_json_artifact, MASTER_SEED,
+    connect_addr, print_comparison_table, problem_with_relative_spec, scaled, submit_served_job,
+    transient_model, write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    Estimator, GisConfig, GradientImportanceSampling, ImportanceSamplingConfig, MinimumNormIs,
-    MnisConfig, ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig, SramMetric,
+    GisConfig, ImportanceSamplingConfig, MnisConfig, SphericalSamplingConfig, SramMetric,
     SssConfig, YieldAnalysis,
 };
+use gis_serve::{EstimatorSpec, JobSpec, ProblemSpec};
 
 fn main() {
     let spec_factor = 2.0;
@@ -40,39 +45,63 @@ fn main() {
         target_relative_error: 0.1,
         min_failures: scaled(30, 10),
     };
-    let estimators: Vec<Box<dyn Estimator>> = vec![
-        Box::new(GradientImportanceSampling::new(GisConfig {
-            sampling: sampling.clone(),
-            ..GisConfig::default()
-        })),
-        Box::new(MinimumNormIs::new(MnisConfig {
-            presamples_per_round: scaled(1_500, 300),
-            presample_scales: vec![2.0, 2.5, 3.0],
-            sampling,
-            ..MnisConfig::default()
-        })),
-        Box::new(SphericalSampling::new(SphericalSamplingConfig {
-            directions: scaled(200, 30),
-            max_radius: 8.0,
-            bisection_steps: 12,
-            target_relative_error: 0.1,
-            min_failing_directions: scaled(10, 5),
-        })),
-        Box::new(ScaledSigmaSampling::new(SssConfig {
-            scales: scaled(vec![1.6, 2.0, 2.4, 2.8, 3.2], vec![1.6, 2.4, 3.2]),
-            samples_per_scale: scaled(1_600, 150),
-            min_failures_per_scale: scaled(10, 5),
-        })),
+    // One spec list drives both paths: built locally for a direct run,
+    // shipped verbatim to the daemon in thin-client mode.
+    let estimators = vec![
+        EstimatorSpec::GradientIs {
+            config: GisConfig {
+                sampling: sampling.clone(),
+                ..GisConfig::default()
+            },
+        },
+        EstimatorSpec::MinimumNormIs {
+            config: MnisConfig {
+                presamples_per_round: scaled(1_500, 300),
+                presample_scales: vec![2.0, 2.5, 3.0],
+                sampling,
+                ..MnisConfig::default()
+            },
+        },
+        EstimatorSpec::SphericalSampling {
+            config: SphericalSamplingConfig {
+                directions: scaled(200, 30),
+                max_radius: 8.0,
+                bisection_steps: 12,
+                target_relative_error: 0.1,
+                min_failing_directions: scaled(10, 5),
+            },
+        },
+        EstimatorSpec::ScaledSigmaSampling {
+            config: SssConfig {
+                scales: scaled(vec![1.6, 2.0, 2.4, 2.8, 3.2], vec![1.6, 2.4, 3.2]),
+                samples_per_scale: scaled(1_600, 150),
+                min_failures_per_scale: scaled(10, 5),
+            },
+        },
     ];
 
-    let report = YieldAnalysis::new()
-        .master_seed(MASTER_SEED)
-        .problem(
-            "read-access-time",
-            problem_with_relative_spec(model, nominal, spec_factor),
-        )
-        .estimators(estimators)
-        .run();
+    let report = if let Some(addr) = connect_addr() {
+        let job = JobSpec {
+            problem: ProblemSpec::TransientSram {
+                metric: SramMetric::ReadAccessTime,
+                spec_factor,
+                timing: None,
+            },
+            estimators,
+            master_seed: MASTER_SEED,
+            policy: None,
+        };
+        submit_served_job(&addr, &job).report
+    } else {
+        YieldAnalysis::new()
+            .master_seed(MASTER_SEED)
+            .problem(
+                "read-access-time",
+                problem_with_relative_spec(model, nominal, spec_factor),
+            )
+            .estimators(estimators.iter().map(|spec| spec.build()).collect())
+            .run()
+    };
 
     let problem_report = &report.problems[0];
     if let Some(mpfp) = problem_report

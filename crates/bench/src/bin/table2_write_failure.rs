@@ -10,18 +10,22 @@
 //! driver, which derives a deterministic seed per method from the master seed.
 //!
 //! Run with `cargo run --release -p gis-bench --bin table2_write_failure`.
+//! With `--connect HOST:PORT` the identical configuration — custom testbench
+//! timing included — is shipped to a running `gis-serve` daemon instead, and
+//! the returned rows are bit-identical to the local path.
 
 // Experiment driver: abort-on-error is the right failure mode.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gis_bench::{
-    print_comparison_table, problem_with_relative_spec, scaled, write_json_artifact, MASTER_SEED,
+    connect_addr, print_comparison_table, problem_with_relative_spec, scaled, submit_served_job,
+    write_json_artifact, MASTER_SEED,
 };
 use gis_core::{
-    default_sram_variation_space, Estimator, GisConfig, GradientImportanceSampling,
-    ImportanceSamplingConfig, MinimumNormIs, MnisConfig, ScaledSigmaSampling, SphericalSampling,
+    default_sram_variation_space, GisConfig, ImportanceSamplingConfig, MnisConfig,
     SphericalSamplingConfig, SramMetric, SramTransientModel, SssConfig, YieldAnalysis,
 };
+use gis_serve::{EstimatorSpec, JobSpec, ProblemSpec};
 use gis_sram::{SramCellConfig, SramTestbench, TestbenchTiming};
 use gis_variation::PelgromModel;
 
@@ -36,7 +40,8 @@ fn main() {
         stop_time: 1.5e-9,
         ..TestbenchTiming::default()
     };
-    let testbench = SramTestbench::new(cell.clone(), timing).expect("valid write testbench");
+    let testbench =
+        SramTestbench::new(cell.clone(), timing.clone()).expect("valid write testbench");
     let space = default_sram_variation_space(&cell, &PelgromModel::typical_45nm());
     let model = SramTransientModel::new(testbench, space, SramMetric::WriteDelay);
     let nominal = model.nominal_metric();
@@ -52,39 +57,63 @@ fn main() {
         target_relative_error: 0.1,
         min_failures: scaled(30, 10),
     };
-    let estimators: Vec<Box<dyn Estimator>> = vec![
-        Box::new(GradientImportanceSampling::new(GisConfig {
-            sampling: sampling.clone(),
-            ..GisConfig::default()
-        })),
-        Box::new(MinimumNormIs::new(MnisConfig {
-            presamples_per_round: scaled(1_000, 250),
-            presample_scales: vec![2.0, 2.5, 3.0],
-            sampling,
-            ..MnisConfig::default()
-        })),
-        Box::new(SphericalSampling::new(SphericalSamplingConfig {
-            directions: scaled(150, 25),
-            max_radius: 8.0,
-            bisection_steps: 12,
-            target_relative_error: 0.1,
-            min_failing_directions: scaled(10, 5),
-        })),
-        Box::new(ScaledSigmaSampling::new(SssConfig {
-            scales: scaled(vec![1.6, 2.0, 2.4, 2.8, 3.2], vec![1.6, 2.4, 3.2]),
-            samples_per_scale: scaled(800, 120),
-            min_failures_per_scale: scaled(10, 5),
-        })),
+    // One spec list drives both paths: built locally for a direct run,
+    // shipped verbatim to the daemon in thin-client mode.
+    let estimators = vec![
+        EstimatorSpec::GradientIs {
+            config: GisConfig {
+                sampling: sampling.clone(),
+                ..GisConfig::default()
+            },
+        },
+        EstimatorSpec::MinimumNormIs {
+            config: MnisConfig {
+                presamples_per_round: scaled(1_000, 250),
+                presample_scales: vec![2.0, 2.5, 3.0],
+                sampling,
+                ..MnisConfig::default()
+            },
+        },
+        EstimatorSpec::SphericalSampling {
+            config: SphericalSamplingConfig {
+                directions: scaled(150, 25),
+                max_radius: 8.0,
+                bisection_steps: 12,
+                target_relative_error: 0.1,
+                min_failing_directions: scaled(10, 5),
+            },
+        },
+        EstimatorSpec::ScaledSigmaSampling {
+            config: SssConfig {
+                scales: scaled(vec![1.6, 2.0, 2.4, 2.8, 3.2], vec![1.6, 2.4, 3.2]),
+                samples_per_scale: scaled(800, 120),
+                min_failures_per_scale: scaled(10, 5),
+            },
+        },
     ];
 
-    let report = YieldAnalysis::new()
-        .master_seed(MASTER_SEED + 2)
-        .problem(
-            "write-delay",
-            problem_with_relative_spec(model, nominal, spec_factor),
-        )
-        .estimators(estimators)
-        .run();
+    let report = if let Some(addr) = connect_addr() {
+        let job = JobSpec {
+            problem: ProblemSpec::TransientSram {
+                metric: SramMetric::WriteDelay,
+                spec_factor,
+                timing: Some(timing),
+            },
+            estimators,
+            master_seed: MASTER_SEED + 2,
+            policy: None,
+        };
+        submit_served_job(&addr, &job).report
+    } else {
+        YieldAnalysis::new()
+            .master_seed(MASTER_SEED + 2)
+            .problem(
+                "write-delay",
+                problem_with_relative_spec(model, nominal, spec_factor),
+            )
+            .estimators(estimators.iter().map(|spec| spec.build()).collect())
+            .run()
+    };
 
     let problem_report = &report.problems[0];
     if let Some(mpfp) = problem_report

@@ -52,6 +52,51 @@ pub fn scaled<T>(full: T, fast: T) -> T {
     }
 }
 
+/// Returns the value following `flag` in `args`, if present.
+pub fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Returns the `--connect HOST:PORT` address when the binary was asked to
+/// run as a thin client against a `gis-serve` daemon.
+pub fn connect_addr() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_flag_value(&args, "--connect")
+}
+
+/// Thin-client mode shared by the experiment binaries: submits `job` to the
+/// `gis-serve` daemon at `addr`, streams per-cell progress to stdout and
+/// returns the receipt. The returned report is bit-identical to running the
+/// identical configuration locally (the daemon always integrates on the
+/// default sparse kernel, so a client running under `GIS_FAST_LANE=1`
+/// compares against the default lane, not the fast one).
+///
+/// Panics on connection or job failure — abort-on-error is the right
+/// failure mode for experiment drivers.
+pub fn submit_served_job(addr: &str, job: &gis_serve::JobSpec) -> gis_serve::JobReceipt {
+    let mut client = gis_serve::Client::connect(addr)
+        .unwrap_or_else(|e| panic!("cannot connect to gis-serve at {addr}: {e}"));
+    let receipt = client
+        .submit(job, &mut |cell| {
+            println!(
+                "  [{}/{}] {} / {}{}",
+                cell.completed_cells,
+                cell.total_cells,
+                cell.problem,
+                cell.estimator,
+                if cell.cached { " (cached)" } else { "" }
+            );
+        })
+        .unwrap_or_else(|e| panic!("served job failed: {e}"));
+    println!(
+        "served job {}: {} cells executed, {} from cache",
+        receipt.job_id, receipt.cells_executed, receipt.cells_cached
+    );
+    receipt
+}
+
 /// Builds the default surrogate-backed read-access-time model.
 pub fn surrogate_read_model() -> SramSurrogateModel {
     let cell = SramCellConfig::typical_45nm();

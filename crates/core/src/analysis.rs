@@ -344,6 +344,10 @@ impl YieldAnalysis {
     /// every estimator and validates that the matrix is runnable. Idempotent;
     /// called by every run entry point before any cell executes.
     ///
+    /// External schedulers (e.g. a job server dispatching single cells via
+    /// [`run_cell`](Self::run_cell)) call this once up front through the
+    /// public [`prepare`](Self::prepare) alias.
+    ///
     /// # Panics
     ///
     /// Panics if no problems or no estimators are registered, or if a
@@ -377,6 +381,20 @@ impl YieldAnalysis {
         }
     }
 
+    /// Validates the matrix and applies the registered policy and execution
+    /// configuration to every estimator. Idempotent. Must be called before
+    /// dispatching individual cells via [`run_cell`](Self::run_cell) or
+    /// [`run_named_cell`](Self::run_named_cell); the bulk entry points
+    /// ([`run`](Self::run), [`run_on`](Self::run_on)) call it themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no problems or no estimators are registered, or if a
+    /// configured [`ConvergencePolicy`] is invalid.
+    pub fn prepare(&mut self) {
+        self.apply_configuration();
+    }
+
     /// The configured master seed (see [`master_seed`](Self::master_seed)).
     pub fn master_seed_value(&self) -> u64 {
         self.master_seed
@@ -405,9 +423,14 @@ impl YieldAnalysis {
     /// [`YieldAnalysis::derived_seed`] — so the result depends only on the
     /// cell's inputs, never on which other cells ran before it or
     /// concurrently with it. This is the invariant the matrix scheduler in
-    /// [`crate::sweep`] relies on. Call after
-    /// [`apply_configuration`](Self::apply_configuration).
-    pub(crate) fn run_cell(&self, problem_index: usize, estimator_index: usize) -> MethodReport {
+    /// [`crate::sweep`] — and any external job scheduler, e.g. the `gis-serve`
+    /// daemon filling its content-addressed result cache one keyed cell at a
+    /// time — relies on. Call [`prepare`](Self::prepare) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn run_cell(&self, problem_index: usize, estimator_index: usize) -> MethodReport {
         let (problem_name, problem) = &self.problems[problem_index];
         let estimator = &self.estimators[estimator_index];
         let seed = self.derived_seed(problem_name, estimator.name());
@@ -427,6 +450,16 @@ impl YieldAnalysis {
                 .with_timing(threads, wall_time_seconds),
             outcome,
         }
+    }
+
+    /// Runs a single (problem, estimator) cell addressed by name instead of
+    /// index — the entry point a keyed result cache uses to fill exactly one
+    /// cell. Returns `None` when either name is not registered. Call
+    /// [`prepare`](Self::prepare) first.
+    pub fn run_named_cell(&self, problem: &str, estimator: &str) -> Option<MethodReport> {
+        let pi = self.problems.iter().position(|(n, _)| n == problem)?;
+        let ei = self.estimators.iter().position(|e| e.name() == estimator)?;
+        Some(self.run_cell(pi, ei))
     }
 
     /// Assembles per-cell method reports (indexed `[problem][estimator]` in

@@ -451,6 +451,73 @@ pub struct CapacityMargin {
     pub meets: bool,
 }
 
+/// Version of the checkpoint-log line format ([`SweepLogEntry`]). Bump when
+/// the envelope or the embedded record schema changes incompatibly; replay
+/// discards lines from any other version instead of misreading them.
+pub const SWEEP_LOG_VERSION: u32 = 1;
+
+/// [`SweepLogEntry::kind`] of a completed-cell line.
+pub const SWEEP_LOG_KIND_CELL: &str = "cell";
+/// [`SweepLogEntry::kind`] of a job-submission line (written by job servers
+/// layered on the sweep engine; the batch runner skips them on restore).
+pub const SWEEP_LOG_KIND_JOB: &str = "job";
+
+/// One line of a sweep checkpoint / job-server journal: a protocol-versioned
+/// envelope around either a completed-cell record or a job submission.
+///
+/// The batch [`SweepRunner`] writes `kind = "cell"` lines and, on restore,
+/// accepts both enveloped lines and the pre-envelope bare
+/// [`SweepCellRecord`] format (so existing checkpoints stay replayable).
+/// A job server (the `gis-serve` daemon) additionally writes `kind = "job"`
+/// lines carrying the submitted job spec (opaque to this crate) and tags its
+/// cell lines with the content-addressed cache `key`; the batch runner
+/// ignores both extras, so a daemon journal is replayable as a plain sweep
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepLogEntry {
+    /// Format version ([`SWEEP_LOG_VERSION`]). Mismatched lines are
+    /// discarded on replay.
+    pub v: u32,
+    /// Line kind: [`SWEEP_LOG_KIND_CELL`] or [`SWEEP_LOG_KIND_JOB`].
+    pub kind: String,
+    /// Content-addressed cell-cache key (job-server lines only).
+    pub key: Option<String>,
+    /// Opaque job payload (`kind = "job"` lines only).
+    pub job: Option<serde::Value>,
+    /// The completed cell (`kind = "cell"` lines only).
+    pub record: Option<SweepCellRecord>,
+}
+
+impl SweepLogEntry {
+    /// Wraps a completed-cell record in a current-version envelope.
+    pub fn cell(record: SweepCellRecord) -> Self {
+        SweepLogEntry {
+            v: SWEEP_LOG_VERSION,
+            kind: SWEEP_LOG_KIND_CELL.to_string(),
+            key: None,
+            job: None,
+            record: Some(record),
+        }
+    }
+
+    /// Wraps an opaque job payload in a current-version envelope.
+    pub fn job(job: serde::Value) -> Self {
+        SweepLogEntry {
+            v: SWEEP_LOG_VERSION,
+            kind: SWEEP_LOG_KIND_JOB.to_string(),
+            key: None,
+            job: Some(job),
+            record: None,
+        }
+    }
+
+    /// Attaches a content-addressed cache key (job-server cell lines).
+    pub fn with_key(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+}
+
 /// One durably-persisted cell of a sweep: the checkpoint file holds one of
 /// these per line (JSON lines).
 ///
@@ -504,6 +571,28 @@ impl SweepStatus {
             self.completed_cells as f64 / self.total_cells as f64
         }
     }
+}
+
+/// One incremental cell-completion event of [`SweepRunner::run_observed`]:
+/// emitted for every restored cell (in registration order, before any fresh
+/// execution) and for every freshly executed cell the moment it completes
+/// (from the worker thread that ran it, hence the `Sync` bound on
+/// observers). `completed_cells` counts restored + fresh cells reported so
+/// far, including this one — a progress bar needs nothing else.
+#[derive(Debug)]
+pub struct SweepCellUpdate<'a> {
+    /// Problem (scenario) name of the completed cell.
+    pub problem: &'a str,
+    /// Estimator name of the completed cell.
+    pub estimator: &'a str,
+    /// Cells reported so far, this one included.
+    pub completed_cells: usize,
+    /// Total cells in the matrix.
+    pub total_cells: usize,
+    /// `true` when the cell came back from the checkpoint instead of running.
+    pub restored: bool,
+    /// The cell's full method report.
+    pub report: &'a MethodReport,
 }
 
 /// Outcome of one [`SweepRunner::run`] invocation.
@@ -580,6 +669,8 @@ impl SweepRunner {
 
     /// Runs every pending cell (up to the cell budget), checkpointing each as
     /// it completes, and assembles the full report once nothing is pending.
+    /// Equivalent to [`run_observed`](Self::run_observed) with a no-op
+    /// observer.
     ///
     /// # Panics
     ///
@@ -587,8 +678,27 @@ impl SweepRunner {
     /// [`YieldAnalysis::run`]), on duplicate problem or estimator names (the
     /// scheduler keys cells by name), or when the checkpoint file cannot be
     /// opened or appended to — durability failures must not be silent.
-    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn run(&self, analysis: &mut YieldAnalysis) -> SweepOutcome {
+        self.run_observed(analysis, &|_| {})
+    }
+
+    /// [`run`](Self::run) with an incremental cell-completion observer: the
+    /// streaming entry point behind progress displays and result servers.
+    /// The observer receives one [`SweepCellUpdate`] per restored cell (in
+    /// registration order, before anything executes) and one per fresh cell
+    /// as it completes; fresh events fire on worker threads, so the observer
+    /// must be `Sync` and is responsible for its own ordering if it needs
+    /// any beyond the per-event `completed_cells` counter.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run`](Self::run).
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
+    pub fn run_observed(
+        &self,
+        analysis: &mut YieldAnalysis,
+        observer: &(dyn Fn(SweepCellUpdate<'_>) + Sync),
+    ) -> SweepOutcome {
         analysis.apply_configuration();
         let estimator_names: Vec<String> = analysis
             .estimator_names()
@@ -607,14 +717,27 @@ impl SweepRunner {
         assert_unique("estimator", &estimator_names);
         let (mut completed, discarded) = self.restore(analysis);
         let restored = completed.len();
+        let total_cells = problem_names.len() * estimator_names.len();
         let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut reported = 0usize;
         for (pi, problem) in problem_names.iter().enumerate() {
             for (ei, estimator) in estimator_names.iter().enumerate() {
-                if !completed.contains_key(&(problem.clone(), estimator.clone())) {
+                if let Some(report) = completed.get(&(problem.clone(), estimator.clone())) {
+                    reported += 1;
+                    observer(SweepCellUpdate {
+                        problem,
+                        estimator,
+                        completed_cells: reported,
+                        total_cells,
+                        restored: true,
+                        report,
+                    });
+                } else {
                     pending.push((pi, ei));
                 }
             }
         }
+        let progress = std::sync::atomic::AtomicUsize::new(reported);
         let to_run: Vec<(usize, usize)> = match self.cell_budget {
             Some(budget) => pending.iter().take(budget).copied().collect(),
             None => pending.clone(),
@@ -649,12 +772,20 @@ impl SweepRunner {
                         problem: problem_names[pi].clone(),
                         report: report.clone(),
                     };
-                    let line =
-                        serde_json::to_string(&record).expect("sweep cell record serializes"); // gis-analyze: allow(panic-site, serializing an in-memory record to a string cannot fail)
+                    let line = serde_json::to_string(&SweepLogEntry::cell(record))
+                        .expect("sweep cell record serializes"); // gis-analyze: allow(panic-site, serializing an in-memory record to a string cannot fail)
                     let mut file = appender.lock().expect("checkpoint appender not poisoned"); // gis-analyze: allow(panic-site, a poisoned appender only follows a worker panic that already aborted the sweep)
                     writeln!(file, "{line}").expect("checkpoint line is appendable"); // gis-analyze: allow(panic-site, a lost checkpoint line would silently fake resume safety; abort instead)
                     file.flush().expect("checkpoint flushes"); // gis-analyze: allow(panic-site, an unflushed checkpoint would silently fake resume safety; abort instead)
                 }
+                observer(SweepCellUpdate {
+                    problem: &problem_names[pi],
+                    estimator: &estimator_names[ei],
+                    completed_cells: progress.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1,
+                    total_cells,
+                    restored: false,
+                    report: &report,
+                });
                 ((pi, ei), report)
             });
         let executed = fresh.len();
@@ -718,11 +849,34 @@ impl SweepRunner {
             if line.trim().is_empty() {
                 continue;
             }
-            let Ok(record) = serde_json::from_str::<SweepCellRecord>(line) else {
-                // Corrupt line — most commonly the truncated tail of a killed
-                // append. The cell simply re-runs.
-                discarded += 1;
-                continue;
+            // Current format: a versioned envelope line. A job-submission
+            // line (written by a daemon journaling into the same log) is
+            // valid but carries no cell, so it is skipped without counting
+            // as discarded; a wrong-version envelope is discarded.
+            let record = match serde_json::from_str::<SweepLogEntry>(line) {
+                Ok(entry) if entry.v == SWEEP_LOG_VERSION && entry.kind == SWEEP_LOG_KIND_JOB => {
+                    continue;
+                }
+                Ok(entry) if entry.v == SWEEP_LOG_VERSION && entry.kind == SWEEP_LOG_KIND_CELL => {
+                    match entry.record {
+                        Some(record) => record,
+                        None => {
+                            discarded += 1;
+                            continue;
+                        }
+                    }
+                }
+                // Legacy format: a bare record line (pre-envelope
+                // checkpoints stay replayable). Anything else is corrupt —
+                // most commonly the truncated tail of a killed append — and
+                // the cell simply re-runs.
+                _ => match serde_json::from_str::<SweepCellRecord>(line) {
+                    Ok(record) => record,
+                    Err(_) => {
+                        discarded += 1;
+                        continue;
+                    }
+                },
             };
             let known_cell = problem_names.contains(&record.problem)
                 && estimator_names.contains(&record.report.estimator);
@@ -1009,6 +1163,80 @@ mod tests {
         assert_eq!(status.restored_cells, 2);
         assert_eq!(status.discarded_records, 1);
         assert!(status.is_complete());
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn run_observed_reports_every_cell_exactly_once() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("observed.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        // Fresh run: one event per cell, monotone progress up to the total,
+        // no cell reported twice.
+        let events = std::sync::Mutex::new(Vec::new());
+        let outcome = SweepRunner::new().checkpoint(&path).run_observed(
+            &mut tiny_analysis(),
+            &|update: SweepCellUpdate<'_>| {
+                events.lock().unwrap().push((
+                    update.problem.to_string(),
+                    update.estimator.to_string(),
+                    update.completed_cells,
+                    update.total_cells,
+                    update.restored,
+                ));
+            },
+        );
+        assert!(outcome.status.is_complete());
+        let mut seen = events.into_inner().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.iter().all(|e| e.3 == 2 && !e.4));
+        seen.sort_by_key(|e| e.2);
+        assert_eq!(seen[0].2, 1);
+        assert_eq!(seen[1].2, 2);
+        let cells: std::collections::HashSet<_> =
+            seen.iter().map(|e| (e.0.clone(), e.1.clone())).collect();
+        assert_eq!(cells.len(), 2, "each cell reported exactly once");
+
+        // Every checkpoint line written by the run is a versioned envelope.
+        let text = std::fs::read_to_string(&path).unwrap();
+        for line in text.lines() {
+            let entry: SweepLogEntry = serde_json::from_str(line).unwrap();
+            assert_eq!(entry.v, SWEEP_LOG_VERSION);
+            assert_eq!(entry.kind, SWEEP_LOG_KIND_CELL);
+            assert!(entry.record.is_some());
+        }
+
+        // A job envelope interleaved into the log is tolerated: it is
+        // neither restored nor counted as discarded.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            let job = SweepLogEntry::job(serde_json::to_value(&"fast-suite".to_string()).unwrap())
+                .with_key("job-demo");
+            writeln!(f, "{}", serde_json::to_string(&job).unwrap()).unwrap();
+        }
+
+        // Resume replays the completed cells as restored events, in order,
+        // before any fresh work would run.
+        let replayed = std::sync::Mutex::new(Vec::new());
+        let resumed = SweepRunner::new().checkpoint(&path).run_observed(
+            &mut tiny_analysis(),
+            &|update: SweepCellUpdate<'_>| {
+                replayed
+                    .lock()
+                    .unwrap()
+                    .push((update.completed_cells, update.restored));
+            },
+        );
+        assert!(resumed.status.is_complete());
+        assert_eq!(resumed.status.restored_cells, 2);
+        assert_eq!(resumed.status.discarded_records, 0);
+        assert_eq!(replayed.into_inner().unwrap(), vec![(1, true), (2, true)]);
         clear_checkpoint(&path).unwrap();
     }
 }

@@ -1,0 +1,165 @@
+//! Content-addressed result cache: one completed [`MethodReport`] per
+//! canonical cell key, with single-flight execution.
+//!
+//! The cache is the dedup point of the daemon: when two clients submit
+//! jobs sharing a cell (same problem identity, estimator spec, master
+//! seed, policy and derived seed — see `job::cell_key`), the first claim
+//! wins the right to execute and every other claimant blocks on the
+//! condvar until the result lands. The evaluation counter is therefore
+//! charged exactly once per distinct cell, which the cache tests assert.
+
+use gis_core::MethodReport;
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// What a [`ResultCache::claim`] call resolved to.
+pub enum Claim {
+    /// The caller owns the cell: it must execute and then either
+    /// [`ResultCache::fulfill`] or [`ResultCache::abandon`] the key —
+    /// otherwise every other claimant of the key blocks forever.
+    Compute,
+    /// The cell is already done (fresh or replayed); here is the result.
+    Ready(Box<MethodReport>),
+}
+
+// `Done` dwarfs `InFlight`, but each map slot is overwritten in place and
+// short-lived relative to the cell it caches — boxing would only add a hop.
+#[allow(clippy::large_enum_variant)]
+enum CellState {
+    /// A claimant is computing the cell right now.
+    InFlight,
+    /// The cell is done.
+    Done(MethodReport),
+}
+
+struct Inner {
+    cells: BTreeMap<String, CellState>,
+    /// Cells computed through the cache since boot (cache misses).
+    executed: u64,
+    /// Claims served from a `Done` entry since boot.
+    hits: u64,
+}
+
+/// Lifetime counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cells computed (cache misses that ran to completion).
+    pub executed: u64,
+    /// Claims served from the cache.
+    pub hits: u64,
+    /// Completed cells currently held (replayed entries included).
+    pub entries: usize,
+}
+
+/// Thread-safe single-flight result cache keyed by canonical cell JSON.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                cells: BTreeMap::new(),
+                executed: 0,
+                hits: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A poisoned cache lock only follows a panic inside another
+        // claimant's critical section (plain map bookkeeping); recover the
+        // guard rather than cascade the poison into every connection.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Claims `key`: returns [`Claim::Ready`] when the cell is done,
+    /// [`Claim::Compute`] when the caller must execute it, and blocks
+    /// while another claimant is executing the same key.
+    pub fn claim(&self, key: &str) -> Claim {
+        let mut inner = self.lock();
+        loop {
+            match inner.cells.get(key) {
+                None => {
+                    inner.cells.insert(key.to_string(), CellState::InFlight);
+                    return Claim::Compute;
+                }
+                Some(CellState::Done(report)) => {
+                    let report = report.clone();
+                    inner.hits += 1;
+                    return Claim::Ready(Box::new(report));
+                }
+                Some(CellState::InFlight) => {
+                    inner = match self.ready.wait(inner) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Completes a claimed cell: stores the result, charges the execution
+    /// counter, and wakes every blocked claimant of the key.
+    pub fn fulfill(&self, key: &str, report: MethodReport) {
+        let mut inner = self.lock();
+        inner.executed += 1;
+        inner.cells.insert(key.to_string(), CellState::Done(report));
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Releases a claimed cell without a result (the computation failed or
+    /// panicked): the key becomes claimable again and every blocked
+    /// claimant is woken to re-race for it.
+    pub fn abandon(&self, key: &str) {
+        let mut inner = self.lock();
+        if matches!(inner.cells.get(key), Some(CellState::InFlight)) {
+            inner.cells.remove(key);
+        }
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Inserts a replayed result (journal boot replay): counts as neither
+    /// an execution nor a hit, and never downgrades a `Done` entry.
+    pub fn seed(&self, key: &str, report: MethodReport) {
+        let mut inner = self.lock();
+        match inner.cells.get(key) {
+            Some(CellState::Done(_)) => {}
+            _ => {
+                inner.cells.insert(key.to_string(), CellState::Done(report));
+            }
+        }
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        let entries = inner
+            .cells
+            .values()
+            .filter(|state| matches!(state, CellState::Done(_)))
+            .count();
+        CacheStats {
+            executed: inner.executed,
+            hits: inner.hits,
+            entries,
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Client side of the daemon protocol: connect, submit, stream, collect.
+//!
+//! This is the library the thin CLI clients (`bench_sweep --connect`, the
+//! table drivers) and the tests are built on. All wire failures map to a
+//! typed [`ClientError`]; nothing here panics on network data.
+
+use crate::job::JobSpec;
+use crate::protocol::{
+    parse_reply, read_frame, write_request, ProtocolError, Reply, Request, ServerStatus,
+    DEFAULT_MAX_REPLY_BYTES, PROTOCOL_VERSION,
+};
+use gis_core::{AnalysisReport, MethodReport};
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// Typed client-side failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The transport failed (connect, read, write, or mid-stream EOF —
+    /// the signature of a server killed while streaming).
+    Io {
+        /// IO detail.
+        detail: String,
+    },
+    /// The server spoke something this client cannot parse, or replied
+    /// out of protocol (e.g. a `Cell` before an `Accepted`).
+    Protocol {
+        /// Detail.
+        detail: String,
+    },
+    /// The server rejected the request with a typed error reply.
+    Server {
+        /// Stable machine-readable code.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io { detail } => write!(f, "transport error: {detail}"),
+            ClientError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io { detail } => ClientError::Io { detail },
+            other => ClientError::Protocol {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> ClientError {
+    ClientError::Io {
+        detail: e.to_string(),
+    }
+}
+
+/// One streamed cell of a running job, handed to the progress callback of
+/// [`Client::submit`].
+#[derive(Debug)]
+pub struct CellProgress<'a> {
+    /// Problem (scenario) name.
+    pub problem: &'a str,
+    /// Estimator name.
+    pub estimator: &'a str,
+    /// Cells completed so far, this one included.
+    pub completed_cells: usize,
+    /// Total cells of the job.
+    pub total_cells: usize,
+    /// `true` when the cell came from the server's cache.
+    pub cached: bool,
+    /// The cell's full method report.
+    pub report: &'a MethodReport,
+}
+
+/// Everything a finished job returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReceipt {
+    /// Content-addressed job id.
+    pub job_id: String,
+    /// Cells the server executed for this job.
+    pub cells_executed: usize,
+    /// Cells the server served from its cache.
+    pub cells_cached: usize,
+    /// The assembled report, bit-identical to the batch path.
+    pub report: AnalysisReport,
+}
+
+/// A connected daemon client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    max_reply_bytes: usize,
+}
+
+impl Client {
+    /// Connects and validates the server's hello (name and protocol
+    /// version).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        let writer = stream.try_clone().map_err(io_err)?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            max_reply_bytes: DEFAULT_MAX_REPLY_BYTES,
+        };
+        match client.read_reply()? {
+            Reply::Hello { protocol, .. } if protocol == PROTOCOL_VERSION => Ok(client),
+            Reply::Hello { protocol, .. } => Err(ClientError::Protocol {
+                detail: format!(
+                    "server speaks protocol {protocol}, this client speaks {PROTOCOL_VERSION}"
+                ),
+            }),
+            other => Err(ClientError::Protocol {
+                detail: format!("expected a hello, got {other:?}"),
+            }),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        let line = read_frame(&mut self.reader, self.max_reply_bytes)?;
+        let Some(line) = line else {
+            return Err(ClientError::Io {
+                detail: "connection closed by server".to_string(),
+            });
+        };
+        Ok(parse_reply(&line)?)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_request(&mut self.writer, request).map_err(io_err)
+    }
+
+    /// Submits a job and streams it to completion. `on_cell` fires once
+    /// per cell, in registration order; the receipt carries the assembled
+    /// report. A server kill mid-stream surfaces as [`ClientError::Io`].
+    pub fn submit(
+        &mut self,
+        job: &JobSpec,
+        on_cell: &mut dyn FnMut(&CellProgress<'_>),
+    ) -> Result<JobReceipt, ClientError> {
+        self.send(&Request::Submit { job: job.clone() })?;
+        let job_id = match self.read_reply()? {
+            Reply::Accepted { job_id, .. } => job_id,
+            Reply::Error { code, message } => return Err(ClientError::Server { code, message }),
+            other => {
+                return Err(ClientError::Protocol {
+                    detail: format!("expected accepted/error, got {other:?}"),
+                })
+            }
+        };
+        loop {
+            match self.read_reply()? {
+                Reply::Cell {
+                    problem,
+                    estimator,
+                    completed_cells,
+                    total_cells,
+                    cached,
+                    report,
+                    ..
+                } => {
+                    on_cell(&CellProgress {
+                        problem: &problem,
+                        estimator: &estimator,
+                        completed_cells,
+                        total_cells,
+                        cached,
+                        report: &report,
+                    });
+                }
+                Reply::Done {
+                    job_id: done_id,
+                    cells_executed,
+                    cells_cached,
+                    report,
+                } => {
+                    if done_id != job_id {
+                        return Err(ClientError::Protocol {
+                            detail: format!("done for job {done_id}, expected {job_id}"),
+                        });
+                    }
+                    return Ok(JobReceipt {
+                        job_id: done_id,
+                        cells_executed,
+                        cells_cached,
+                        report,
+                    });
+                }
+                Reply::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => {
+                    return Err(ClientError::Protocol {
+                        detail: format!("unexpected reply mid-job: {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Fetches the server's lifetime counters.
+    pub fn status(&mut self) -> Result<ServerStatus, ClientError> {
+        self.send(&Request::Status)?;
+        match self.read_reply()? {
+            Reply::Status { status } => Ok(status),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol {
+                detail: format!("expected status, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.read_reply()? {
+            Reply::ShuttingDown => Ok(()),
+            Reply::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol {
+                detail: format!("expected shutdown ack, got {other:?}"),
+            }),
+        }
+    }
+}

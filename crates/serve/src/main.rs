@@ -1,0 +1,54 @@
+//! The `gis-serve` daemon binary.
+//!
+//! ```text
+//! gis-serve [--addr HOST:PORT] [--journal PATH] [--port-file PATH]
+//! ```
+//!
+//! * `--addr` — bind address (default `127.0.0.1:0`, an ephemeral port).
+//! * `--journal PATH` — durable JSON-lines journal; replayed on boot so a
+//!   restarted daemon serves already-completed cells from cache.
+//! * `--port-file PATH` — write the bound address (one line) once
+//!   listening; scripts launching the daemon with an ephemeral port poll
+//!   this file to discover where to connect.
+//!
+//! The process exits cleanly when a client sends a `Shutdown` request.
+
+// Daemon entry point: abort-on-error is the right failure mode for
+// startup (bind/journal failures must be loud), and the library layers
+// behind it never panic on wire data.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![forbid(unsafe_code)]
+
+use gis_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+
+fn parse_flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: gis-serve [--addr HOST:PORT] [--journal PATH] [--port-file PATH]");
+        return;
+    }
+    let mut config = ServerConfig::default();
+    if let Some(addr) = parse_flag_value(&args, "--addr") {
+        config.bind_addr = addr;
+    }
+    if let Some(journal) = parse_flag_value(&args, "--journal") {
+        config.journal = Some(PathBuf::from(journal));
+    }
+    let port_file = parse_flag_value(&args, "--port-file").map(PathBuf::from);
+
+    let server = Server::bind(config).expect("gis-serve: bind failed");
+    let addr = server.local_addr().expect("gis-serve: no local address");
+    println!("gis-serve listening on {addr}");
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{addr}\n")).expect("gis-serve: port file is writable");
+    }
+    server.run();
+    println!("gis-serve: shut down");
+}

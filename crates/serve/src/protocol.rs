@@ -1,0 +1,347 @@
+//! Wire protocol of the yield-analysis daemon: JSON-lines frames over TCP.
+//!
+//! Every message — request or reply — is one line of JSON terminated by
+//! `\n`, wrapped in a protocol-versioned frame (`{"v": 1, ...}`). The
+//! framing layer is deliberately paranoid: reads are bounded
+//! ([`read_frame`] never buffers more than the configured limit plus one
+//! byte), a line missing its terminator is a [`ProtocolError::TornFrame`]
+//! (the signature of a peer killed mid-write), and every malformed input
+//! maps to a typed [`ProtocolError`] — never a panic, never an unbounded
+//! read. This mirrors the torn/stale-line hardening of the sweep
+//! checkpoint loader in `gis_core::sweep`.
+
+use crate::job::JobSpec;
+use gis_core::{AnalysisReport, MethodReport};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Read, Write};
+
+/// Version of the wire protocol. A frame carrying any other version is
+/// rejected with [`ProtocolError::UnsupportedVersion`] instead of being
+/// misread under the current schema.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on the size of one request line, in bytes. Replies (which
+/// carry whole analysis reports) use [`DEFAULT_MAX_REPLY_BYTES`] instead.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Default cap on the size of one reply line, in bytes — sized for a full
+/// [`AnalysisReport`] of a large sweep while still bounding a client's
+/// memory against a misbehaving server.
+pub const DEFAULT_MAX_REPLY_BYTES: usize = 256 << 20;
+
+/// One client request, inside a [`RequestFrame`].
+// Wire enums mirror the JSON grammar one-to-one; boxing the big variants
+// would complicate every construction site to save bytes on values that
+// live only for the duration of one frame.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a job: the server streams one [`Reply::Cell`] per completed
+    /// cell and terminates the stream with [`Reply::Done`].
+    Submit {
+        /// The job to run.
+        job: JobSpec,
+    },
+    /// Ask for the server's lifetime counters ([`Reply::Status`]).
+    Status,
+    /// Ask the server to stop accepting connections and exit its accept
+    /// loop ([`Reply::ShuttingDown`] is sent before the socket closes).
+    Shutdown,
+}
+
+/// The versioned envelope around a [`Request`] line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// The request itself.
+    pub request: Request,
+}
+
+impl RequestFrame {
+    /// Wraps a request in a current-version frame.
+    pub fn new(request: Request) -> Self {
+        RequestFrame {
+            v: PROTOCOL_VERSION,
+            request,
+        }
+    }
+}
+
+/// Lifetime counters of a running server, as returned by [`Reply::Status`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatus {
+    /// Jobs accepted since boot.
+    pub jobs_submitted: u64,
+    /// Cells actually executed (cache misses) since boot.
+    pub cells_executed: u64,
+    /// Cells served from the content-addressed cache since boot.
+    pub cache_hits: u64,
+    /// Completed cells currently held in the cache (journal replays
+    /// included).
+    pub cache_entries: usize,
+}
+
+/// One server reply, inside a [`ReplyFrame`].
+// Same rationale as [`Request`]: frame-lifetime values, grammar-shaped.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// First line on every accepted connection: server identity and
+    /// protocol version, so clients can fail fast on a mismatch.
+    Hello {
+        /// Server software name (`"gis-serve"`).
+        server: String,
+        /// The server's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// A submitted job passed validation and is about to run.
+    Accepted {
+        /// Content-addressed job id (identical specs get identical ids).
+        job_id: String,
+        /// Total (problem, estimator) cells the job will stream.
+        total_cells: usize,
+    },
+    /// One completed cell of a running job, streamed the moment it is
+    /// durable in the journal.
+    Cell {
+        /// Job this cell belongs to.
+        job_id: String,
+        /// Problem (scenario) name.
+        problem: String,
+        /// Estimator name.
+        estimator: String,
+        /// Cells of this job completed so far, this one included.
+        completed_cells: usize,
+        /// Total cells of this job.
+        total_cells: usize,
+        /// `true` when the cell came from the content-addressed cache
+        /// instead of executing.
+        cached: bool,
+        /// The cell's full method report (row, seed, diagnostics).
+        report: MethodReport,
+    },
+    /// A job finished: every cell streamed, full report assembled.
+    Done {
+        /// Job id.
+        job_id: String,
+        /// Cells this job actually executed.
+        cells_executed: usize,
+        /// Cells this job took from the cache.
+        cells_cached: usize,
+        /// The assembled report — bit-identical to the same plan run
+        /// through the batch `SweepRunner`.
+        report: AnalysisReport,
+    },
+    /// Server counters, in response to [`Request::Status`].
+    Status {
+        /// The counters.
+        status: ServerStatus,
+    },
+    /// A request failed; the connection stays usable unless the error was
+    /// a framing error (torn/oversized), after which the server closes it.
+    Error {
+        /// Stable machine-readable error code (see [`ProtocolError::code`]
+        /// and the job-level codes in `server.rs`).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the server exits its accept
+    /// loop right after this line is flushed.
+    ShuttingDown,
+}
+
+/// The versioned envelope around a [`Reply`] line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplyFrame {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// The reply itself.
+    pub reply: Reply,
+}
+
+impl ReplyFrame {
+    /// Wraps a reply in a current-version frame.
+    pub fn new(reply: Reply) -> Self {
+        ReplyFrame {
+            v: PROTOCOL_VERSION,
+            reply,
+        }
+    }
+}
+
+/// Typed failure of the framing/parsing layer. Every malformed or hostile
+/// input maps here; the protocol code never panics on wire data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The line was not valid UTF-8 JSON of the expected shape.
+    MalformedJson {
+        /// Parser detail.
+        detail: String,
+    },
+    /// The frame's `v` field does not match [`PROTOCOL_VERSION`].
+    UnsupportedVersion {
+        /// The version the peer sent.
+        got: u32,
+    },
+    /// The stream ended before the line's `\n` terminator — the peer died
+    /// mid-write.
+    TornFrame,
+    /// The line exceeded the configured size limit.
+    Oversized {
+        /// The limit that was exceeded, in bytes.
+        limit: usize,
+    },
+    /// The underlying transport failed (including read timeouts, which
+    /// keep a silent peer from hanging the connection forever).
+    Io {
+        /// IO detail.
+        detail: String,
+    },
+}
+
+impl ProtocolError {
+    /// Stable machine-readable code, used in [`Reply::Error`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::MalformedJson { .. } => "malformed-json",
+            ProtocolError::UnsupportedVersion { .. } => "unsupported-version",
+            ProtocolError::TornFrame => "torn-frame",
+            ProtocolError::Oversized { .. } => "oversized-request",
+            ProtocolError::Io { .. } => "io",
+        }
+    }
+
+    /// Whether the connection is still usable after this error. Framing
+    /// errors (torn line, oversized line, transport failure) leave the
+    /// stream position undefined, so the connection must close; content
+    /// errors (bad JSON, wrong version) are line-delimited and recoverable.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::TornFrame | ProtocolError::Oversized { .. } | ProtocolError::Io { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::MalformedJson { detail } => write!(f, "malformed JSON frame: {detail}"),
+            ProtocolError::UnsupportedVersion { got } => write!(
+                f,
+                "unsupported protocol version {got} (this side speaks {PROTOCOL_VERSION})"
+            ),
+            ProtocolError::TornFrame => write!(f, "torn frame: stream ended mid-line"),
+            ProtocolError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            ProtocolError::Io { detail } => write!(f, "transport error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Reads one `\n`-terminated line, buffering at most `max_bytes + 1` bytes.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames), [`ProtocolError::TornFrame`] when the stream ends mid-line,
+/// [`ProtocolError::Oversized`] when the line exceeds `max_bytes`, and
+/// [`ProtocolError::Io`] on transport failures (read timeouts included).
+/// The trailing terminator is stripped from the returned line.
+pub fn read_frame<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+) -> Result<Option<String>, ProtocolError> {
+    let mut buf = Vec::new();
+    let mut bounded = reader.take(max_bytes as u64 + 1);
+    match bounded.read_until(b'\n', &mut buf) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => {
+            return Err(ProtocolError::Io {
+                detail: e.to_string(),
+            })
+        }
+    }
+    if buf.len() > max_bytes {
+        return Err(ProtocolError::Oversized { limit: max_bytes });
+    }
+    match buf.pop() {
+        Some(b'\n') => {}
+        // read_until returned without a terminator: end-of-stream mid-line.
+        _ => return Err(ProtocolError::TornFrame),
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| ProtocolError::MalformedJson {
+            detail: "frame is not valid UTF-8".to_string(),
+        })
+}
+
+/// Parses one request line into a [`Request`], enforcing the protocol
+/// version.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let frame: RequestFrame =
+        serde_json::from_str(line).map_err(|e| ProtocolError::MalformedJson {
+            detail: e.to_string(),
+        })?;
+    if frame.v != PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion { got: frame.v });
+    }
+    Ok(frame.request)
+}
+
+/// Parses one reply line into a [`Reply`], enforcing the protocol version.
+pub fn parse_reply(line: &str) -> Result<Reply, ProtocolError> {
+    let frame: ReplyFrame =
+        serde_json::from_str(line).map_err(|e| ProtocolError::MalformedJson {
+            detail: e.to_string(),
+        })?;
+    if frame.v != PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion { got: frame.v });
+    }
+    Ok(frame.reply)
+}
+
+/// Serializes `request` as one frame line (terminator included).
+pub fn encode_request(request: &Request) -> String {
+    // Serializing an in-memory frame to a string cannot fail.
+    let mut line = serde_json::to_string(&RequestFrame::new(request.clone()))
+        .unwrap_or_else(|e| unreachable_serialize(&e));
+    line.push('\n');
+    line
+}
+
+/// Serializes `reply` as one frame line (terminator included).
+pub fn encode_reply(reply: &Reply) -> String {
+    // Serializing an in-memory frame to a string cannot fail.
+    let mut line = serde_json::to_string(&ReplyFrame::new(reply.clone()))
+        .unwrap_or_else(|e| unreachable_serialize(&e));
+    line.push('\n');
+    line
+}
+
+/// Single audited abort for the cannot-happen serialization failure of an
+/// in-memory frame.
+fn unreachable_serialize(error: &dyn std::fmt::Display) -> ! {
+    panic!("in-memory frame failed to serialize: {error}") // gis-analyze: allow(panic-site, serializing an in-memory frame to a string cannot fail)
+}
+
+/// Writes and flushes one reply frame. Errors mean the peer is gone; the
+/// caller drops the connection.
+pub fn write_reply<W: Write>(writer: &mut W, reply: &Reply) -> std::io::Result<()> {
+    writer.write_all(encode_reply(reply).as_bytes())?;
+    writer.flush()
+}
+
+/// Writes and flushes one request frame.
+pub fn write_request<W: Write>(writer: &mut W, request: &Request) -> std::io::Result<()> {
+    writer.write_all(encode_request(request).as_bytes())?;
+    writer.flush()
+}

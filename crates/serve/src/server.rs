@@ -1,0 +1,478 @@
+//! The daemon: a std::net TCP accept loop multiplexing concurrent clients
+//! onto one shared execution configuration, with a content-addressed
+//! result cache and a durable JSON-lines journal.
+//!
+//! # Job lifecycle
+//!
+//! 1. A connection opens; the server sends [`Reply::Hello`].
+//! 2. The client sends [`Request::Submit`]. The spec is validated and
+//!    journaled (`kind = "job"` [`SweepLogEntry`] line), then answered
+//!    with [`Reply::Accepted`].
+//! 3. Cells run in registration order. Each cell is claimed in the
+//!    [`ResultCache`]: a hit streams immediately; a miss executes under a
+//!    compute slot (bounding concurrent cell computations across *all*
+//!    connections), is appended to the journal (`kind = "cell"` line with
+//!    the cache `key`, flushed) and only then streamed as
+//!    [`Reply::Cell`] — a row a client has seen is always durable.
+//! 4. [`Reply::Done`] carries the assembled [`AnalysisReport`],
+//!    bit-identical to the same plan run through the batch `SweepRunner`.
+//!
+//! # Restart semantics
+//!
+//! On boot the server replays its journal: every well-formed cell line
+//! seeds the cache under its recorded key; torn tails (a kill mid-append)
+//! and alien lines are skipped, mirroring the sweep checkpoint loader.
+//! A client that resubmits a job after a server kill therefore streams
+//! the already-completed cells from cache and only pays for the rest.
+
+use crate::cache::{Claim, ResultCache};
+use crate::job::{plan_job, JobPlan, JobSpec};
+use crate::protocol::{
+    parse_request, read_frame, write_reply, Reply, Request, ServerStatus, PROTOCOL_VERSION,
+};
+use gis_core::sweep::{SweepCellRecord, SweepLogEntry, SWEEP_LOG_KIND_CELL};
+use gis_core::{AnalysisReport, ExecutionConfig, MethodReport, ProblemReport};
+use serde::Serialize;
+use std::io::{BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Counting semaphore bounding concurrent cell computations across every
+/// connection — the knob that multiplexes all clients onto one shared
+/// execution budget instead of letting each connection fork unbounded
+/// parallelism.
+struct ComputeSlots {
+    free: Mutex<usize>,
+    available: Condvar,
+}
+
+impl ComputeSlots {
+    fn new(permits: usize) -> Self {
+        ComputeSlots {
+            free: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> SlotPermit<'_> {
+        let mut free = match self.free.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while *free == 0 {
+            free = match self.available.wait(free) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        *free -= 1;
+        SlotPermit { slots: self }
+    }
+
+    fn release(&self) {
+        let mut free = match self.free.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *free += 1;
+        drop(free);
+        self.available.notify_one();
+    }
+}
+
+/// RAII permit of [`ComputeSlots`]; releases on drop (panic included).
+struct SlotPermit<'a> {
+    slots: &'a ComputeSlots,
+}
+
+impl Drop for SlotPermit<'_> {
+    fn drop(&mut self) {
+        self.slots.release();
+    }
+}
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 = ephemeral).
+    pub bind_addr: String,
+    /// Journal file (JSON-lines [`SweepLogEntry`] envelopes). `None`
+    /// disables durability: the cache is memory-only and a restart starts
+    /// cold.
+    pub journal: Option<PathBuf>,
+    /// Execution configuration applied to every job's estimators (the
+    /// shared parallelism budget).
+    pub execution: ExecutionConfig,
+    /// Concurrent cell computations across all connections.
+    pub compute_slots: usize,
+    /// Per-request size cap in bytes.
+    pub max_request_bytes: usize,
+    /// Read timeout per request line — a silent peer cannot hang a
+    /// connection thread forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let execution = ExecutionConfig::from_env();
+        let compute_slots = execution.resolved_threads().max(1);
+        ServerConfig {
+            bind_addr: "127.0.0.1:0".to_string(),
+            journal: None,
+            execution,
+            compute_slots,
+            max_request_bytes: crate::protocol::DEFAULT_MAX_REQUEST_BYTES,
+            read_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+struct Shared {
+    cache: ResultCache,
+    journal: Option<Mutex<std::fs::File>>,
+    execution: ExecutionConfig,
+    slots: ComputeSlots,
+    jobs_submitted: AtomicU64,
+    shutdown: AtomicBool,
+    max_request_bytes: usize,
+    read_timeout: Duration,
+}
+
+/// A bound, journal-replayed server ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Replays a journal's cell lines into the cache. Returns how many entries
+/// were seeded. Torn, alien or record-less lines are skipped — the replay
+/// tolerates exactly what the sweep checkpoint loader tolerates.
+fn replay_journal(path: &std::path::Path, cache: &ResultCache) -> usize {
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut seeded = 0;
+    for line in contents.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(entry) = serde_json::from_str::<SweepLogEntry>(line) else {
+            continue;
+        };
+        if entry.v != gis_core::sweep::SWEEP_LOG_VERSION || entry.kind != SWEEP_LOG_KIND_CELL {
+            continue;
+        }
+        let (Some(key), Some(record)) = (entry.key, entry.record) else {
+            continue;
+        };
+        cache.seed(&key, record.report);
+        seeded += 1;
+    }
+    seeded
+}
+
+impl Server {
+    /// Binds the listener, replays the journal (if any) into the cache and
+    /// opens the journal appender. IO failures here are returned, not
+    /// panicked: the caller (usually `main`) decides how to abort.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.bind_addr)?;
+        let cache = ResultCache::new();
+        let journal = match &config.journal {
+            Some(path) => {
+                let replayed = replay_journal(path, &cache);
+                if replayed > 0 {
+                    eprintln!(
+                        "gis-serve: replayed {replayed} completed cells from {}",
+                        path.display()
+                    );
+                }
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(parent)?;
+                }
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?;
+                Some(Mutex::new(file))
+            }
+            None => None,
+        };
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache,
+                journal,
+                execution: config.execution,
+                slots: ComputeSlots::new(config.compute_slots),
+                jobs_submitted: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                max_request_bytes: config.max_request_bytes,
+                read_timeout: config.read_timeout,
+            }),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until a client requests shutdown. Each
+    /// connection gets its own thread; accept errors are logged and the
+    /// loop continues (a bad handshake must not kill the daemon).
+    pub fn run(self) {
+        let local_addr = self.listener.local_addr().ok();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let shared = Arc::clone(&self.shared);
+                    let addr = local_addr;
+                    std::thread::spawn(move || {
+                        handle_connection(stream, &shared, addr);
+                    });
+                }
+                Err(e) => {
+                    eprintln!("gis-serve: accept failed: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Appends one envelope line to the journal and flushes it. A journal
+/// write failure aborts this connection's job (panic unwinds the
+/// connection thread only): a lost journal line would silently fake
+/// restart safety, exactly the failure mode the sweep checkpoint refuses.
+#[allow(clippy::expect_used)] // deliberate fail-fast, invariants stated in the expect messages
+fn journal_append(shared: &Shared, entry: &SweepLogEntry) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    let line = serde_json::to_string(entry).expect("in-memory journal entry serializes"); // gis-analyze: allow(panic-site, serializing an in-memory envelope to a string cannot fail)
+    let mut file = match journal.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    writeln!(file, "{line}").expect("journal line is appendable"); // gis-analyze: allow(panic-site, deliberate fail-fast: a lost journal line would silently fake restart safety)
+    file.flush().expect("journal flushes"); // gis-analyze: allow(panic-site, deliberate fail-fast: an unflushed journal line would silently fake restart safety)
+}
+
+/// Runs one submitted job: validate, journal, stream cells, assemble.
+/// Returns `Ok(())` while the connection is still writable; an `Err` means
+/// the peer is gone and the connection loop should end. Cache state stays
+/// consistent even when the client disconnects mid-stream: a computed
+/// cell is journaled and fulfilled before the stream write is attempted.
+fn run_job(writer: &mut TcpStream, shared: &Shared, job: &JobSpec) -> std::io::Result<()> {
+    shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+    let plan = match plan_job(job, shared.execution) {
+        Ok(plan) => plan,
+        Err(e) => {
+            return write_reply(
+                writer,
+                &Reply::Error {
+                    code: "bad-job".to_string(),
+                    message: e.to_string(),
+                },
+            );
+        }
+    };
+    journal_append(
+        shared,
+        &SweepLogEntry::job(job.to_value()).with_key(plan.job_id.clone()),
+    );
+    write_reply(
+        writer,
+        &Reply::Accepted {
+            job_id: plan.job_id.clone(),
+            total_cells: plan.cells.len(),
+        },
+    )?;
+
+    let total_cells = plan.cells.len();
+    let mut cells_executed = 0usize;
+    let mut cells_cached = 0usize;
+    let mut completed: Vec<MethodReport> = Vec::with_capacity(total_cells);
+    for (index, cell) in plan.cells.iter().enumerate() {
+        let (report, cached) = match shared.cache.claim(&cell.key) {
+            Claim::Ready(report) => (*report, true),
+            Claim::Compute => {
+                let computed = {
+                    let _permit = shared.slots.acquire();
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        plan.analysis
+                            .run_cell(cell.problem_index, cell.estimator_index)
+                    }))
+                };
+                match computed {
+                    Ok(report) => {
+                        journal_append(
+                            shared,
+                            &SweepLogEntry::cell(SweepCellRecord {
+                                master_seed: job.master_seed,
+                                policy: job.policy,
+                                problem: cell.problem.clone(),
+                                report: report.clone(),
+                            })
+                            .with_key(cell.key.clone()),
+                        );
+                        shared.cache.fulfill(&cell.key, report.clone());
+                        (report, false)
+                    }
+                    Err(_) => {
+                        shared.cache.abandon(&cell.key);
+                        return write_reply(
+                            writer,
+                            &Reply::Error {
+                                code: "cell-failed".to_string(),
+                                message: format!(
+                                    "cell ({}, {}) panicked during execution; job aborted",
+                                    cell.problem, cell.estimator
+                                ),
+                            },
+                        );
+                    }
+                }
+            }
+        };
+        if cached {
+            cells_cached += 1;
+        } else {
+            cells_executed += 1;
+        }
+        write_reply(
+            writer,
+            &Reply::Cell {
+                job_id: plan.job_id.clone(),
+                problem: cell.problem.clone(),
+                estimator: cell.estimator.clone(),
+                completed_cells: index + 1,
+                total_cells,
+                cached,
+                report: report.clone(),
+            },
+        )?;
+        completed.push(report);
+    }
+
+    let report = assemble(&plan, job.master_seed, completed);
+    write_reply(
+        writer,
+        &Reply::Done {
+            job_id: plan.job_id.clone(),
+            cells_executed,
+            cells_cached,
+            report,
+        },
+    )
+}
+
+/// Assembles the full report from the cells in registration order — the
+/// same shape `YieldAnalysis::run` produces, so reports compare equal to
+/// the batch path.
+fn assemble(plan: &JobPlan, master_seed: u64, cells: Vec<MethodReport>) -> AnalysisReport {
+    let per_problem = plan.estimator_names.len();
+    let mut problems = Vec::with_capacity(plan.problem_names.len());
+    let mut cells = cells.into_iter();
+    for problem in &plan.problem_names {
+        problems.push(ProblemReport {
+            problem: problem.clone(),
+            methods: cells.by_ref().take(per_problem).collect(),
+        });
+    }
+    AnalysisReport {
+        master_seed,
+        problems,
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, local_addr: Option<std::net::SocketAddr>) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    if write_reply(
+        &mut writer,
+        &Reply::Hello {
+            server: "gis-serve".to_string(),
+            protocol: PROTOCOL_VERSION,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_frame(&mut reader, shared.max_request_bytes) {
+            Ok(None) => return,
+            Ok(Some(line)) => line,
+            Err(e) => {
+                let _ = write_reply(
+                    &mut writer,
+                    &Reply::Error {
+                        code: e.code().to_string(),
+                        message: e.to_string(),
+                    },
+                );
+                if e.is_fatal() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                // Content errors (bad JSON, wrong version) are
+                // line-delimited: report and keep the connection.
+                if write_reply(
+                    &mut writer,
+                    &Reply::Error {
+                        code: e.code().to_string(),
+                        message: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        match request {
+            Request::Submit { job } => {
+                if run_job(&mut writer, shared, &job).is_err() {
+                    return;
+                }
+            }
+            Request::Status => {
+                let stats = shared.cache.stats();
+                let status = ServerStatus {
+                    jobs_submitted: shared.jobs_submitted.load(Ordering::SeqCst),
+                    cells_executed: stats.executed,
+                    cache_hits: stats.hits,
+                    cache_entries: stats.entries,
+                };
+                if write_reply(&mut writer, &Reply::Status { status }).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let _ = write_reply(&mut writer, &Reply::ShuttingDown);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                if let Some(addr) = local_addr {
+                    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+                }
+                return;
+            }
+        }
+    }
+}

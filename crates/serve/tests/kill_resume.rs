@@ -1,0 +1,130 @@
+//! Kill-and-resume integration test against the real `gis-serve` binary:
+//! SIGKILL the daemon mid-sweep, restart it on the same journal, reconnect
+//! and resubmit — the final rows must be bit-identical to an uninterrupted
+//! run, and every cell journaled before the kill must be served from cache.
+
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gis_serve::{Client, ClientError, EstimatorSpec, JobSpec, ProblemSpec, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("gis_serve_tests")
+        .join(format!("kill_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// A 14-cell job (7 fast-suite problems × 2 estimators) that is cheap per
+/// cell but has enough cells to kill the daemon mid-sweep.
+fn job() -> JobSpec {
+    JobSpec {
+        problem: ProblemSpec::Suite {
+            suite: "fast".to_string(),
+        },
+        estimators: EstimatorSpec::standard().into_iter().take(2).collect(),
+        master_seed: 424242,
+        policy: None,
+    }
+}
+
+/// Launches the daemon binary with `--journal` and `--port-file`, waits
+/// for the port file to appear and returns (child, address).
+fn spawn_daemon(journal: &Path, port_file: &Path) -> (Child, String) {
+    let _ = std::fs::remove_file(port_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_gis-serve"))
+        .arg("--journal")
+        .arg(journal)
+        .arg("--port-file")
+        .arg(port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(contents) = std::fs::read_to_string(port_file) {
+            let line = contents.trim();
+            if !line.is_empty() {
+                break line.to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+#[test]
+fn sigkill_mid_sweep_then_restart_serves_bit_identical_rows() {
+    let dir = scratch_dir();
+    let journal = dir.join("journal.jsonl");
+    let port_file = dir.join("port");
+    let _ = std::fs::remove_file(&journal);
+
+    // Uninterrupted reference run, in-process and journal-free: the rows
+    // the killed-and-resumed daemon must reproduce bit for bit.
+    let reference_server = Server::bind(ServerConfig::default()).expect("reference server binds");
+    let reference_addr = reference_server.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || reference_server.run());
+    let mut reference_client = Client::connect(&reference_addr).expect("reference connect");
+    let reference = reference_client
+        .submit(&job(), &mut |_| {})
+        .expect("reference run");
+    reference_client.shutdown().expect("reference shutdown");
+    assert_eq!(reference.cells_executed, 14);
+
+    // First daemon lifetime: SIGKILL it mid-sweep, after the 5th streamed
+    // cell. Every streamed cell is journaled before it is streamed
+    // (durability before visibility), so at least 5 cells survive.
+    let (mut child, addr) = spawn_daemon(&journal, &port_file);
+    let mut client = Client::connect(&addr).expect("client connects");
+    let kill_after = 5usize;
+    let mut streamed_before_kill = 0usize;
+    let result = client.submit(&job(), &mut |cell| {
+        streamed_before_kill = cell.completed_cells;
+        if cell.completed_cells == kill_after {
+            // SIGKILL on unix: no cleanup, no journal flush beyond what is
+            // already durable.
+            child.kill().expect("daemon killed");
+        }
+    });
+    match result {
+        Err(ClientError::Io { .. } | ClientError::Protocol { .. }) => {}
+        other => panic!("expected the killed daemon to drop the stream, got {other:?}"),
+    }
+    assert!(streamed_before_kill >= kill_after);
+    child.wait().expect("daemon reaped");
+
+    // Second daemon lifetime on the same journal: the replayed cells are
+    // served from cache, the remainder computed fresh, and the assembled
+    // report is bit-identical to the uninterrupted reference.
+    let (mut child, addr) = spawn_daemon(&journal, &port_file);
+    let mut client = Client::connect(&addr).expect("client reconnects");
+    let resumed = client.submit(&job(), &mut |_| {}).expect("resumed run");
+    assert!(
+        resumed.cells_cached >= kill_after,
+        "only {} of >= {kill_after} journaled cells were cached",
+        resumed.cells_cached
+    );
+    assert_eq!(resumed.cells_cached + resumed.cells_executed, 14);
+    assert_eq!(resumed.report, reference.report);
+
+    // A third submission is now fully cached — the journal caught up.
+    let replayed = client.submit(&job(), &mut |_| {}).expect("cached run");
+    assert_eq!(replayed.cells_cached, 14);
+    assert_eq!(replayed.report, reference.report);
+
+    client.shutdown().expect("clean shutdown");
+    child.wait().expect("daemon exits after shutdown");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

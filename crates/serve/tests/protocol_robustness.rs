@@ -1,0 +1,402 @@
+//! Robustness tests of the wire protocol: torn lines, truncated frames,
+//! oversized requests, garbage bytes and interleaved clients must all map
+//! to typed errors — the framing layer never panics and the daemon never
+//! hangs or dies on hostile input.
+
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gis_serve::protocol::{
+    encode_request, parse_reply, parse_request, read_frame, write_request, ProtocolError, Reply,
+    Request, PROTOCOL_VERSION,
+};
+use gis_serve::{Server, ServerConfig};
+use proptest::prelude::*;
+use std::io::{BufReader, Cursor, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Pure framing layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_end_of_stream_is_none() {
+    let mut reader = Cursor::new(Vec::<u8>::new());
+    assert_eq!(read_frame(&mut reader, 1024).unwrap(), None);
+}
+
+#[test]
+fn terminated_line_roundtrips_and_strips_crlf() {
+    let mut reader = Cursor::new(b"{\"v\":1}\n".to_vec());
+    assert_eq!(read_frame(&mut reader, 1024).unwrap().unwrap(), "{\"v\":1}");
+
+    let mut reader = Cursor::new(b"{\"v\":1}\r\nnext\n".to_vec());
+    assert_eq!(read_frame(&mut reader, 1024).unwrap().unwrap(), "{\"v\":1}");
+    assert_eq!(read_frame(&mut reader, 1024).unwrap().unwrap(), "next");
+    assert_eq!(read_frame(&mut reader, 1024).unwrap(), None);
+}
+
+#[test]
+fn stream_ending_mid_line_is_a_torn_frame() {
+    let mut reader = Cursor::new(b"{\"v\":1,\"request\"".to_vec());
+    assert_eq!(read_frame(&mut reader, 1024), Err(ProtocolError::TornFrame));
+}
+
+#[test]
+fn line_over_the_limit_is_oversized_not_unbounded() {
+    // A line longer than the cap errors without buffering the rest.
+    let mut line = vec![b'a'; 2048];
+    line.push(b'\n');
+    let mut reader = Cursor::new(line);
+    assert_eq!(
+        read_frame(&mut reader, 1024),
+        Err(ProtocolError::Oversized { limit: 1024 })
+    );
+}
+
+#[test]
+fn line_exactly_at_the_limit_fits() {
+    // `max_bytes` bounds the buffered line including its terminator.
+    let mut line = vec![b'x'; 1023];
+    line.push(b'\n');
+    let mut reader = Cursor::new(line);
+    assert_eq!(read_frame(&mut reader, 1024).unwrap().unwrap().len(), 1023);
+}
+
+#[test]
+fn invalid_utf8_is_malformed_not_a_panic() {
+    let mut reader = Cursor::new(b"\xff\xfe\xfd\n".to_vec());
+    match read_frame(&mut reader, 1024) {
+        Err(ProtocolError::MalformedJson { .. }) => {}
+        other => panic!("expected MalformedJson, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_json_is_malformed() {
+    for garbage in ["", "not json", "{", "[1,2", "{\"v\":\"one\"}", "null"] {
+        match parse_request(garbage) {
+            Err(ProtocolError::MalformedJson { .. }) => {}
+            other => panic!("{garbage:?}: expected MalformedJson, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_protocol_version_is_rejected_with_the_offending_version() {
+    let line = format!("{{\"v\":{},\"request\":\"Status\"}}", PROTOCOL_VERSION + 41);
+    assert_eq!(
+        parse_request(&line),
+        Err(ProtocolError::UnsupportedVersion {
+            got: PROTOCOL_VERSION + 41
+        })
+    );
+}
+
+#[test]
+fn request_frames_roundtrip() {
+    for request in [Request::Status, Request::Shutdown] {
+        let line = encode_request(&request);
+        assert!(line.ends_with('\n'));
+        assert_eq!(parse_request(line.trim_end()).unwrap(), request);
+    }
+}
+
+#[test]
+fn error_codes_and_fatality_are_stable() {
+    let torn = ProtocolError::TornFrame;
+    let oversized = ProtocolError::Oversized { limit: 7 };
+    let io = ProtocolError::Io {
+        detail: "x".to_string(),
+    };
+    let malformed = ProtocolError::MalformedJson {
+        detail: "x".to_string(),
+    };
+    let version = ProtocolError::UnsupportedVersion { got: 2 };
+    // Framing errors leave the stream position undefined: fatal. Content
+    // errors are line-delimited: the connection survives.
+    assert!(torn.is_fatal() && oversized.is_fatal() && io.is_fatal());
+    assert!(!malformed.is_fatal() && !version.is_fatal());
+    assert_eq!(torn.code(), "torn-frame");
+    assert_eq!(oversized.code(), "oversized-request");
+    assert_eq!(io.code(), "io");
+    assert_eq!(malformed.code(), "malformed-json");
+    assert_eq!(version.code(), "unsupported-version");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through the framing layer: never a panic, and a
+    /// successfully framed line never contains a terminator.
+    #[test]
+    fn read_frame_never_panics_on_arbitrary_bytes(
+        raw in prop::collection::vec(0u32..256, 0..300),
+        max in 1usize..128,
+    ) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let mut reader = Cursor::new(bytes);
+        loop {
+            match read_frame(&mut reader, max) {
+                Ok(None) => break,
+                Ok(Some(line)) => {
+                    prop_assert!(!line.contains('\n'));
+                    prop_assert!(line.len() <= max);
+                }
+                // Any typed error is acceptable; fatal ones end the stream.
+                Err(e) => {
+                    prop_assert!(!e.code().is_empty());
+                    if e.is_fatal() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arbitrary near-JSON text through the parsers: typed errors only.
+    #[test]
+    fn parsers_never_panic_on_mangled_frames(
+        raw in prop::collection::vec(0u32..128, 0..120),
+        cut in 0usize..200,
+    ) {
+        // Mangle a valid frame: truncate it and splice in random ASCII.
+        let valid = encode_request(&Request::Status);
+        let keep = cut.min(valid.len());
+        let mut mangled = valid[..keep].to_string();
+        mangled.extend(raw.iter().map(|&b| (b as u8) as char));
+        let _ = parse_request(&mangled);
+        let _ = parse_reply(&mangled);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live server under hostile clients
+// ---------------------------------------------------------------------------
+
+fn start_server(config: ServerConfig) -> String {
+    let server = Server::bind(config).expect("server binds");
+    let addr = server.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// Connects raw, consumes the `Hello` line, returns (reader, writer).
+fn raw_connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let hello = read_frame(&mut reader, 1 << 20)
+        .expect("hello")
+        .expect("hello line");
+    match parse_reply(&hello).expect("hello parses") {
+        Reply::Hello { protocol, .. } => assert_eq!(protocol, PROTOCOL_VERSION),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    (reader, writer)
+}
+
+fn read_one_reply(reader: &mut BufReader<TcpStream>) -> Reply {
+    let line = read_frame(reader, 1 << 20)
+        .expect("reply")
+        .expect("reply line");
+    parse_reply(&line).expect("reply parses")
+}
+
+#[test]
+fn garbage_line_gets_typed_error_and_connection_survives() {
+    let addr = start_server(ServerConfig::default());
+    let (mut reader, mut writer) = raw_connect(&addr);
+
+    writer.write_all(b"complete garbage\n").expect("write");
+    writer.flush().expect("flush");
+    match read_one_reply(&mut reader) {
+        Reply::Error { code, .. } => assert_eq!(code, "malformed-json"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // The connection is still usable after a content error.
+    write_request(&mut writer, &Request::Status).expect("status request");
+    match read_one_reply(&mut reader) {
+        Reply::Status { .. } => {}
+        other => panic!("expected Status, got {other:?}"),
+    }
+
+    write_request(&mut writer, &Request::Shutdown).expect("shutdown request");
+}
+
+#[test]
+fn wrong_version_frame_gets_typed_error_and_connection_survives() {
+    let addr = start_server(ServerConfig::default());
+    let (mut reader, mut writer) = raw_connect(&addr);
+
+    writer
+        .write_all(b"{\"v\":99,\"request\":\"Status\"}\n")
+        .expect("write");
+    writer.flush().expect("flush");
+    match read_one_reply(&mut reader) {
+        Reply::Error { code, .. } => assert_eq!(code, "unsupported-version"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    write_request(&mut writer, &Request::Status).expect("status request");
+    match read_one_reply(&mut reader) {
+        Reply::Status { .. } => {}
+        other => panic!("expected Status, got {other:?}"),
+    }
+
+    write_request(&mut writer, &Request::Shutdown).expect("shutdown request");
+}
+
+#[test]
+fn oversized_request_gets_typed_error_and_connection_closes() {
+    let addr = start_server(ServerConfig {
+        max_request_bytes: 1024,
+        ..ServerConfig::default()
+    });
+    let (mut reader, mut writer) = raw_connect(&addr);
+
+    let mut line = vec![b'a'; 4096];
+    line.push(b'\n');
+    writer.write_all(&line).expect("write");
+    writer.flush().expect("flush");
+    match read_one_reply(&mut reader) {
+        Reply::Error { code, .. } => assert_eq!(code, "oversized-request"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // Framing errors are fatal: the server closes the connection.
+    assert_eq!(read_frame(&mut reader, 1 << 20).expect("eof"), None);
+
+    let (_reader, mut writer) = raw_connect(&addr);
+    write_request(&mut writer, &Request::Shutdown).expect("shutdown request");
+}
+
+#[test]
+fn truncated_frame_gets_torn_frame_error_and_connection_closes() {
+    let addr = start_server(ServerConfig::default());
+    let (mut reader, writer) = raw_connect(&addr);
+
+    // Half a request, then the write side dies — a peer killed mid-write.
+    (&writer).write_all(b"{\"v\":1,\"request\"").expect("write");
+    (&writer).flush().expect("flush");
+    writer
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    match read_one_reply(&mut reader) {
+        Reply::Error { code, .. } => assert_eq!(code, "torn-frame"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert_eq!(read_frame(&mut reader, 1 << 20).expect("eof"), None);
+
+    let (_reader, mut writer) = raw_connect(&addr);
+    write_request(&mut writer, &Request::Shutdown).expect("shutdown request");
+}
+
+#[test]
+fn invalid_job_gets_typed_error_and_connection_survives() {
+    let addr = start_server(ServerConfig::default());
+    let (mut reader, mut writer) = raw_connect(&addr);
+
+    // Well-formed frame, invalid job: unknown suite name.
+    writer
+        .write_all(
+            concat!(
+                "{\"v\":1,\"request\":{\"Submit\":{\"job\":{",
+                "\"problem\":{\"Suite\":{\"suite\":\"bogus\"}},",
+                "\"estimators\":[],\"master_seed\":1,\"policy\":null}}}}\n"
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    writer.flush().expect("flush");
+    match read_one_reply(&mut reader) {
+        Reply::Error { code, .. } => assert_eq!(code, "bad-job"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    write_request(&mut writer, &Request::Status).expect("status request");
+    match read_one_reply(&mut reader) {
+        Reply::Status { status } => assert_eq!(status.cells_executed, 0),
+        other => panic!("expected Status, got {other:?}"),
+    }
+
+    write_request(&mut writer, &Request::Shutdown).expect("shutdown request");
+}
+
+#[test]
+fn interleaved_clients_are_framed_independently() {
+    let addr = start_server(ServerConfig::default());
+    let (mut reader_a, mut writer_a) = raw_connect(&addr);
+    let (mut reader_b, mut writer_b) = raw_connect(&addr);
+
+    // Client A writes half a request and stalls...
+    let full = encode_request(&Request::Status);
+    let (head, tail) = full.split_at(full.len() / 2);
+    writer_a.write_all(head.as_bytes()).expect("half write");
+    writer_a.flush().expect("flush");
+
+    // ...client B completes a whole exchange in the meantime.
+    write_request(&mut writer_b, &Request::Status).expect("b request");
+    match read_one_reply(&mut reader_b) {
+        Reply::Status { .. } => {}
+        other => panic!("expected Status for b, got {other:?}"),
+    }
+
+    // A finishes its line; its connection was unaffected by B's traffic.
+    writer_a.write_all(tail.as_bytes()).expect("tail write");
+    writer_a.flush().expect("flush");
+    match read_one_reply(&mut reader_a) {
+        Reply::Status { .. } => {}
+        other => panic!("expected Status for a, got {other:?}"),
+    }
+
+    write_request(&mut writer_a, &Request::Shutdown).expect("shutdown request");
+}
+
+#[test]
+fn random_garbage_lines_never_kill_the_server() {
+    let addr = start_server(ServerConfig::default());
+
+    // A deterministic junk generator (no RNG dependency in this crate).
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+
+    for round in 0..32 {
+        let (mut reader, mut writer) = raw_connect(&addr);
+        let len = (next() % 200) as usize;
+        let mut junk: Vec<u8> = (0..len)
+            .map(|_| (next() % 256) as u8)
+            // Keep the junk on one line so the exchange stays framed.
+            .map(|b| if b == b'\n' { b'x' } else { b })
+            .collect();
+        junk.push(b'\n');
+        writer.write_all(&junk).expect("junk write");
+        writer.flush().expect("flush");
+
+        // The server answers every line with exactly one typed reply (an
+        // Error for junk) and never crashes or hangs.
+        match read_one_reply(&mut reader) {
+            Reply::Error { code, .. } => assert!(!code.is_empty(), "round {round}"),
+            other => panic!("round {round}: expected Error, got {other:?}"),
+        }
+
+        // Probe liveness on a fresh request over the same connection.
+        write_request(&mut writer, &Request::Status).expect("status request");
+        match read_one_reply(&mut reader) {
+            Reply::Status { .. } => {}
+            other => panic!("round {round}: expected Status, got {other:?}"),
+        }
+    }
+
+    let (_reader, mut writer) = raw_connect(&addr);
+    write_request(&mut writer, &Request::Shutdown).expect("shutdown request");
+}

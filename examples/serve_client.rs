@@ -1,0 +1,82 @@
+//! Serving yield analysis: submit jobs to a `gis-serve` daemon and stream
+//! the rows back as they complete.
+//!
+//! The example is self-contained: it starts an in-process server on an
+//! ephemeral port (exactly what the `gis-serve` binary wraps), connects the
+//! typed client, submits a small job twice — the second submission is
+//! served entirely from the content-addressed cache — and shuts the daemon
+//! down. Against a real deployment, replace the bind/spawn block with the
+//! daemon's printed address (or its `--port-file`).
+//!
+//! Run with `cargo run --release --example serve_client`.
+
+// Example code: abort-on-error keeps the walkthrough linear.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gis_serve::{Client, EstimatorSpec, JobSpec, ProblemSpec, Server, ServerConfig};
+use sram_highsigma::highsigma::ConvergencePolicy;
+
+fn main() {
+    // 1. Start a daemon. `127.0.0.1:0` binds an ephemeral port; a journal
+    //    path (ServerConfig::journal) would additionally make completed
+    //    cells durable across a kill/restart.
+    let server = Server::bind(ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || server.run());
+    println!("daemon listening on {addr}");
+
+    // 2. Describe the job as data: a problem family, estimator configs, a
+    //    master seed and a convergence policy. The spec is serializable —
+    //    this exact structure travels over the wire as one JSON line.
+    let job = JobSpec {
+        problem: ProblemSpec::Suite {
+            suite: "fast".to_string(),
+        },
+        estimators: EstimatorSpec::standard(),
+        master_seed: 20180319,
+        policy: Some(
+            ConvergencePolicy::with_budget(2_000)
+                .target_relative_error(0.1)
+                .min_failures(10),
+        ),
+    };
+
+    // 3. Submit and stream. The callback fires once per completed cell, in
+    //    deterministic registration order (problem-major, estimator-minor).
+    let mut client = Client::connect(&addr).expect("connect");
+    let receipt = client
+        .submit(&job, &mut |cell| {
+            println!(
+                "  [{:>2}/{}] {:<28} {:<22} P_fail = {:.3e}",
+                cell.completed_cells,
+                cell.total_cells,
+                cell.problem,
+                cell.estimator,
+                cell.report.row.failure_probability,
+            );
+        })
+        .expect("job runs");
+    println!(
+        "job {} done: {} cells executed, {} from cache\n",
+        receipt.job_id, receipt.cells_executed, receipt.cells_cached
+    );
+
+    // 4. Resubmit the identical job: every cell is a cache hit (the cell
+    //    identity is content-addressed over problem, estimator config,
+    //    master seed and policy), and the report is bit-identical.
+    let rerun = client.submit(&job, &mut |_| {}).expect("cached run");
+    println!(
+        "resubmitted: {} executed, {} from cache, reports identical: {}",
+        rerun.cells_executed,
+        rerun.cells_cached,
+        rerun.report == receipt.report
+    );
+
+    // 5. Server-lifetime counters, then a clean shutdown.
+    let status = client.status().expect("status");
+    println!(
+        "server status: {} jobs, {} cells executed, {} cache hits, {} cached entries",
+        status.jobs_submitted, status.cells_executed, status.cache_hits, status.cache_entries
+    );
+    client.shutdown().expect("shutdown");
+}
