@@ -25,6 +25,13 @@
 //!   derives every per-cell seed from the same master seed and policy), so
 //!   the summary and `SWEEP_report.json` artifact are unchanged.
 //!   Incompatible with the checkpoint flags — the daemon owns durability.
+//! * `--warm-ab` — warm-vs-blind A/B mode: run a TT grid (5 supplies × 3
+//!   temperatures × all 5 estimators = 75 cells at the fast budget) once
+//!   blind and once in dependency-aware continuation mode, **assert** the
+//!   warm estimates agree with the blind ones within their 90% error bars,
+//!   and merge a `warm_vs_blind` block (`evals_saved`, `speedup_vs_blind`,
+//!   agreement counters) into `BENCH_evaluation.json`. Incompatible with
+//!   the checkpoint flags and `--connect`.
 //!
 //! The kill-and-resume smoke in CI is:
 //! `bench_sweep --fast --fresh --max-cells 7` (partial, "killed"), then
@@ -34,7 +41,8 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use gis_bench::{
-    parse_flag_value, results_dir, submit_served_job, write_json_artifact, MASTER_SEED,
+    parse_flag_value, results_dir, submit_served_job, workspace_root, write_json_artifact,
+    MASTER_SEED,
 };
 use gis_core::sweep::clear_checkpoint;
 use gis_core::{
@@ -86,6 +94,170 @@ fn analysis(plan: &SweepPlan, fast: bool) -> YieldAnalysis {
         .estimators(standard_estimators())
 }
 
+/// The warm-vs-blind A/B grid: one corner with two continuous axes, sized
+/// to satisfy the evaluation contract (≥ 5 × 3 operating points) while
+/// staying CI-cheap at the fast budget. Every non-origin cell has a warm
+/// donor along the supply or temperature axis.
+fn warm_ab_plan() -> SweepPlan {
+    SweepPlan::new()
+        .spec_factor(1.5)
+        .corners([GlobalCorner::TypicalTypical])
+        .supply_voltages([0.85, 0.90, 0.95, 1.00, 1.05])
+        .temperatures([-40.0, 25.0, 125.0])
+}
+
+/// The `warm_vs_blind` block merged into `BENCH_evaluation.json`.
+#[derive(Debug, Serialize)]
+struct WarmVsBlindArtifact {
+    master_seed: u64,
+    matrix_threads: usize,
+    grid: String,
+    cells: usize,
+    /// Cells whose warm row was bit-identical to the blind row (origin
+    /// cells and estimators that ignore hints, Monte Carlo in particular).
+    bit_identical_cells: usize,
+    /// Cells where the warm estimate differed but stayed inside the
+    /// overlapping 90% confidence intervals (asserted, so always
+    /// `cells - bit_identical_cells`).
+    agreeing_cells: usize,
+    blind_evaluations: u64,
+    warm_evaluations: u64,
+    /// Model evaluations the continuation schedule avoided (blind − warm).
+    evals_saved: i64,
+    /// Evaluation-count ratio blind/warm. Reported as an eval ratio rather
+    /// than wall-clock so the artifact is reproducible on any machine.
+    speedup_vs_blind: f64,
+}
+
+/// Warm-vs-blind A/B mode: run the [`warm_ab_plan`] grid blind (the
+/// reproducibility reference) and warm (dependency-aware continuation),
+/// assert estimate agreement cell by cell, and merge the measured
+/// `evals_saved` / `speedup_vs_blind` block into `BENCH_evaluation.json`
+/// without disturbing the estimator-evaluation entries that
+/// `bench_evaluation` owns.
+fn run_warm_ab(matrix: &ExecutionConfig) {
+    let plan = warm_ab_plan();
+    // A/B budget: 4x the fast sweep budget. At 2 000 the minimum-norm
+    // baseline's error bars are not yet trustworthy on the ~1e-6 cells of
+    // this grid (its fast-budget CI can miss the high-budget reference), so
+    // the agreement gate would test CI calibration rather than warm-start
+    // correctness. The grid is surrogate-cheap; the whole A/B stays sub-second.
+    let ab_policy = ConvergencePolicy::with_budget(8_000)
+        .target_relative_error(0.1)
+        .min_failures(20);
+    let ab_analysis = || {
+        plan.analysis()
+            .master_seed(MASTER_SEED + 41)
+            .convergence_policy(ab_policy)
+            .estimators(standard_estimators())
+    };
+    println!(
+        "bench_sweep --warm-ab: {} scenarios x 5 estimators, matrix threads {}",
+        plan.scenarios().len(),
+        matrix.resolved_threads()
+    );
+
+    let blind = SweepRunner::new()
+        .matrix(*matrix)
+        .run(&mut ab_analysis())
+        .report
+        .expect("blind sweep completes");
+    let warm = SweepRunner::new()
+        .matrix(*matrix)
+        .warm_start(plan.warm_donors())
+        .run(&mut ab_analysis())
+        .report
+        .expect("warm sweep completes");
+
+    let mut cells = 0usize;
+    let mut bit_identical = 0usize;
+    let mut blind_evals: u64 = 0;
+    let mut warm_evals: u64 = 0;
+    for (bp, wp) in blind.problems.iter().zip(&warm.problems) {
+        assert_eq!(bp.problem, wp.problem, "A/B grids diverged");
+        for (b, w) in bp.methods.iter().zip(&wp.methods) {
+            assert_eq!(b.estimator, w.estimator, "A/B estimator order diverged");
+            cells += 1;
+            blind_evals += b.row.evaluations;
+            warm_evals += w.row.evaluations;
+            if b.row == w.row {
+                bit_identical += 1;
+                continue;
+            }
+            // Agreement gate: the 90% confidence intervals of the blind and
+            // warm estimates must overlap (half-widths are relative in the
+            // row schema; a non-finite half-width collapses to a point).
+            let half = |p: f64, rel: f64| if rel.is_finite() { p * rel } else { 0.0 };
+            let hb = half(b.row.failure_probability, b.row.relative_confidence_90);
+            let hw = half(w.row.failure_probability, w.row.relative_confidence_90);
+            let gap = (b.row.failure_probability - w.row.failure_probability).abs();
+            assert!(
+                gap <= hb + hw,
+                "{}/{}: warm estimate {} disagrees with blind {} ± {} (warm half-width {})",
+                bp.problem,
+                b.estimator,
+                w.row.failure_probability,
+                b.row.failure_probability,
+                hb,
+                hw
+            );
+        }
+    }
+    let evals_saved = blind_evals as i64 - warm_evals as i64;
+    assert!(
+        evals_saved > 0,
+        "continuation mode must save evaluations on the A/B grid \
+         (blind {blind_evals}, warm {warm_evals})"
+    );
+
+    let artifact = WarmVsBlindArtifact {
+        master_seed: MASTER_SEED + 41,
+        matrix_threads: matrix.resolved_threads(),
+        grid: format!("TT x 5 supplies x 3 temperatures ({} cells)", cells),
+        cells,
+        bit_identical_cells: bit_identical,
+        agreeing_cells: cells - bit_identical,
+        blind_evaluations: blind_evals,
+        warm_evaluations: warm_evals,
+        evals_saved,
+        speedup_vs_blind: blind_evals as f64 / warm_evals as f64,
+    };
+    println!(
+        "warm-vs-blind: {} cells, {} bit-identical, {} agreeing within error bars, \
+         {} evaluations saved ({:.3}x vs blind)",
+        artifact.cells,
+        artifact.bit_identical_cells,
+        artifact.agreeing_cells,
+        artifact.evals_saved,
+        artifact.speedup_vs_blind
+    );
+    merge_warm_vs_blind(&artifact);
+}
+
+/// Read-modify-write of `BENCH_evaluation.json`: replace or insert the
+/// `warm_vs_blind` key, preserving everything `bench_evaluation` wrote. If
+/// the file does not exist yet (A/B run before the evaluation bench), start
+/// from an empty object.
+fn merge_warm_vs_blind(artifact: &WarmVsBlindArtifact) {
+    let path = workspace_root().join("BENCH_evaluation.json");
+    let mut root = match std::fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str::<serde::Value>(&text)
+            .expect("BENCH_evaluation.json parses as JSON"),
+        Err(_) => serde::Value::Object(Vec::new()),
+    };
+    let serde::Value::Object(fields) = &mut root else {
+        panic!("BENCH_evaluation.json is not a JSON object");
+    };
+    let block = artifact.to_value();
+    match fields.iter_mut().find(|(key, _)| key == "warm_vs_blind") {
+        Some((_, value)) => *value = block,
+        None => fields.push(("warm_vs_blind".to_string(), block)),
+    }
+    let json = serde_json::to_string_pretty(&root).expect("merged report serializes");
+    std::fs::write(&path, json).expect("BENCH_evaluation.json is writable");
+    println!("warm_vs_blind block merged into {}", path.display());
+}
+
 /// Thin-client mode: ship the sweep to a `gis-serve` daemon as a job. The
 /// plan itself travels over the wire (it is fully serializable), the daemon
 /// rebuilds the identical scenario problems, and the returned rows feed the
@@ -96,6 +268,7 @@ fn run_served(addr: &str, plan: &SweepPlan, fast: bool, matrix: &ExecutionConfig
         estimators: EstimatorSpec::standard(),
         master_seed: MASTER_SEED + 41,
         policy: Some(policy(fast)),
+        warm_start: None,
     };
     let receipt = submit_served_job(addr, &job);
 
@@ -181,9 +354,19 @@ fn main() {
         .unwrap_or_else(|| results_dir().join("sweep_checkpoint.jsonl"));
 
     let connect = parse_flag_value(&args, "--connect");
+    let warm_ab = args.iter().any(|a| a == "--warm-ab");
 
     let plan = plan(fast);
     let matrix = ExecutionConfig::from_env();
+
+    if warm_ab {
+        assert!(
+            connect.is_none() && !fresh && !status_only && !verify_resume && max_cells.is_none(),
+            "--warm-ab is incompatible with --connect and the checkpoint flags"
+        );
+        run_warm_ab(&matrix);
+        return;
+    }
 
     if let Some(addr) = connect {
         assert!(

@@ -84,6 +84,7 @@ fn main() {
             &problem_with_relative_spec(model, nominal, factor),
             &Proposal::defensive_mixture(shift, 0.1),
             &ImportanceSamplingConfig {
+                corrected_stopping: true,
                 max_samples: scaled(300_000, 30_000),
                 batch_size: scaled(20_000, 5_000),
                 target_relative_error: 0.01,

@@ -60,6 +60,7 @@ fn main() {
     let mut all = Vec::new();
 
     let sampling = ImportanceSamplingConfig {
+        corrected_stopping: true,
         max_samples: scaled(40_000, 4_000),
         batch_size: 500,
         target_relative_error: 0.02,
@@ -95,6 +96,7 @@ fn main() {
     }
     {
         let mc = MonteCarlo::new(MonteCarloConfig {
+            corrected_stopping: true,
             max_samples: scaled(200_000, 20_000),
             batch_size: 10_000,
             target_relative_error: 0.02,

@@ -41,6 +41,7 @@ struct AblationRow {
 
 fn base_sampling() -> ImportanceSamplingConfig {
     ImportanceSamplingConfig {
+        corrected_stopping: true,
         max_samples: scaled(40_000, 4_000),
         batch_size: 500,
         target_relative_error: 0.1,
@@ -63,6 +64,7 @@ fn main() {
             &base.fork(),
             &Proposal::defensive_mixture(shift, 0.1),
             &ImportanceSamplingConfig {
+                corrected_stopping: true,
                 max_samples: scaled(300_000, 30_000),
                 batch_size: scaled(20_000, 5_000),
                 target_relative_error: 0.01,

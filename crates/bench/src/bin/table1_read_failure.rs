@@ -40,6 +40,7 @@ fn main() {
     );
 
     let sampling = ImportanceSamplingConfig {
+        corrected_stopping: true,
         max_samples: scaled(4_000, 400),
         batch_size: scaled(250, 100),
         target_relative_error: 0.1,
@@ -64,6 +65,7 @@ fn main() {
         },
         EstimatorSpec::SphericalSampling {
             config: SphericalSamplingConfig {
+                corrected_stopping: true,
                 directions: scaled(200, 30),
                 max_radius: 8.0,
                 bisection_steps: 12,
@@ -90,6 +92,7 @@ fn main() {
             estimators,
             master_seed: MASTER_SEED,
             policy: None,
+            warm_start: None,
         };
         submit_served_job(&addr, &job).report
     } else {

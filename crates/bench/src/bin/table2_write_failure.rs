@@ -52,6 +52,7 @@ fn main() {
     );
 
     let sampling = ImportanceSamplingConfig {
+        corrected_stopping: true,
         max_samples: scaled(6_000, 300),
         batch_size: scaled(250, 100),
         target_relative_error: 0.1,
@@ -76,6 +77,7 @@ fn main() {
         },
         EstimatorSpec::SphericalSampling {
             config: SphericalSamplingConfig {
+                corrected_stopping: true,
                 directions: scaled(150, 25),
                 max_radius: 8.0,
                 bisection_steps: 12,
@@ -102,6 +104,7 @@ fn main() {
             estimators,
             master_seed: MASTER_SEED + 2,
             policy: None,
+            warm_start: None,
         };
         submit_served_job(&addr, &job).report
     } else {

@@ -43,7 +43,7 @@ use crate::baselines::{
     MinimumNormIs, MnisConfig, ScaledSigmaSampling, SphericalSampling, SphericalSamplingConfig,
     SssConfig,
 };
-use crate::estimator::{ConvergencePolicy, Estimator, EstimatorOutcome};
+use crate::estimator::{ConvergencePolicy, Estimator, EstimatorOutcome, WarmStart};
 use crate::exec::{ExecutionConfig, Executor};
 use crate::gis::{GisConfig, GradientImportanceSampling};
 use crate::model::FailureProblem;
@@ -90,6 +90,12 @@ pub struct ComparisonRow {
     pub speedup_vs_monte_carlo: f64,
     /// Whether the method converged to its accuracy target.
     pub converged: bool,
+    /// Whether the method's diagnostics suggest more than one dominant
+    /// failure region (see
+    /// [`IsDiagnostics::multimodal_suspected`](crate::importance::IsDiagnostics::multimodal_suspected)).
+    /// Always `false` for methods without the heuristic (Monte Carlo,
+    /// spherical, SSS) and for rows built from a bare [`ExtractionResult`].
+    pub multimodal_suspected: bool,
     /// Worker threads the run was configured with (0 when unknown, e.g. a row
     /// built directly from an [`ExtractionResult`]).
     pub threads: usize,
@@ -116,6 +122,10 @@ impl Serialize for ComparisonRow {
                 self.speedup_vs_monte_carlo.to_value(),
             ),
             ("converged".to_string(), self.converged.to_value()),
+            (
+                "multimodal_suspected".to_string(),
+                self.multimodal_suspected.to_value(),
+            ),
             ("threads".to_string(), self.threads.to_value()),
         ])
     }
@@ -131,6 +141,9 @@ impl Deserialize for ComparisonRow {
             evaluations: serde::from_field(value, "evaluations")?,
             speedup_vs_monte_carlo: serde::from_field(value, "speedup_vs_monte_carlo")?,
             converged: serde::from_field(value, "converged")?,
+            // Rows serialized before the multimodality heuristic existed load
+            // as "not suspected".
+            multimodal_suspected: serde::from_field(value, "multimodal_suspected").unwrap_or(false),
             // Rows serialized before the execution metadata existed load as
             // "unknown threads".
             threads: serde::from_field(value, "threads").unwrap_or(0),
@@ -148,6 +161,7 @@ impl PartialEq for ComparisonRow {
             && self.evaluations == other.evaluations
             && self.speedup_vs_monte_carlo.to_bits() == other.speedup_vs_monte_carlo.to_bits()
             && self.converged == other.converged
+            && self.multimodal_suspected == other.multimodal_suspected
         // threads / wall_time_seconds are execution metadata, not results.
     }
 }
@@ -175,9 +189,19 @@ impl ComparisonRow {
             evaluations: result.evaluations,
             speedup_vs_monte_carlo: speedup,
             converged: result.converged,
+            multimodal_suspected: false,
             threads: 0,
             wall_time_seconds: f64::NAN,
         }
+    }
+
+    /// Builds a row from a full estimator outcome, surfacing the
+    /// diagnostics-level multimodality suspicion alongside the statistical
+    /// content of [`ComparisonRow::from_result`].
+    pub fn from_outcome(outcome: &EstimatorOutcome) -> ComparisonRow {
+        let mut row = ComparisonRow::from_result(&outcome.result);
+        row.multimodal_suspected = outcome.multimodal_suspected();
+        row
     }
 
     /// Attaches execution metadata (worker threads and measured wall-clock).
@@ -431,6 +455,28 @@ impl YieldAnalysis {
     ///
     /// Panics if either index is out of range.
     pub fn run_cell(&self, problem_index: usize, estimator_index: usize) -> MethodReport {
+        self.run_cell_warm(problem_index, estimator_index, None)
+    }
+
+    /// Runs one cell with an optional [`WarmStart`] hint from a completed
+    /// neighbor (the continuation-mode entry point; see [`crate::sweep`]).
+    ///
+    /// `run_cell_warm(pi, ei, None)` is exactly [`run_cell`](Self::run_cell):
+    /// the cell's seed, fork and estimator dispatch are identical, and
+    /// every estimator's `estimate_warm(.., None)` is bit-identical to its
+    /// blind `estimate`. The hint never touches the RNG derivation, so a
+    /// warm cell differs from its blind twin only through the estimator's
+    /// documented hint semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn run_cell_warm(
+        &self,
+        problem_index: usize,
+        estimator_index: usize,
+        warm: Option<&WarmStart>,
+    ) -> MethodReport {
         let (problem_name, problem) = &self.problems[problem_index];
         let estimator = &self.estimators[estimator_index];
         let seed = self.derived_seed(problem_name, estimator.name());
@@ -441,13 +487,12 @@ impl YieldAnalysis {
         // but an estimator configured individually keeps its setting).
         let threads = estimator.effective_execution().resolved_threads();
         let started = Instant::now();
-        let outcome = estimator.estimate(&fork, &mut rng);
+        let outcome = estimator.estimate_warm(&fork, &mut rng, warm);
         let wall_time_seconds = started.elapsed().as_secs_f64();
         MethodReport {
             estimator: estimator.name().to_string(),
             seed,
-            row: ComparisonRow::from_result(&outcome.result)
-                .with_timing(threads, wall_time_seconds),
+            row: ComparisonRow::from_outcome(&outcome).with_timing(threads, wall_time_seconds),
             outcome,
         }
     }

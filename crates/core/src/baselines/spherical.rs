@@ -16,7 +16,7 @@
 //! is — but it degrades in high dimensions, where most random directions miss
 //! the failure cone entirely.
 
-use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome, WarmStart};
 use crate::exec::{ExecutionConfig, Executor};
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
@@ -43,6 +43,10 @@ pub struct SphericalSamplingConfig {
     pub target_relative_error: f64,
     /// Minimum number of failing directions before the stopping rule may fire.
     pub min_failing_directions: usize,
+    /// Use the first-passage-corrected stopping rule and error bar (see
+    /// [`crate::stopping`]). `false` restores the legacy anti-conservative
+    /// rule for before/after calibration measurements.
+    pub corrected_stopping: bool,
 }
 
 impl Default for SphericalSamplingConfig {
@@ -53,6 +57,7 @@ impl Default for SphericalSamplingConfig {
             bisection_steps: 12,
             target_relative_error: 0.1,
             min_failing_directions: 10,
+            corrected_stopping: true,
         }
     }
 }
@@ -122,10 +127,17 @@ impl SphericalSampling {
     /// one-direction-at-a-time bisection, so results are independent of both
     /// the batching and the thread count. Returns `None` for directions that do
     /// not fail at the maximum radius.
+    ///
+    /// `bracket_lo` is the inner edge of the bisection bracket: `0.0` on the
+    /// blind path; a warm start raises it towards the neighbor's known
+    /// minimum failure radius, which spends the same number of bisection
+    /// steps on a tighter interval (a per-direction radius resolution gain,
+    /// not an evaluation saving — documented in the README).
     fn boundary_radii(
         &self,
         problem: &FailureProblem,
         directions: &[Vector],
+        bracket_lo: f64,
         exec: &Executor,
     ) -> Vec<Option<f64>> {
         let max_points: Vec<Vector> = directions
@@ -139,7 +151,7 @@ impl SphericalSampling {
             .iter()
             .enumerate()
             .filter(|&(_, &fails)| fails)
-            .map(|(i, _)| (i, 0.0, self.config.max_radius))
+            .map(|(i, _)| (i, bracket_lo, self.config.max_radius))
             .collect();
         for _ in 0..self.config.bisection_steps {
             let midpoints: Vec<Vector> = active
@@ -165,12 +177,13 @@ impl SphericalSampling {
     }
 }
 
-impl Estimator for SphericalSampling {
-    fn name(&self) -> &str {
-        "spherical-sampling"
-    }
-
-    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
+impl SphericalSampling {
+    fn estimate_inner(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        warm: Option<&WarmStart>,
+    ) -> EstimatorOutcome {
         let dim = problem.dim();
         let executor = self.exec.executor();
         let start_evals = problem.evaluations();
@@ -179,12 +192,25 @@ impl Estimator for SphericalSampling {
         let mut min_beta = f64::INFINITY;
         let mut trace = Vec::new();
         let mut converged = false;
+        let mut stop = crate::stopping::StopTracker::new();
+
+        // A neighbor's minimum failure radius tightens the bisection bracket:
+        // no direction's boundary is plausibly closer than the neighbor's
+        // closest boundary minus a generous 2-sigma adjacency margin. The
+        // blind bracket (`lo = 0`) is the fallback for absent or inapplicable
+        // hints and stays the reproducibility reference.
+        let bracket_lo = match warm {
+            Some(WarmStart::RadiusBracket { min_beta }) if min_beta.is_finite() => {
+                (min_beta - 2.0).clamp(0.0, 0.9 * self.config.max_radius)
+            }
+            _ => 0.0,
+        };
 
         let mut probed = 0usize;
         'blocks: while probed < self.config.directions {
             let block = DIRECTION_BLOCK.min(self.config.directions - probed);
             let directions: Vec<Vector> = (0..block).map(|_| uniform_on_sphere(rng, dim)).collect();
-            let radii = self.boundary_radii(problem, &directions, &executor);
+            let radii = self.boundary_radii(problem, &directions, bracket_lo, &executor);
             for radius in radii {
                 probed += 1;
                 let contribution = match radius {
@@ -209,9 +235,13 @@ impl Estimator for SphericalSampling {
                 estimate,
                 relative_error: rel_err,
             });
-            if failing_directions >= self.config.min_failing_directions
-                && rel_err <= self.config.target_relative_error
-            {
+            if stop.check(
+                failing_directions as f64,
+                self.config.min_failing_directions as u64,
+                rel_err,
+                self.config.target_relative_error,
+                self.config.corrected_stopping,
+            ) {
                 converged = true;
                 break 'blocks;
             }
@@ -222,7 +252,12 @@ impl Estimator for SphericalSampling {
             result: ExtractionResult {
                 method: "spherical-sampling".to_string(),
                 failure_probability: estimate,
-                standard_error: tail_stats.standard_error(),
+                standard_error: crate::stopping::reported_standard_error(
+                    tail_stats.standard_error(),
+                    failing_directions as f64,
+                    converged,
+                    self.config.corrected_stopping,
+                ),
                 sigma_level: ExtractionResult::sigma_from_probability(estimate),
                 evaluations: problem.evaluations() - start_evals,
                 sampling_evaluations: problem.evaluations() - start_evals,
@@ -230,8 +265,29 @@ impl Estimator for SphericalSampling {
                 converged,
                 trace,
             },
-            diagnostics: Diagnostics::SphericalSampling,
+            diagnostics: Diagnostics::SphericalSampling {
+                min_beta: min_beta.is_finite().then_some(min_beta),
+            },
         }
+    }
+}
+
+impl Estimator for SphericalSampling {
+    fn name(&self) -> &str {
+        "spherical-sampling"
+    }
+
+    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
+        self.estimate_inner(problem, rng, None)
+    }
+
+    fn estimate_warm(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        warm: Option<&WarmStart>,
+    ) -> EstimatorOutcome {
+        self.estimate_inner(problem, rng, warm)
     }
 
     fn configure(&mut self, policy: &ConvergencePolicy) {

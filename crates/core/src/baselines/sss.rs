@@ -17,7 +17,7 @@
 //! the distance between the largest affordable scale and 1 — visible in the
 //! comparison tables as a wider confidence band at equal cost.
 
-use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome, WarmStart};
 use crate::exec::ExecutionConfig;
 use crate::model::FailureProblem;
 use crate::result::{ConvergencePoint, ExtractionResult};
@@ -115,20 +115,52 @@ impl ScaledSigmaSampling {
     }
 }
 
-impl Estimator for ScaledSigmaSampling {
-    fn name(&self) -> &str {
-        "scaled-sigma-sampling"
+impl ScaledSigmaSampling {
+    /// The scale factors a warm hint leaves active: a neighbor's usable
+    /// (failure-producing) scales tell us which of *our* configured scales
+    /// are likely to waste their whole Monte Carlo budget observing nothing.
+    /// Scales below the neighbor's smallest usable scale are dropped —
+    /// `samples_per_scale` evaluations saved each — as long as at least
+    /// three scales remain (the regression minimum); otherwise the hint is
+    /// ignored and the blind scale list runs unchanged.
+    fn active_scales(&self, warm: Option<&WarmStart>) -> Vec<f64> {
+        if let Some(WarmStart::UsableScales { scales }) = warm {
+            let threshold = scales
+                .iter()
+                .copied()
+                .filter(|s| s.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            if threshold.is_finite() {
+                let kept: Vec<f64> = self
+                    .config
+                    .scales
+                    .iter()
+                    .copied()
+                    .filter(|&s| s >= threshold - 1e-12)
+                    .collect();
+                if kept.len() >= 3 {
+                    return kept;
+                }
+            }
+        }
+        self.config.scales.clone()
     }
 
     #[allow(clippy::expect_used)] // invariants stated in the expect messages
-    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
+    fn estimate_inner(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        warm: Option<&WarmStart>,
+    ) -> EstimatorOutcome {
         let dim = problem.dim();
         let executor = self.exec.executor();
         let start_evals = problem.evaluations();
-        let mut points = Vec::with_capacity(self.config.scales.len());
+        let scales = self.active_scales(warm);
+        let mut points = Vec::with_capacity(scales.len());
         let mut trace = Vec::new();
 
-        for &scale in &self.config.scales {
+        for &scale in &scales {
             // Generate the whole inflated-sigma cloud sequentially, evaluate
             // it on the executor, count failures in sample order.
             let cloud: Vec<Vector> = (0..self.config.samples_per_scale)
@@ -256,6 +288,25 @@ impl Estimator for ScaledSigmaSampling {
                 scale_points: points,
             },
         }
+    }
+}
+
+impl Estimator for ScaledSigmaSampling {
+    fn name(&self) -> &str {
+        "scaled-sigma-sampling"
+    }
+
+    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
+        self.estimate_inner(problem, rng, None)
+    }
+
+    fn estimate_warm(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        warm: Option<&WarmStart>,
+    ) -> EstimatorOutcome {
+        self.estimate_inner(problem, rng, warm)
     }
 
     fn configure(&mut self, policy: &ConvergencePolicy) {

@@ -72,8 +72,14 @@ pub enum Diagnostics {
         /// The derivative-free minimum-norm search outcome.
         search: MnisSearchOutcome,
     },
-    /// Spherical sampling carries no extras beyond the shared result.
-    SphericalSampling,
+    /// Spherical sampling: the boundary-geometry summary of the run.
+    SphericalSampling {
+        /// Smallest failing boundary radius found across all directions (the
+        /// spherical estimate of the reliability index β), `None` when no
+        /// direction failed within the radius cap. This is what a grid
+        /// neighbor warm-starts its bisection bracket from.
+        min_beta: Option<f64>,
+    },
     /// Scaled-sigma sampling: the per-scale measurements behind the
     /// extrapolation.
     ScaledSigmaSampling {
@@ -138,6 +144,112 @@ impl EstimatorOutcome {
             _ => None,
         }
     }
+
+    /// Whether the method's diagnostics flagged a suspected second failure
+    /// mode (`false` for methods without the heuristic).
+    pub fn multimodal_suspected(&self) -> bool {
+        self.is_diagnostics()
+            .map(|d| d.multimodal_suspected)
+            .unwrap_or(false)
+    }
+
+    /// The smallest failing boundary radius, for spherical sampling.
+    pub fn min_beta(&self) -> Option<f64> {
+        match &self.diagnostics {
+            Diagnostics::SphericalSampling { min_beta } => *min_beta,
+            _ => None,
+        }
+    }
+
+    /// Extracts the warm-start hint a grid neighbor of the *same estimator*
+    /// could seed its search from, or `None` when this outcome carries
+    /// nothing worth continuing from (Monte Carlo, failed searches,
+    /// zero-failure runs).
+    ///
+    /// The extraction is a pure function of the diagnostics, so a hint
+    /// rebuilt from a checkpoint-restored outcome is bit-identical to the
+    /// one the live run produced — the property warm-sweep resume relies on.
+    pub fn warm_hint(&self) -> Option<WarmStart> {
+        match &self.diagnostics {
+            Diagnostics::GradientImportanceSampling { mpfp, .. } => {
+                if mpfp.converged && mpfp.mpfp.is_finite() && mpfp.beta > 0.0 {
+                    Some(WarmStart::MpfpShift {
+                        shift: mpfp.mpfp.clone(),
+                        beta: mpfp.beta,
+                    })
+                } else {
+                    None
+                }
+            }
+            Diagnostics::MonteCarlo => None,
+            Diagnostics::MinimumNormIs { search, .. } => {
+                if search.found_failure && search.center.is_finite() && search.beta > 0.0 {
+                    Some(WarmStart::MinimumNormCenter {
+                        center: search.center.clone(),
+                        beta: search.beta,
+                    })
+                } else {
+                    None
+                }
+            }
+            Diagnostics::SphericalSampling { min_beta } => min_beta
+                .filter(|beta| beta.is_finite() && *beta > 0.0)
+                .map(|min_beta| WarmStart::RadiusBracket { min_beta }),
+            Diagnostics::ScaledSigmaSampling { scale_points } => {
+                let scales: Vec<f64> = scale_points
+                    .iter()
+                    .filter(|point| point.failures > 0)
+                    .map(|point| point.scale)
+                    .collect();
+                if scales.is_empty() {
+                    None
+                } else {
+                    Some(WarmStart::UsableScales { scales })
+                }
+            }
+        }
+    }
+}
+
+/// A warm-start hint: the search state a completed grid neighbor donates to
+/// an adjacent cell of the *same estimator*, so the recipient can skip or
+/// shorten its own search phase. Hints are advisory — every estimator
+/// validates the hint against its own problem (dimension, finiteness) and
+/// falls back to the blind path when it does not apply. Monte Carlo has no
+/// search phase and ignores hints entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WarmStart {
+    /// Gradient IS: seed the damped HL–RF iteration at a neighbor's
+    /// converged MPFP instead of the origin. Near-identical neighbor
+    /// geometry converges in one or two iterations.
+    MpfpShift {
+        /// The neighbor's converged most-probable failure point.
+        shift: Vector,
+        /// Its reliability index (norm of the shift), kept for provenance
+        /// and disagreement diagnostics.
+        beta: f64,
+    },
+    /// Minimum-norm IS: center the proposal search on a neighbor's
+    /// minimum-norm failing point, skipping the LHS presampling rounds.
+    MinimumNormCenter {
+        /// The neighbor's minimum-norm failing point.
+        center: Vector,
+        /// Its norm in sigmas.
+        beta: f64,
+    },
+    /// Spherical sampling: tighten the radial bisection bracket around a
+    /// neighbor's smallest failing radius.
+    RadiusBracket {
+        /// The neighbor's smallest failing boundary radius.
+        min_beta: f64,
+    },
+    /// Scaled-sigma sampling: spend samples only on the scales that
+    /// produced failures for the neighbor (the extrapolation's usable
+    /// points), skipping scales whose clouds were all-passing.
+    UsableScales {
+        /// Scale factors that produced at least one failure.
+        scales: Vec<f64>,
+    },
 }
 
 /// Budget and stopping policy a driver imposes uniformly on every estimator.
@@ -205,6 +317,24 @@ pub trait Estimator: Send + Sync {
 
     /// Runs the full extraction on `problem`, drawing randomness from `rng`.
     fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome;
+
+    /// Runs the extraction seeded from a grid neighbor's [`WarmStart`] hint.
+    ///
+    /// Contract: `estimate_warm(problem, rng, None)` must be bit-identical
+    /// to [`estimate`](Estimator::estimate) — the blind path is the
+    /// reproducibility reference — and an inapplicable hint (wrong
+    /// dimension, non-finite, wrong variant) must fall back to it. The
+    /// default implementation ignores hints, which is the correct behavior
+    /// for estimators without a search phase (Monte Carlo).
+    fn estimate_warm(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        warm: Option<&WarmStart>,
+    ) -> EstimatorOutcome {
+        let _ = warm;
+        self.estimate(problem, rng)
+    }
 
     /// Maps a driver-imposed budget/stopping policy onto the method's own
     /// configuration. The default implementation ignores the policy.

@@ -20,9 +20,11 @@
 //! equivalent sigma level, and the full cost accounting used by the
 //! evaluation tables.
 
-use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+use crate::estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome, WarmStart};
 use crate::exec::ExecutionConfig;
-use crate::importance::{ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal};
+use crate::importance::{
+    shifts_disagree, ImportanceSamplingConfig, IsAccumulator, IsDiagnostics, Proposal,
+};
 use crate::model::FailureProblem;
 use crate::mpfp::{GradientMpfpSearch, MpfpConfig};
 use crate::result::{ConvergencePoint, ExtractionResult};
@@ -160,21 +162,57 @@ impl GradientImportanceSampling {
     }
 }
 
-impl Estimator for GradientImportanceSampling {
-    fn name(&self) -> &str {
-        "gradient-is"
-    }
+/// Detects re-centring oscillation in a shift history: two successive
+/// adaptation steps that move in substantially opposing directions. A
+/// unimodal failure region pulls the shift monotonically towards its mass
+/// centre; large back-and-forth jumps mean the weighted failure mean is
+/// alternating between separated failure clusters.
+fn shift_history_oscillates(history: &[Vector]) -> bool {
+    history.windows(3).any(|w| {
+        let d1 = &w[1] - &w[0];
+        let d2 = &w[2] - &w[1];
+        match d1.dot(&d2) {
+            Ok(dot) => dot < 0.0 && d1.norm() > 1.0 && d2.norm() > 1.0,
+            Err(_) => false,
+        }
+    })
+}
 
+impl GradientImportanceSampling {
     #[allow(clippy::expect_used)] // invariants stated in the expect messages
-    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
+    fn estimate_inner(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        warm: Option<&WarmStart>,
+    ) -> EstimatorOutcome {
         let dim = problem.dim();
         let executor = self.exec.executor();
         let start_evals = problem.evaluations();
 
+        // An applicable hint is a converged neighbor MPFP of the right
+        // dimension; anything else falls back to the blind search.
+        let warm_shift = match warm {
+            Some(WarmStart::MpfpShift { shift, beta }) => {
+                if shift.len() == dim && shift.is_finite() && *beta > 0.0 {
+                    Some(shift.clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let warm_seeded = warm_shift.is_some();
+
         // Phase 1: gradient search for the most-probable failure point (the
-        // finite-difference probes of each iteration run as one batch).
+        // finite-difference probes of each iteration run as one batch). A
+        // warm hint seeds the iterate at the neighbor's MPFP; the blind path
+        // starts from the origin (`search_on` == `search_from_on` at zero).
         let mpfp_search = GradientMpfpSearch::new(self.config.mpfp.clone());
-        let mpfp = mpfp_search.search_on(problem, rng, &executor);
+        let mpfp = match warm_shift {
+            Some(start) => mpfp_search.search_from_on(problem, start, rng, &executor),
+            None => mpfp_search.search_on(problem, rng, &executor),
+        };
         let search_evaluations = problem.evaluations() - start_evals;
 
         // Phase 2: adaptive defensive mean-shift importance sampling.
@@ -186,6 +224,7 @@ impl Estimator for GradientImportanceSampling {
         let mut acc = IsAccumulator::new();
         let mut trace = Vec::new();
         let mut converged = false;
+        let mut stop = crate::stopping::StopTracker::new();
 
         // Weighted sum of failing samples since the last re-centring step.
         let mut failing_weight_sum = 0.0;
@@ -225,9 +264,20 @@ impl Estimator for GradientImportanceSampling {
                 relative_error: acc.relative_error(),
             });
 
-            if acc.failures() >= sampling.min_failures
-                && acc.relative_error() <= sampling.target_relative_error
-            {
+            // Corrected rule: effective (weight-adjusted) failures, so a
+            // degenerate-weight run cannot stop on an overstated count.
+            let stop_failures = if sampling.corrected_stopping {
+                acc.effective_failures()
+            } else {
+                acc.failures() as f64
+            };
+            if stop.check(
+                stop_failures,
+                sampling.min_failures,
+                acc.relative_error(),
+                sampling.target_relative_error,
+                sampling.corrected_stopping,
+            ) {
                 converged = true;
                 break;
             }
@@ -254,7 +304,12 @@ impl Estimator for GradientImportanceSampling {
         let result = ExtractionResult {
             method: "gradient-is".to_string(),
             failure_probability: estimate,
-            standard_error: acc.standard_error(),
+            standard_error: crate::stopping::reported_standard_error(
+                acc.standard_error(),
+                acc.effective_failures(),
+                converged,
+                sampling.corrected_stopping,
+            ),
             sigma_level: ExtractionResult::sigma_from_probability(estimate),
             evaluations: problem.evaluations() - start_evals,
             sampling_evaluations: acc.samples(),
@@ -262,11 +317,26 @@ impl Estimator for GradientImportanceSampling {
             converged,
             trace,
         };
+        // Multimodality heuristics: (a) a warm-seeded search that converged
+        // somewhere far from the donor's MPFP means the two grid neighbors
+        // see different dominant failure regions; (b) large opposing
+        // re-centring jumps mean the failure mass itself is split. Either
+        // way a single mean-shift proposal may be missing a mode.
+        let warm_disagrees = match warm {
+            Some(WarmStart::MpfpShift { shift: hint, .. }) => {
+                warm_seeded
+                    && mpfp.converged
+                    && shifts_disagree(hint.as_slice(), mpfp.mpfp.as_slice())
+            }
+            _ => false,
+        };
+        let multimodal_suspected = warm_disagrees || shift_history_oscillates(&shift_history);
         let diagnostics = IsDiagnostics {
             effective_sample_size: acc.effective_sample_size(),
             max_weight: acc.max_weight(),
             shift: Some(shift.as_slice().to_vec()),
             shift_norm: Some(shift.norm()),
+            multimodal_suspected,
         };
         EstimatorOutcome {
             result,
@@ -276,6 +346,25 @@ impl Estimator for GradientImportanceSampling {
                 shift_history,
             },
         }
+    }
+}
+
+impl Estimator for GradientImportanceSampling {
+    fn name(&self) -> &str {
+        "gradient-is"
+    }
+
+    fn estimate(&self, problem: &FailureProblem, rng: &mut RngStream) -> EstimatorOutcome {
+        self.estimate_inner(problem, rng, None)
+    }
+
+    fn estimate_warm(
+        &self,
+        problem: &FailureProblem,
+        rng: &mut RngStream,
+        warm: Option<&WarmStart>,
+    ) -> EstimatorOutcome {
+        self.estimate_inner(problem, rng, warm)
     }
 
     fn configure(&mut self, policy: &ConvergencePolicy) {
@@ -301,6 +390,7 @@ mod tests {
     fn quick_config() -> GisConfig {
         GisConfig {
             sampling: ImportanceSamplingConfig {
+                corrected_stopping: true,
                 max_samples: 30_000,
                 batch_size: 1_000,
                 target_relative_error: 0.05,

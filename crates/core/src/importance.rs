@@ -297,6 +297,21 @@ impl IsAccumulator {
         }
     }
 
+    /// Effective failure count for the corrected stopping rule: the Kish
+    /// effective sample size of the failing weights, capped by the raw
+    /// count. Equal weights give back the raw count (rounded to absorb
+    /// accumulation round-off); weight degeneracy shrinks it, which both
+    /// delays the optional stop and widens the first-passage inflation —
+    /// with heavy weight tails the raw count overstates the information
+    /// actually present in the error bar.
+    pub fn effective_failures(&self) -> f64 {
+        let ess = self.effective_sample_size();
+        if !ess.is_finite() {
+            return self.failures as f64;
+        }
+        ess.round().min(self.failures as f64)
+    }
+
     /// Kish effective sample size of the failing-sample weights.
     pub fn effective_sample_size(&self) -> f64 {
         // gis-analyze: allow(float-eq, division guard: the sum of squares is exactly 0.0 only when empty)
@@ -325,6 +340,10 @@ pub struct ImportanceSamplingConfig {
     pub target_relative_error: f64,
     /// Minimum number of failing samples before the stopping rule may fire.
     pub min_failures: u64,
+    /// Use the first-passage-corrected stopping rule and error bar (see
+    /// [`crate::stopping`]). `false` restores the legacy anti-conservative
+    /// rule, kept for the calibration harness's before/after measurement.
+    pub corrected_stopping: bool,
 }
 
 impl Default for ImportanceSamplingConfig {
@@ -334,6 +353,7 @@ impl Default for ImportanceSamplingConfig {
             batch_size: 500,
             target_relative_error: 0.1,
             min_failures: 20,
+            corrected_stopping: true,
         }
     }
 }
@@ -363,6 +383,33 @@ pub struct IsDiagnostics {
     pub shift: Option<Vec<f64>>,
     /// Norm of the final shift vector (the β distance), if applicable.
     pub shift_norm: Option<f64>,
+    /// Whether the run saw evidence of a multimodal failure region that a
+    /// single mean-shift proposal cannot cover honestly: the adaptive shift
+    /// history oscillated between distant centers, or a warm-start neighbor's
+    /// MPFP disagreed with the locally found one beyond
+    /// [`shifts_disagree`]'s threshold. When set, the reported error bar
+    /// covers only the mode the proposal found — treat the estimate as a
+    /// lower bound, not a clean interval.
+    pub multimodal_suspected: bool,
+}
+
+/// Whether two mean-shift centers are far enough apart to suggest they sit on
+/// different failure modes: the distance between them exceeds one sigma *and*
+/// a quarter of the larger center's norm (so far-tail centers tolerate
+/// proportionally more drift before raising suspicion).
+pub fn shifts_disagree(a: &[f64], b: &[f64]) -> bool {
+    if a.len() != b.len() {
+        return true;
+    }
+    let distance = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let scale = norm(a).max(norm(b));
+    distance > 1.0 && distance > 0.25 * scale
 }
 
 /// Runs fixed-proposal importance sampling on `problem` and reports the result
@@ -394,6 +441,7 @@ pub fn run_importance_sampling(
     let mut acc = IsAccumulator::new();
     let mut trace = Vec::new();
     let mut converged = false;
+    let mut stop = crate::stopping::StopTracker::new();
 
     while acc.samples() < config.max_samples {
         let batch = config.batch_size.min(config.max_samples - acc.samples());
@@ -413,9 +461,23 @@ pub fn run_importance_sampling(
             estimate: acc.estimate(),
             relative_error: acc.relative_error(),
         });
-        if acc.failures() >= config.min_failures
-            && acc.relative_error() <= config.target_relative_error
-        {
+        // The corrected rule counts *effective* (weight-adjusted) failures:
+        // with degenerate importance weights the raw count overstates how
+        // much information the error bar rests on. The legacy rule keeps
+        // the raw count so the before/after comparison measures exactly the
+        // historical behavior.
+        let stop_failures = if config.corrected_stopping {
+            acc.effective_failures()
+        } else {
+            acc.failures() as f64
+        };
+        if stop.check(
+            stop_failures,
+            config.min_failures,
+            acc.relative_error(),
+            config.target_relative_error,
+            config.corrected_stopping,
+        ) {
             converged = true;
             break;
         }
@@ -433,7 +495,12 @@ pub fn run_importance_sampling(
     let result = ExtractionResult {
         method: method.to_string(),
         failure_probability: estimate,
-        standard_error: acc.standard_error(),
+        standard_error: crate::stopping::reported_standard_error(
+            acc.standard_error(),
+            acc.effective_failures(),
+            converged,
+            config.corrected_stopping,
+        ),
         sigma_level: ExtractionResult::sigma_from_probability(estimate),
         evaluations: search_evaluations + acc.samples(),
         sampling_evaluations: acc.samples(),
@@ -446,6 +513,7 @@ pub fn run_importance_sampling(
         max_weight: acc.max_weight(),
         shift,
         shift_norm,
+        multimodal_suspected: false,
     };
     (result, diagnostics)
 }
@@ -605,6 +673,7 @@ mod tests {
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let proposal = Proposal::shifted(mpfp);
         let config = ImportanceSamplingConfig {
+            corrected_stopping: true,
             max_samples: 20_000,
             batch_size: 1_000,
             target_relative_error: 0.05,
@@ -637,6 +706,7 @@ mod tests {
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let proposal = Proposal::defensive_mixture(mpfp, 0.1);
         let config = ImportanceSamplingConfig {
+            corrected_stopping: true,
             max_samples: 40_000,
             batch_size: 2_000,
             target_relative_error: 0.05,
@@ -667,6 +737,7 @@ mod tests {
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let proposal = Proposal::shifted(Vector::from_slice(&[-4.0, 0.0]));
         let config = ImportanceSamplingConfig {
+            corrected_stopping: true,
             max_samples: 5_000,
             batch_size: 1_000,
             target_relative_error: 0.1,
@@ -691,6 +762,7 @@ mod tests {
         let problem = FailureProblem::from_model(ls.clone(), LinearLimitState::spec());
         let proposal = Proposal::defensive_mixture(ls.exact_mpfp(), 0.1);
         let config = ImportanceSamplingConfig {
+            corrected_stopping: true,
             max_samples: 10_000,
             batch_size: 500,
             target_relative_error: 0.05,

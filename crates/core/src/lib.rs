@@ -146,6 +146,7 @@ pub mod problems;
 pub mod result;
 pub mod special;
 pub mod sram_models;
+pub mod stopping;
 pub mod sweep;
 
 pub use analysis::{
@@ -157,7 +158,7 @@ pub use baselines::{
     SphericalSampling, SphericalSamplingConfig, SssConfig,
 };
 pub use calibration::{CalibrationReport, CalibrationRow, Calibrator, Replication};
-pub use estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome};
+pub use estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome, WarmStart};
 pub use exec::{ExecutionConfig, Executor};
 pub use gis::{GisConfig, GradientImportanceSampling};
 pub use gis_sram::TransientKernel;

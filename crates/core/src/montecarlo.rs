@@ -30,6 +30,10 @@ pub struct MonteCarloConfig {
     /// Minimum number of observed failures before the stopping rule may fire
     /// (protects against spuriously "converged" estimates from 1–2 failures).
     pub min_failures: u64,
+    /// Use the first-passage-corrected stopping rule and error bar (see
+    /// [`crate::stopping`]). `false` restores the legacy anti-conservative
+    /// rule, kept for the calibration harness's before/after measurement.
+    pub corrected_stopping: bool,
 }
 
 impl Default for MonteCarloConfig {
@@ -39,6 +43,7 @@ impl Default for MonteCarloConfig {
             batch_size: 1_000,
             target_relative_error: 0.1,
             min_failures: 10,
+            corrected_stopping: true,
         }
     }
 }
@@ -121,6 +126,7 @@ impl Estimator for MonteCarlo {
         let mut failures = 0u64;
         let mut trace = Vec::new();
         let mut converged = false;
+        let mut stop = crate::stopping::StopTracker::new();
 
         while samples < self.config.max_samples {
             let batch = self
@@ -146,15 +152,25 @@ impl Estimator for MonteCarlo {
                 estimate,
                 relative_error: rel_err,
             });
-            if failures >= self.config.min_failures && rel_err <= self.config.target_relative_error
-            {
+            if stop.check(
+                failures as f64,
+                self.config.min_failures,
+                rel_err,
+                self.config.target_relative_error,
+                self.config.corrected_stopping,
+            ) {
                 converged = true;
                 break;
             }
         }
 
         let estimate = failures as f64 / samples as f64;
-        let standard_error = binomial_standard_error(failures, samples);
+        let standard_error = crate::stopping::reported_standard_error(
+            binomial_standard_error(failures, samples),
+            failures as f64,
+            converged,
+            self.config.corrected_stopping,
+        );
         EstimatorOutcome {
             result: ExtractionResult {
                 method: "monte-carlo".to_string(),
@@ -234,6 +250,7 @@ mod tests {
         let exact = ls.exact_failure_probability();
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let mc = MonteCarlo::new(MonteCarloConfig {
+            corrected_stopping: true,
             max_samples: 200_000,
             batch_size: 5_000,
             target_relative_error: 0.05,
@@ -256,6 +273,7 @@ mod tests {
         let ls = LinearLimitState::along_first_axis(3, 5.0);
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let mc = MonteCarlo::new(MonteCarloConfig {
+            corrected_stopping: true,
             max_samples: 20_000,
             batch_size: 5_000,
             target_relative_error: 0.1,
@@ -273,6 +291,7 @@ mod tests {
         let ls = LinearLimitState::along_first_axis(2, 1.5);
         let problem = FailureProblem::from_model(ls, LinearLimitState::spec());
         let mc = MonteCarlo::new(MonteCarloConfig {
+            corrected_stopping: true,
             max_samples: 30_000,
             batch_size: 1_000,
             target_relative_error: 0.02,

@@ -175,16 +175,34 @@ impl GradientMpfpSearch {
     /// zero-gradient plateaus (censored regions), so the search is
     /// deterministic whenever the metric is smooth — and bit-identical at any
     /// thread count either way.
-    #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn search_on(
         &self,
         problem: &FailureProblem,
         rng: &mut RngStream,
         exec: &Executor,
     ) -> MpfpResult {
+        self.search_from_on(problem, Vector::zeros(problem.dim()), rng, exec)
+    }
+
+    /// Runs the search from an arbitrary starting iterate instead of the
+    /// origin — the warm-start entry point used when a sweep neighbor's
+    /// converged MPFP is available. The HL–RF iteration is identical to
+    /// [`search_on`](GradientMpfpSearch::search_on) (which delegates here
+    /// with a zero start), so a zero `start` is bit-identical to the blind
+    /// search; a good `start` near the true MPFP converges in a small number
+    /// of iterations and skips most of the gradient probes.
+    #[allow(clippy::expect_used)] // invariants stated in the expect messages
+    pub fn search_from_on(
+        &self,
+        problem: &FailureProblem,
+        start: Vector,
+        rng: &mut RngStream,
+        exec: &Executor,
+    ) -> MpfpResult {
         let dim = problem.dim();
+        debug_assert_eq!(start.len(), dim, "start point dimension mismatch");
         let start_evals = problem.evaluations();
-        let mut z = Vector::zeros(dim);
+        let mut z = start;
         let mut trace = Vec::new();
         let mut converged = false;
         let mut iterations = 0;

@@ -62,7 +62,7 @@
 
 use crate::analysis::{AnalysisReport, MethodReport, YieldAnalysis};
 use crate::array_yield::ArrayYield;
-use crate::estimator::ConvergencePolicy;
+use crate::estimator::{ConvergencePolicy, WarmStart};
 use crate::exec::ExecutionConfig;
 use crate::model::{FailureProblem, Spec};
 use crate::sram_models::{SramMetric, SramSurrogateModel};
@@ -78,6 +78,29 @@ use std::sync::Mutex;
 /// `ΔV_T = VTH_TEMPERATURE_COEFFICIENT · (T − 25 °C)` for both polarities
 /// (thresholds drop as the die heats up), a typical bulk-CMOS value.
 pub const VTH_TEMPERATURE_COEFFICIENT: f64 = -1.0e-3;
+
+/// Length of the warm-start donor chain rooted at `name` (0 for a problem
+/// without a donor — a blind family origin). Cells execute in ascending
+/// donor depth, which is exactly the wave order of the donor forest.
+///
+/// # Panics
+///
+/// Panics when the donor map contains a cycle. Maps built by
+/// [`SweepPlan::warm_donors`] are acyclic by construction (every donor
+/// decrements a grid index), so this only fires on a hand-built map.
+fn donor_depth(donors: &BTreeMap<String, String>, name: &str) -> usize {
+    let mut depth = 0usize;
+    let mut cursor = name;
+    while let Some(donor) = donors.get(cursor) {
+        depth += 1;
+        assert!(
+            depth <= donors.len(),
+            "warm-start donor map contains a cycle reachable from {name:?}"
+        );
+        cursor = donor;
+    }
+    depth
+}
 
 /// Panics when `names` contains a duplicate — the sweep scheduler and
 /// checkpoint key cells by name, so aliased names would silently clone one
@@ -383,6 +406,55 @@ impl SweepPlan {
         analysis
     }
 
+    /// The warm-start adjacency of this plan's grid: each scenario name
+    /// mapped to the name of the *donor* scenario it may seed its searches
+    /// from in continuation mode ([`SweepRunner::warm_start`]).
+    ///
+    /// Adjacency follows the continuous operating axes only — supply,
+    /// temperature, `A_VT` — because failure geometry moves smoothly along
+    /// them; corner and metric changes swap the problem qualitatively, so
+    /// every (corner, metric) family warm-starts independently. The donor of
+    /// a grid point is its predecessor along the first continuous axis with a
+    /// non-zero index (supply first, then temperature, then `A_VT`), which
+    /// makes the donor graph a forest rooted at each family's origin cell
+    /// (all continuous indices zero); origin cells have no donor and always
+    /// run blind, anchoring every chain to the reproducibility reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`scenarios`](Self::scenarios).
+    pub fn warm_donors(&self) -> BTreeMap<String, String> {
+        let scenarios = self.scenarios();
+        let s = self.supply_voltages.len();
+        let t = self.temperatures_celsius.len();
+        let a = self.pelgrom_avts.len();
+        let m = self.metrics.len();
+        let flat = |ci: usize, si: usize, ti: usize, ai: usize, mi: usize| {
+            (((ci * s + si) * t + ti) * a + ai) * m + mi
+        };
+        let mut donors = BTreeMap::new();
+        for (idx, scenario) in scenarios.iter().enumerate() {
+            let mi = idx % m;
+            let ai = (idx / m) % a;
+            let ti = (idx / (m * a)) % t;
+            let si = (idx / (m * a * t)) % s;
+            let ci = idx / (m * a * t * s);
+            let donor = if si > 0 {
+                Some(flat(ci, si - 1, ti, ai, mi))
+            } else if ti > 0 {
+                Some(flat(ci, si, ti - 1, ai, mi))
+            } else if ai > 0 {
+                Some(flat(ci, si, ti, ai - 1, mi))
+            } else {
+                None
+            };
+            if let Some(donor) = donor {
+                donors.insert(scenario.name.clone(), scenarios[donor].name.clone());
+            }
+        }
+        donors
+    }
+
     /// The per-cell sigma requirement of every registered capacity target.
     pub fn sigma_requirements(&self) -> Vec<(String, f64)> {
         self.capacity_targets
@@ -539,6 +611,18 @@ pub struct SweepCellRecord {
     pub problem: String,
     /// The completed method report, estimator name and derived seed included.
     pub report: MethodReport,
+    /// Donor problem this cell warm-started from, when the sweep ran in
+    /// continuation mode and the cell had a donor. `None` marks a blind
+    /// cell; the distinction is part of the cell's identity, so warm and
+    /// blind records never alias on restore (absent in pre-continuation
+    /// checkpoints, which deserialize as blind).
+    pub warm_from: Option<String>,
+    /// The exact warm-start hint passed to the estimator, extracted from the
+    /// donor's diagnostics at execution time (`None` when the donor produced
+    /// no usable hint — e.g. a Monte Carlo donor). Stored so a resume can
+    /// verify the donor still yields the same hint before trusting the
+    /// record.
+    pub warm_hint: Option<WarmStart>,
 }
 
 /// Progress summary of a (possibly partial) sweep.
@@ -617,6 +701,7 @@ pub struct SweepRunner {
     matrix: ExecutionConfig,
     checkpoint: Option<PathBuf>,
     cell_budget: Option<usize>,
+    warm_donors: Option<BTreeMap<String, String>>,
 }
 
 impl Default for SweepRunner {
@@ -633,6 +718,7 @@ impl SweepRunner {
             matrix: ExecutionConfig::from_env(),
             checkpoint: None,
             cell_budget: None,
+            warm_donors: None,
         }
     }
 
@@ -655,6 +741,22 @@ impl SweepRunner {
     /// slots, and for deterministically exercising kill/resume in tests.
     pub fn cell_budget(mut self, cells: usize) -> Self {
         self.cell_budget = Some(cells);
+        self
+    }
+
+    /// Enables dependency-aware continuation mode: every cell whose problem
+    /// has a donor in `donors` (usually [`SweepPlan::warm_donors`]) seeds its
+    /// search from that donor's completed diagnostics instead of starting
+    /// blind. Cells execute in dependency waves — a full barrier between
+    /// depths guarantees each donor's diagnostics exist before any dependent
+    /// starts — and the checkpoint records carry the donor name and the exact
+    /// hint used, so a resumed warm cell replays identically and warm records
+    /// never alias blind ones. Problems without a donor (family origins) and
+    /// estimators that ignore hints run exactly the blind path.
+    ///
+    /// Off by default: the blind schedule is the reproducibility reference.
+    pub fn warm_start(mut self, donors: BTreeMap<String, String>) -> Self {
+        self.warm_donors = Some(donors);
         self
     }
 
@@ -738,6 +840,13 @@ impl SweepRunner {
             }
         }
         let progress = std::sync::atomic::AtomicUsize::new(reported);
+        // Continuation mode reorders pending cells into dependency waves
+        // (donors strictly before dependents) so a cell budget can never
+        // strand a dependent ahead of its donor; blind mode keeps the
+        // registration order untouched.
+        if let Some(donors) = &self.warm_donors {
+            pending.sort_by_key(|&(pi, _)| donor_depth(donors, &problem_names[pi]));
+        }
         let to_run: Vec<(usize, usize)> = match self.cell_budget {
             Some(budget) => pending.iter().take(budget).copied().collect(),
             None => pending.clone(),
@@ -761,40 +870,98 @@ impl SweepRunner {
 
         let master_seed = analysis.master_seed_value();
         let policy = analysis.convergence_policy_value();
-        let fresh: Vec<((usize, usize), MethodReport)> =
-            self.matrix.executor().map_tasks(to_run.len(), |task| {
-                let (pi, ei) = to_run[task];
-                let report = analysis.run_cell(pi, ei);
-                if let Some(appender) = &appender {
-                    let record = SweepCellRecord {
-                        master_seed,
-                        policy,
-                        problem: problem_names[pi].clone(),
-                        report: report.clone(),
-                    };
-                    let line = serde_json::to_string(&SweepLogEntry::cell(record))
-                        .expect("sweep cell record serializes"); // gis-analyze: allow(panic-site, serializing an in-memory record to a string cannot fail)
-                    let mut file = appender.lock().expect("checkpoint appender not poisoned"); // gis-analyze: allow(panic-site, a poisoned appender only follows a worker panic that already aborted the sweep)
-                    writeln!(file, "{line}").expect("checkpoint line is appendable"); // gis-analyze: allow(panic-site, a lost checkpoint line would silently fake resume safety; abort instead)
-                    file.flush().expect("checkpoint flushes"); // gis-analyze: allow(panic-site, an unflushed checkpoint would silently fake resume safety; abort instead)
-                }
-                observer(SweepCellUpdate {
-                    problem: &problem_names[pi],
-                    estimator: &estimator_names[ei],
-                    completed_cells: progress.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1,
-                    total_cells,
-                    restored: false,
-                    report: &report,
-                });
-                ((pi, ei), report)
+        let analysis = &*analysis;
+        // Shared per-cell execution: run (optionally warm), checkpoint with
+        // warm provenance, notify the observer. Used by both schedules so the
+        // blind path and the wave path write byte-identical records for
+        // blind cells.
+        let run_one = |pi: usize,
+                       ei: usize,
+                       warm_from: Option<String>,
+                       warm_hint: Option<WarmStart>|
+         -> MethodReport {
+            let report = analysis.run_cell_warm(pi, ei, warm_hint.as_ref());
+            if let Some(appender) = &appender {
+                let record = SweepCellRecord {
+                    master_seed,
+                    policy,
+                    problem: problem_names[pi].clone(),
+                    report: report.clone(),
+                    warm_from,
+                    warm_hint,
+                };
+                let line = serde_json::to_string(&SweepLogEntry::cell(record))
+                    .expect("sweep cell record serializes"); // gis-analyze: allow(panic-site, serializing an in-memory record to a string cannot fail)
+                let mut file = appender.lock().expect("checkpoint appender not poisoned"); // gis-analyze: allow(panic-site, a poisoned appender only follows a worker panic that already aborted the sweep)
+                writeln!(file, "{line}").expect("checkpoint line is appendable"); // gis-analyze: allow(panic-site, a lost checkpoint line would silently fake resume safety; abort instead)
+                file.flush().expect("checkpoint flushes"); // gis-analyze: allow(panic-site, an unflushed checkpoint would silently fake resume safety; abort instead)
+            }
+            observer(SweepCellUpdate {
+                problem: &problem_names[pi],
+                estimator: &estimator_names[ei],
+                completed_cells: progress.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1,
+                total_cells,
+                restored: false,
+                report: &report,
             });
-        let executed = fresh.len();
-        for ((pi, ei), report) in fresh {
-            completed.insert(
-                (problem_names[pi].clone(), estimator_names[ei].clone()),
-                report,
-            );
-        }
+            report
+        };
+        let executor = self.matrix.executor();
+        let executed = match &self.warm_donors {
+            None => {
+                let fresh: Vec<((usize, usize), MethodReport)> =
+                    executor.map_tasks(to_run.len(), |task| {
+                        let (pi, ei) = to_run[task];
+                        ((pi, ei), run_one(pi, ei, None, None))
+                    });
+                let executed = fresh.len();
+                for ((pi, ei), report) in fresh {
+                    completed.insert(
+                        (problem_names[pi].clone(), estimator_names[ei].clone()),
+                        report,
+                    );
+                }
+                executed
+            }
+            Some(donors) => {
+                // Wave schedule: `to_run` is depth-sorted, so consecutive
+                // equal-depth runs form the waves. The barrier between waves
+                // guarantees every donor's report is in `completed` before a
+                // dependent extracts its hint.
+                let mut executed = 0usize;
+                let mut cursor = 0usize;
+                while cursor < to_run.len() {
+                    let depth = donor_depth(donors, &problem_names[to_run[cursor].0]);
+                    let mut end = cursor + 1;
+                    while end < to_run.len()
+                        && donor_depth(donors, &problem_names[to_run[end].0]) == depth
+                    {
+                        end += 1;
+                    }
+                    let wave = &to_run[cursor..end];
+                    let fresh: Vec<((usize, usize), MethodReport)> =
+                        executor.map_tasks(wave.len(), |task| {
+                            let (pi, ei) = wave[task];
+                            let donor = donors.get(&problem_names[pi]);
+                            let hint = donor
+                                .and_then(|d| {
+                                    completed.get(&(d.clone(), estimator_names[ei].clone()))
+                                })
+                                .and_then(|donor_report| donor_report.outcome.warm_hint());
+                            ((pi, ei), run_one(pi, ei, donor.cloned(), hint))
+                        });
+                    executed += fresh.len();
+                    for ((pi, ei), report) in fresh {
+                        completed.insert(
+                            (problem_names[pi].clone(), estimator_names[ei].clone()),
+                            report,
+                        );
+                    }
+                    cursor = end;
+                }
+                executed
+            }
+        };
 
         let status = self.build_status(analysis, &completed, restored, discarded);
         let report = if status.is_complete() {
@@ -890,6 +1057,31 @@ impl SweepRunner {
                 && record.report.seed
                     == analysis.derived_seed(&record.problem, &record.report.estimator);
             if !configuration_matches {
+                discarded += 1;
+                continue;
+            }
+            // Warm provenance is part of the cell's identity. A blind run
+            // never absorbs warm cells (their estimates depend on the donor)
+            // and a warm run never absorbs blind non-origin cells (a resume
+            // must replay the hinted search). A warm record is additionally
+            // only valid while its donor is already restored and still
+            // yields the recorded hint — checkpoint lines are appended in
+            // wave order, so a valid donor always precedes its dependents,
+            // and a discarded donor transitively re-runs them.
+            let expected_donor = self
+                .warm_donors
+                .as_ref()
+                .and_then(|donors| donors.get(&record.problem));
+            let provenance_matches = match (&record.warm_from, expected_donor) {
+                (None, None) => record.warm_hint.is_none(),
+                (Some(from), Some(donor)) if from == donor => restored
+                    .get(&(donor.clone(), record.report.estimator.clone()))
+                    .is_some_and(|donor_report: &MethodReport| {
+                        donor_report.outcome.warm_hint() == record.warm_hint
+                    }),
+                _ => false,
+            };
+            if !provenance_matches {
                 discarded += 1;
                 continue;
             }
@@ -1237,6 +1429,191 @@ mod tests {
         assert_eq!(resumed.status.restored_cells, 2);
         assert_eq!(resumed.status.discarded_records, 0);
         assert_eq!(replayed.into_inner().unwrap(), vec![(1, true), (2, true)]);
+        clear_checkpoint(&path).unwrap();
+    }
+
+    fn warm_test_analysis() -> YieldAnalysis {
+        let linear = |beta| {
+            FailureProblem::from_model(
+                LinearLimitState::along_first_axis(3, beta),
+                LinearLimitState::spec(),
+            )
+        };
+        YieldAnalysis::new()
+            .master_seed(5)
+            .convergence_policy(ConvergencePolicy::with_budget(4_000))
+            .problem("p-low", linear(2.0))
+            .problem("p-high", linear(3.0))
+            .estimator(Box::new(crate::gis::GradientImportanceSampling::new(
+                crate::gis::GisConfig::default(),
+            )))
+            .estimator(Box::new(MonteCarlo::new(MonteCarloConfig::default())))
+    }
+
+    fn warm_test_donors() -> BTreeMap<String, String> {
+        [("p-high".to_string(), "p-low".to_string())]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn warm_donors_follow_the_grid_axes() {
+        let plan = SweepPlan::new()
+            .corners([GlobalCorner::TypicalTypical, GlobalCorner::SlowSlow])
+            .supply_voltages([0.9, 1.0])
+            .temperatures([-40.0, 25.0]);
+        let donors = plan.warm_donors();
+        let scenarios = plan.scenarios();
+        // Per (corner, metric) family exactly one origin has no donor.
+        assert_eq!(donors.len(), scenarios.len() - 2);
+        let name = |c: &str, v: &str, t: &str| format!("{c}_v{v}_t{t}c_avt2.5_read-access-time");
+        // The supply axis decrements first...
+        assert_eq!(
+            donors[&name("tt", "1.00", "-40")],
+            name("tt", "0.90", "-40")
+        );
+        assert_eq!(
+            donors[&name("tt", "1.00", "+25")],
+            name("tt", "0.90", "+25")
+        );
+        // ...then temperature, only at the supply origin...
+        assert_eq!(
+            donors[&name("tt", "0.90", "+25")],
+            name("tt", "0.90", "-40")
+        );
+        // ...and the family origin runs blind.
+        assert!(!donors.contains_key(&name("tt", "0.90", "-40")));
+        // Corners are independent families: no cross-corner edges.
+        assert_eq!(
+            donors[&name("ss", "1.00", "-40")],
+            name("ss", "0.90", "-40")
+        );
+        for (cell, donor) in &donors {
+            assert_eq!(cell[..2], donor[..2], "donor crossed a corner family");
+        }
+    }
+
+    #[test]
+    fn warm_mode_records_provenance_and_blind_cells_stay_bit_identical() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("warm_prov.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let blind = warm_test_analysis().run();
+        let outcome = SweepRunner::new()
+            .checkpoint(&path)
+            .warm_start(warm_test_donors())
+            .run(&mut warm_test_analysis());
+        assert!(outcome.status.is_complete());
+        let report = outcome.report.expect("complete");
+
+        // The origin problem has no donor: its cells are bit-identical to
+        // the blind reference. So is the Monte Carlo cell of the warm
+        // problem — Monte Carlo ignores hints by contract.
+        assert_eq!(report.problems[0], blind.problems[0]);
+        assert_eq!(report.problems[1].methods[1], blind.problems[1].methods[1]);
+
+        // Every checkpoint record carries its provenance: the donor name
+        // and the exact hint the estimator consumed.
+        let mut records = BTreeMap::new();
+        for line in std::fs::read_to_string(&path).unwrap().lines() {
+            let entry: SweepLogEntry = serde_json::from_str(line).unwrap();
+            let record = entry.record.unwrap();
+            records.insert(
+                (record.problem.clone(), record.report.estimator.clone()),
+                record,
+            );
+        }
+        let origin = &records[&("p-low".to_string(), "gradient-is".to_string())];
+        assert_eq!(origin.warm_from, None);
+        assert_eq!(origin.warm_hint, None);
+        let warm_gis = &records[&("p-high".to_string(), "gradient-is".to_string())];
+        assert_eq!(warm_gis.warm_from, Some("p-low".to_string()));
+        assert!(
+            warm_gis.warm_hint.is_some(),
+            "the converged donor MPFP must yield a hint"
+        );
+        assert_eq!(
+            warm_gis.warm_hint,
+            report.problems[0].methods[0].outcome.warm_hint()
+        );
+        let warm_mc = &records[&("p-high".to_string(), "monte-carlo".to_string())];
+        assert_eq!(warm_mc.warm_from, Some("p-low".to_string()));
+        assert_eq!(warm_mc.warm_hint, None, "a Monte Carlo donor has no hint");
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_resume_replays_bit_identically() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("warm_resume.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let reference = SweepRunner::new()
+            .warm_start(warm_test_donors())
+            .run(&mut warm_test_analysis())
+            .report
+            .expect("complete");
+
+        // Budget 2 runs exactly the depth-0 wave (both origin cells), then
+        // the resume restores them and runs the warm wave.
+        let partial = SweepRunner::new()
+            .checkpoint(&path)
+            .warm_start(warm_test_donors())
+            .cell_budget(2)
+            .run(&mut warm_test_analysis());
+        assert!(partial.report.is_none());
+        assert_eq!(partial.status.completed_cells, 2);
+        for (problem, _) in &partial.status.pending {
+            assert_eq!(problem, "p-high", "the budget must fill donor cells first");
+        }
+
+        let resumed = SweepRunner::new()
+            .checkpoint(&path)
+            .warm_start(warm_test_donors())
+            .run(&mut warm_test_analysis());
+        assert!(resumed.status.is_complete());
+        assert_eq!(resumed.status.restored_cells, 2);
+        assert_eq!(resumed.status.discarded_records, 0);
+        assert_eq!(resumed.report.expect("complete"), reference);
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_and_blind_checkpoints_never_alias() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("warm_alias.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        // A completed blind checkpoint resumed warm: the non-origin cells
+        // carry no provenance, so only the origin cells restore.
+        let blind = SweepRunner::new()
+            .checkpoint(&path)
+            .run(&mut warm_test_analysis());
+        assert!(blind.status.is_complete());
+        let status = SweepRunner::new()
+            .checkpoint(&path)
+            .warm_start(warm_test_donors())
+            .status(&mut warm_test_analysis());
+        assert_eq!(status.restored_cells, 2);
+        assert_eq!(status.discarded_records, 2);
+
+        // And a completed warm checkpoint resumed blind discards the warm
+        // cells symmetrically.
+        clear_checkpoint(&path).unwrap();
+        let warm = SweepRunner::new()
+            .checkpoint(&path)
+            .warm_start(warm_test_donors())
+            .run(&mut warm_test_analysis());
+        assert!(warm.status.is_complete());
+        let status = SweepRunner::new()
+            .checkpoint(&path)
+            .status(&mut warm_test_analysis());
+        assert_eq!(status.restored_cells, 2);
+        assert_eq!(status.discarded_records, 2);
         clear_checkpoint(&path).unwrap();
     }
 }

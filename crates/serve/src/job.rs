@@ -346,6 +346,15 @@ pub struct JobSpec {
     pub master_seed: u64,
     /// Uniform convergence policy (`None` = each estimator's own config).
     pub policy: Option<ConvergencePolicy>,
+    /// Dependency-aware continuation mode (`Some(true)` = warm): cells of a
+    /// [`ProblemSpec::Plan`] grid seed their searches from their donor
+    /// scenario's diagnostics ([`SweepPlan::warm_donors`]). `None` or
+    /// `Some(false)` — and every non-plan problem family, which has no grid
+    /// adjacency — runs blind. Warm cells carry their donor in the cache
+    /// key, so a warm job never aliases a blind job's cells. Optional so
+    /// pre-continuation clients (which omit the field) keep submitting
+    /// blind jobs unchanged.
+    pub warm_start: Option<bool>,
 }
 
 impl JobSpec {
@@ -418,6 +427,11 @@ pub struct JobCell {
     pub problem: String,
     /// Estimator method name.
     pub estimator: String,
+    /// Donor problem this cell warm-starts from (`None` = blind). Donors
+    /// always precede their dependents in registration order, so the
+    /// sequential job loop completes every donor before its dependents
+    /// claim their hints.
+    pub warm_from: Option<String>,
     /// Content-addressed cache key ([`cell_key`]).
     pub key: String,
 }
@@ -441,10 +455,17 @@ pub struct JobPlan {
 
 /// Canonical cache key of one cell: the canonical JSON of everything that
 /// pins the cell's result — problem identity, problem name, the full
-/// estimator spec, master seed, convergence policy and the derived
-/// per-cell seed. This is the same identity set the sweep checkpoint
-/// validates on restore, so "cache hit" and "checkpoint restore" agree on
-/// when two cells are the same computation.
+/// estimator spec, master seed, convergence policy, the derived per-cell
+/// seed and (for continuation-mode cells) the warm-start donor. This is
+/// the same identity set the sweep checkpoint validates on restore, so
+/// "cache hit" and "checkpoint restore" agree on when two cells are the
+/// same computation.
+///
+/// A warm cell's result depends on its donor's diagnostics, so the donor
+/// name is part of the identity — a warm cell and the blind cell of the
+/// same scenario never alias. The `warm_from` entry is appended only when
+/// present, which keeps blind keys byte-identical to pre-continuation
+/// journals (their replayed entries still hit).
 pub fn cell_key(
     identity: &serde::Value,
     problem: &str,
@@ -452,8 +473,9 @@ pub fn cell_key(
     master_seed: u64,
     policy: &Option<ConvergencePolicy>,
     derived_seed: u64,
+    warm_from: Option<&str>,
 ) -> String {
-    let value = serde::Value::Object(vec![
+    let mut fields = vec![
         ("v".to_string(), 1u32.to_value()),
         ("problem".to_string(), identity.clone()),
         ("name".to_string(), problem.to_value()),
@@ -461,7 +483,11 @@ pub fn cell_key(
         ("master_seed".to_string(), master_seed.to_value()),
         ("policy".to_string(), policy.to_value()),
         ("seed".to_string(), derived_seed.to_value()),
-    ]);
+    ];
+    if let Some(donor) = warm_from {
+        fields.push(("warm_from".to_string(), donor.to_value()));
+    }
+    let value = serde::Value::Object(fields);
     // Serializing an in-memory value cannot fail.
     serde_json::to_string(&value).unwrap_or_else(|_| format!("{value:?}"))
 }
@@ -516,10 +542,17 @@ pub fn plan_job(spec: &JobSpec, execution: ExecutionConfig) -> Result<JobPlan, J
         .iter()
         .map(|e| e.method_name().to_string())
         .collect();
+    // Continuation mode only has grid adjacency to exploit on a sweep
+    // plan; every other problem family stays blind even when requested.
+    let donors = match (&spec.problem, spec.warm_start.unwrap_or(false)) {
+        (ProblemSpec::Plan { plan }, true) => plan.warm_donors(),
+        _ => std::collections::BTreeMap::new(),
+    };
     let mut cells = Vec::with_capacity(problem_names.len() * estimator_names.len());
     for (pi, problem) in problem_names.iter().enumerate() {
         for (ei, estimator) in spec.estimators.iter().enumerate() {
             let derived = analysis.derived_seed(problem, estimator.method_name());
+            let warm_from = donors.get(problem).cloned();
             cells.push(JobCell {
                 problem_index: pi,
                 estimator_index: ei,
@@ -532,7 +565,9 @@ pub fn plan_job(spec: &JobSpec, execution: ExecutionConfig) -> Result<JobPlan, J
                     spec.master_seed,
                     &spec.policy,
                     derived,
+                    warm_from.as_deref(),
                 ),
+                warm_from,
             });
         }
     }

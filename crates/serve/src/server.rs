@@ -296,22 +296,42 @@ fn run_job(writer: &mut TcpStream, shared: &Shared, job: &JobSpec) -> std::io::R
     )?;
 
     let total_cells = plan.cells.len();
+    let per_problem = plan.estimator_names.len();
     let mut cells_executed = 0usize;
     let mut cells_cached = 0usize;
     let mut completed: Vec<MethodReport> = Vec::with_capacity(total_cells);
     for (index, cell) in plan.cells.iter().enumerate() {
+        // Continuation mode: the donor cell (same estimator, donor problem)
+        // always precedes this cell in registration order, so its report is
+        // already in `completed` — whether computed, cached or replayed —
+        // and yields the same hint deterministically in every case.
+        let warm_hint = cell.warm_from.as_ref().and_then(|donor| {
+            plan.problem_names
+                .iter()
+                .position(|p| p == donor)
+                .and_then(|dpi| completed.get(dpi * per_problem + cell.estimator_index))
+                .and_then(|donor_report| donor_report.outcome.warm_hint())
+        });
         let (report, cached) = match shared.cache.claim(&cell.key) {
             Claim::Ready(report) => (*report, true),
-            Claim::Compute => {
+            Claim::Compute(guard) => {
                 let computed = {
                     let _permit = shared.slots.acquire();
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        plan.analysis
-                            .run_cell(cell.problem_index, cell.estimator_index)
+                        plan.analysis.run_cell_warm(
+                            cell.problem_index,
+                            cell.estimator_index,
+                            warm_hint.as_ref(),
+                        )
                     }))
                 };
                 match computed {
                     Ok(report) => {
+                        // Journal before fulfill (durability before
+                        // visibility). If the append panics, `guard` drops
+                        // unfulfilled and abandons the key, so blocked
+                        // claimants re-race instead of hanging on a cell
+                        // nobody is computing.
                         journal_append(
                             shared,
                             &SweepLogEntry::cell(SweepCellRecord {
@@ -319,14 +339,16 @@ fn run_job(writer: &mut TcpStream, shared: &Shared, job: &JobSpec) -> std::io::R
                                 policy: job.policy,
                                 problem: cell.problem.clone(),
                                 report: report.clone(),
+                                warm_from: cell.warm_from.clone(),
+                                warm_hint: warm_hint.clone(),
                             })
                             .with_key(cell.key.clone()),
                         );
-                        shared.cache.fulfill(&cell.key, report.clone());
+                        guard.fulfill(report.clone());
                         (report, false)
                     }
                     Err(_) => {
-                        shared.cache.abandon(&cell.key);
+                        drop(guard); // abandons: the key is re-claimable
                         return write_reply(
                             writer,
                             &Reply::Error {

@@ -29,6 +29,7 @@ fn job() -> JobSpec {
         estimators: EstimatorSpec::standard().into_iter().take(2).collect(),
         master_seed: 424242,
         policy: None,
+        warm_start: None,
     }
 }
 

@@ -39,6 +39,7 @@ fn main() {
                 .target_relative_error(0.1)
                 .min_failures(10),
         ),
+        warm_start: None,
     };
 
     // 3. Submit and stream. The callback fires once per completed cell, in

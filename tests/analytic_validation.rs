@@ -22,6 +22,7 @@ use sram_highsigma::stats::RngStream;
 fn gis_quick() -> GradientImportanceSampling {
     GradientImportanceSampling::new(GisConfig {
         sampling: ImportanceSamplingConfig {
+            corrected_stopping: true,
             max_samples: 40_000,
             batch_size: 1_000,
             target_relative_error: 0.05,
@@ -73,6 +74,7 @@ fn gis_and_mnis_agree_with_each_other() {
     let gis_outcome = gis_quick().estimate(&problem.fork(), &mut RngStream::from_seed(5));
     let mnis = MinimumNormIs::new(MnisConfig {
         sampling: ImportanceSamplingConfig {
+            corrected_stopping: true,
             max_samples: 40_000,
             batch_size: 1_000,
             target_relative_error: 0.05,
@@ -110,6 +112,7 @@ fn monte_carlo_agrees_at_low_sigma() {
     let problem = FailureProblem::from_model(limit_state, LinearLimitState::spec());
 
     let mc = MonteCarlo::new(MonteCarloConfig {
+        corrected_stopping: true,
         max_samples: 400_000,
         batch_size: 20_000,
         target_relative_error: 0.05,

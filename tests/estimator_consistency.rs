@@ -22,6 +22,7 @@ use sram_highsigma::stats::RngStream;
 /// problem, boxed so the test only ever touches `dyn Estimator`.
 fn validation_estimators() -> Vec<Box<dyn Estimator>> {
     let sampling = ImportanceSamplingConfig {
+        corrected_stopping: true,
         max_samples: 60_000,
         batch_size: 1_000,
         target_relative_error: 0.05,
@@ -33,6 +34,7 @@ fn validation_estimators() -> Vec<Box<dyn Estimator>> {
             ..GisConfig::default()
         })),
         Box::new(MonteCarlo::new(MonteCarloConfig {
+            corrected_stopping: true,
             max_samples: 3_000_000,
             batch_size: 50_000,
             target_relative_error: 0.05,

@@ -31,6 +31,7 @@ use sram_highsigma::variation::PelgromModel;
 
 fn quick_estimators() -> Vec<Box<dyn Estimator>> {
     let sampling = ImportanceSamplingConfig {
+        corrected_stopping: true,
         max_samples: 8_000,
         batch_size: 500,
         target_relative_error: 0.05,
@@ -42,6 +43,7 @@ fn quick_estimators() -> Vec<Box<dyn Estimator>> {
             ..GisConfig::default()
         })),
         Box::new(MonteCarlo::new(MonteCarloConfig {
+            corrected_stopping: true,
             max_samples: 40_000,
             batch_size: 2_000,
             target_relative_error: 0.05,

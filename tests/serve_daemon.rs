@@ -61,6 +61,7 @@ fn fast_job(master_seed: u64) -> JobSpec {
         ],
         master_seed,
         policy: Some(policy()),
+        warm_start: None,
     }
 }
 

@@ -1,0 +1,154 @@
+//! Warm-vs-blind A/B harness of the dependency-aware continuation mode on
+//! the closed-form SRAM surrogate grid: the blind schedule stays the exact
+//! reproducibility reference (bit-identical at every thread count), warm
+//! estimates agree with the blind ones within their error bars while
+//! spending fewer evaluations, and a killed warm sweep resumes to the exact
+//! uninterrupted warm report.
+
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sram_highsigma::highsigma::sweep::clear_checkpoint;
+use sram_highsigma::highsigma::{
+    standard_estimators, ConvergencePolicy, ExecutionConfig, SweepPlan, SweepRunner, YieldAnalysis,
+};
+use sram_highsigma::variation::GlobalCorner;
+use std::path::PathBuf;
+
+/// A TT grid with two continuous axes to warm-start along: 4 supplies × 2
+/// temperatures × all 5 estimators = 40 cells on the closed-form surrogate,
+/// at the fast sweep budget.
+fn plan() -> SweepPlan {
+    SweepPlan::new()
+        .corners([GlobalCorner::TypicalTypical])
+        .supply_voltages([0.85, 0.90, 0.95, 1.00])
+        .temperatures([-40.0, 25.0])
+}
+
+fn analysis() -> YieldAnalysis {
+    plan()
+        .analysis()
+        .master_seed(20180319)
+        .convergence_policy(
+            ConvergencePolicy::with_budget(2_000)
+                .target_relative_error(0.1)
+                .min_failures(20),
+        )
+        .estimators(standard_estimators())
+}
+
+fn temp_checkpoint(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gis_warm_integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    clear_checkpoint(&path).expect("clearable");
+    path
+}
+
+fn warm_runner() -> SweepRunner {
+    SweepRunner::new().warm_start(plan().warm_donors())
+}
+
+#[test]
+fn blind_reference_is_untouched_by_the_continuation_machinery() {
+    // The blind SweepRunner path must still equal the sequential driver bit
+    // for bit at every matrix thread count — continuation mode is opt-in
+    // and its plumbing (estimate_warm, run_cell_warm, hint extraction) must
+    // be invisible when off.
+    let sequential = analysis().run();
+    for threads in [1, 4] {
+        let blind = SweepRunner::new()
+            .matrix(ExecutionConfig::with_threads(threads))
+            .run(&mut analysis());
+        assert_eq!(
+            blind.report.expect("complete"),
+            sequential,
+            "blind sweep diverged at {threads} matrix threads"
+        );
+    }
+}
+
+#[test]
+fn warm_estimates_agree_with_blind_within_error_bars_and_save_evaluations() {
+    let blind = analysis().run();
+    let warm = warm_runner().run(&mut analysis()).report.expect("complete");
+
+    let mut saved_total: i128 = 0;
+    for (bp, wp) in blind.problems.iter().zip(&warm.problems) {
+        assert_eq!(bp.problem, wp.problem);
+        for (b, w) in bp.methods.iter().zip(&wp.methods) {
+            assert_eq!(b.estimator, w.estimator);
+            saved_total += b.row.evaluations as i128 - w.row.evaluations as i128;
+            if b.row == w.row {
+                continue; // bit-identical (origin cells, Monte Carlo, ...)
+            }
+            // Agreement: the 90% confidence intervals of the two estimates
+            // must overlap. Half-widths are relative in the row schema.
+            let half = |p: f64, rel: f64| if rel.is_finite() { p * rel } else { 0.0 };
+            let hb = half(b.row.failure_probability, b.row.relative_confidence_90);
+            let hw = half(w.row.failure_probability, w.row.relative_confidence_90);
+            let gap = (b.row.failure_probability - w.row.failure_probability).abs();
+            assert!(
+                gap <= hb + hw,
+                "{}/{}: warm {} outside blind {} ± {} (warm half-width {})",
+                bp.problem,
+                b.estimator,
+                w.row.failure_probability,
+                b.row.failure_probability,
+                hb,
+                hw
+            );
+        }
+    }
+    assert!(
+        saved_total > 0,
+        "continuation mode must save evaluations on the grid, saved {saved_total}"
+    );
+}
+
+#[test]
+fn warm_sweep_is_bit_identical_across_thread_counts() {
+    let reference = warm_runner().run(&mut analysis()).report.expect("complete");
+    for threads in [1, 4] {
+        let warm = warm_runner()
+            .matrix(ExecutionConfig::with_threads(threads))
+            .run(&mut analysis());
+        assert_eq!(
+            warm.report.expect("complete"),
+            reference,
+            "warm sweep diverged at {threads} matrix threads"
+        );
+    }
+}
+
+#[test]
+fn killed_warm_sweep_resumes_to_the_exact_uninterrupted_report() {
+    let path = temp_checkpoint("warm_kill_resume.jsonl");
+    let uninterrupted = warm_runner().run(&mut analysis()).report.expect("complete");
+
+    // Two mid-run kills via cell budgets — the second cut lands mid-wave —
+    // then a final resume. Every restored warm record must validate against
+    // its donor's replayed hint; nothing may be discarded.
+    let first = warm_runner()
+        .checkpoint(&path)
+        .cell_budget(7)
+        .run(&mut analysis());
+    assert!(first.report.is_none());
+    assert_eq!(first.status.completed_cells, 7);
+
+    let second = warm_runner()
+        .checkpoint(&path)
+        .cell_budget(13)
+        .run(&mut analysis());
+    assert!(second.report.is_none());
+    assert_eq!(second.status.restored_cells, 7);
+    assert_eq!(second.status.discarded_records, 0);
+    assert_eq!(second.status.completed_cells, 20);
+
+    let resumed = warm_runner().checkpoint(&path).run(&mut analysis());
+    assert!(resumed.status.is_complete());
+    assert_eq!(resumed.status.restored_cells, 20);
+    assert_eq!(resumed.status.discarded_records, 0);
+    assert_eq!(resumed.report.expect("complete"), uninterrupted);
+    clear_checkpoint(&path).expect("clearable");
+}
