@@ -81,6 +81,9 @@ impl Default for Config {
                 "crates/core/src/sweep.rs",
                 "crates/core/src/exec.rs",
                 "crates/core/src/analysis.rs",
+                // Fault containment/injection: the module whose whole job
+                // is catching panics must itself justify every panic site.
+                "crates/core/src/fault.rs",
                 // The daemon path: every panic site in the serving stack
                 // must carry a written justification — a connection thread
                 // that panics on wire data would look like a hung client.

@@ -269,10 +269,14 @@ fn run_served(addr: &str, plan: &SweepPlan, fast: bool, matrix: &ExecutionConfig
         master_seed: MASTER_SEED + 41,
         policy: Some(policy(fast)),
         warm_start: None,
+        deadline_ms: None,
     };
     let receipt = submit_served_job(addr, &job);
 
     let total = receipt.cells_executed + receipt.cells_cached;
+    for (problem, estimator) in receipt.report.failed_cells() {
+        println!("  FAILED (quarantined server-side, never cached): {problem} / {estimator}");
+    }
     let summary = plan.summarize(&receipt.report);
     print_summary(&summary, &plan.sigma_requirements());
     let artifact = SweepArtifact {
@@ -287,6 +291,7 @@ fn run_served(addr: &str, plan: &SweepPlan, fast: bool, matrix: &ExecutionConfig
             restored_cells: receipt.cells_cached,
             discarded_records: 0,
             pending: Vec::new(),
+            failed_cells: receipt.report.failed_cells(),
         },
         sigma_requirements: plan.sigma_requirements(),
         summary,
@@ -306,6 +311,9 @@ fn print_status(status: &SweepStatus) {
         status.discarded_records,
         status.pending.len()
     );
+    for (problem, estimator) in &status.failed_cells {
+        println!("  FAILED (quarantined, will re-run on resume): {problem} / {estimator}");
+    }
 }
 
 fn print_summary(rows: &[SweepSummaryRow], requirements: &[(String, f64)]) {

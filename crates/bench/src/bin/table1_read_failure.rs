@@ -93,6 +93,7 @@ fn main() {
             master_seed: MASTER_SEED,
             policy: None,
             warm_start: None,
+            deadline_ms: None,
         };
         submit_served_job(&addr, &job).report
     } else {

@@ -105,6 +105,7 @@ fn main() {
             master_seed: MASTER_SEED + 2,
             policy: None,
             warm_start: None,
+            deadline_ms: None,
         };
         submit_served_job(&addr, &job).report
     } else {

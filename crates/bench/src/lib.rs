@@ -73,23 +73,34 @@ pub fn connect_addr() -> Option<String> {
 /// default sparse kernel, so a client running under `GIS_FAST_LANE=1`
 /// compares against the default lane, not the fast one).
 ///
-/// Panics on connection or job failure — abort-on-error is the right
+/// Submission is self-healing: a server that dies or drops the socket
+/// mid-stream is retried under the default [`gis_serve::RetryPolicy`]
+/// (exponential backoff with deterministic jitter). Resubmission is
+/// idempotent — completed cells replay from the daemon's journal-backed
+/// cache, and already-printed progress rows are never repeated.
+///
+/// Panics on final connection or job failure — abort-on-error is the right
 /// failure mode for experiment drivers.
 pub fn submit_served_job(addr: &str, job: &gis_serve::JobSpec) -> gis_serve::JobReceipt {
-    let mut client = gis_serve::Client::connect(addr)
-        .unwrap_or_else(|e| panic!("cannot connect to gis-serve at {addr}: {e}"));
-    let receipt = client
-        .submit(job, &mut |cell| {
-            println!(
-                "  [{}/{}] {} / {}{}",
-                cell.completed_cells,
-                cell.total_cells,
-                cell.problem,
-                cell.estimator,
-                if cell.cached { " (cached)" } else { "" }
-            );
-        })
-        .unwrap_or_else(|e| panic!("served job failed: {e}"));
+    let policy = gis_serve::RetryPolicy::default();
+    let receipt = gis_serve::submit_with_recovery(addr, job, &policy, &mut |cell| {
+        println!(
+            "  [{}/{}] {} / {}{}",
+            cell.completed_cells,
+            cell.total_cells,
+            cell.problem,
+            cell.estimator,
+            if cell.cached { " (cached)" } else { "" }
+        );
+    })
+    .unwrap_or_else(|e| panic!("served job failed after retries: {e}"));
+    if receipt.reconnects > 0 {
+        println!(
+            "  (stream interrupted; reconnected {} time{} and resumed from the server cache)",
+            receipt.reconnects,
+            if receipt.reconnects == 1 { "" } else { "s" }
+        );
+    }
     println!(
         "served job {}: {} cells executed, {} from cache",
         receipt.job_id, receipt.cells_executed, receipt.cells_cached

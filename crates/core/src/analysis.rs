@@ -45,6 +45,7 @@ use crate::baselines::{
 };
 use crate::estimator::{ConvergencePolicy, Estimator, EstimatorOutcome, WarmStart};
 use crate::exec::{ExecutionConfig, Executor};
+use crate::fault::CellFailure;
 use crate::gis::{GisConfig, GradientImportanceSampling};
 use crate::model::FailureProblem;
 use crate::montecarlo::{required_samples, MonteCarlo, MonteCarloConfig};
@@ -233,6 +234,19 @@ pub struct MethodReport {
     pub row: ComparisonRow,
     /// The full outcome, including method-specific diagnostics.
     pub outcome: EstimatorOutcome,
+    /// `Some` when the cell was quarantined by the containment plane
+    /// ([`crate::fault::run_contained`]): `row`/`outcome` then hold the inert
+    /// NaN placeholder of [`crate::fault::failed_report`] instead of a
+    /// result. `None` for every healthy cell (and for records written before
+    /// fault containment existed — the field deserializes as absent).
+    pub failed: Option<CellFailure>,
+}
+
+impl MethodReport {
+    /// Whether this cell was quarantined instead of completing.
+    pub fn is_failed(&self) -> bool {
+        self.failed.is_some()
+    }
 }
 
 /// All method results for one named problem.
@@ -269,6 +283,20 @@ impl AnalysisReport {
     /// Looks up a problem's report by name.
     pub fn problem(&self, name: &str) -> Option<&ProblemReport> {
         self.problems.iter().find(|p| p.problem == name)
+    }
+
+    /// The quarantined `(problem, estimator)` cells of this report, in
+    /// registration order — empty for a fault-free run.
+    pub fn failed_cells(&self) -> Vec<(String, String)> {
+        self.problems
+            .iter()
+            .flat_map(|p| {
+                p.methods
+                    .iter()
+                    .filter(|m| m.is_failed())
+                    .map(|m| (p.problem.clone(), m.estimator.clone()))
+            })
+            .collect()
     }
 }
 
@@ -494,6 +522,7 @@ impl YieldAnalysis {
             seed,
             row: ComparisonRow::from_outcome(&outcome).with_timing(threads, wall_time_seconds),
             outcome,
+            failed: None,
         }
     }
 

@@ -239,7 +239,10 @@ impl Executor {
     /// # Panics
     ///
     /// Panics if `f` returns a different number of results than the chunk it
-    /// was handed.
+    /// was handed. A panic raised by `f` itself is contained per chunk on the
+    /// worker threads and re-raised on the calling thread — always the
+    /// panic of the *first* failing chunk in input order, so a panicking
+    /// workload fails deterministically at any thread count.
     #[allow(clippy::expect_used)] // invariants stated in the expect messages
     pub fn map_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
@@ -266,7 +269,17 @@ impl Executor {
             return chunks.into_iter().flat_map(run_chunk).collect();
         }
 
-        let slots: Mutex<Vec<Option<Vec<R>>>> =
+        // Fault containment: each chunk runs behind `catch_unwind`, so one
+        // panicking chunk no longer tears down the scope (and poisons the
+        // slot mutex) while sibling workers are mid-chunk. Every chunk still
+        // executes; the first failure *in input order* is re-raised on the
+        // calling thread afterwards, so a panicking workload fails
+        // deterministically at any thread count — and a caller that catches
+        // it (the sweep/serve containment plane) observes a fully quiesced
+        // executor. `AssertUnwindSafe` is justified because `f` is shared
+        // immutably and the panic payload is propagated, never swallowed.
+        type CaughtChunk<R> = std::thread::Result<Vec<R>>;
+        let slots: Mutex<Vec<Option<CaughtChunk<R>>>> =
             Mutex::new((0..chunks.len()).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(chunks.len());
@@ -277,18 +290,32 @@ impl Executor {
                     if index >= chunks.len() {
                         break;
                     }
-                    let out = run_chunk(chunks[index]);
-                    // gis-analyze: allow(panic-site, a poisoned slot mutex only follows a worker panic that already aborted the run)
-                    slots.lock().expect("no poisoned chunk results")[index] = Some(out);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_chunk(chunks[index])
+                    }));
+                    // Workers cannot panic outside the caught closure, so the
+                    // mutex is never poisoned; recover defensively anyway.
+                    let mut guard = match slots.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard[index] = Some(out);
                 });
             }
         });
-        slots
-            .into_inner()
-            .expect("no poisoned chunk results") // gis-analyze: allow(panic-site, a poisoned slot mutex only follows a worker panic that already aborted the run)
-            .into_iter()
-            .flat_map(|slot| slot.expect("every chunk was executed")) // gis-analyze: allow(panic-site, map_tasks fills every slot before returning, by construction)
-            .collect()
+        let results = match slots.into_inner() {
+            Ok(results) => results,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for slot in results {
+            match slot.expect("every chunk was executed") // gis-analyze: allow(panic-site, the worker loop fills every slot before the scope joins, by construction)
+            {
+                Ok(chunk) => out.extend(chunk),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
     }
 
     /// Runs `count` independent coarse-grained tasks on the worker threads,
@@ -452,6 +479,29 @@ mod tests {
     fn miscounted_chunk_results_are_rejected() {
         let exec = Executor::serial();
         let _ = exec.map_chunks(&[1, 2, 3], |_| vec![0u8]);
+    }
+
+    #[test]
+    fn scoped_panic_is_contained_and_first_failure_wins() {
+        // Two chunks panic (indices 3 and 7 at chunk_size 1); the panic that
+        // reaches the caller is always the first one in *input* order,
+        // regardless of which worker hit it first.
+        for threads in [2, 4, 8] {
+            let exec = Executor::new(threads).with_chunk_size(1);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                exec.map(&(0..16).collect::<Vec<usize>>(), |&i| {
+                    if i == 3 || i == 7 {
+                        panic!("chunk {i} failed");
+                    }
+                    i
+                })
+            }));
+            let payload = caught.expect_err("panicking map must re-raise");
+            let message = payload
+                .downcast_ref::<String>()
+                .expect("panic payload is a string");
+            assert_eq!(message, "chunk 3 failed");
+        }
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub mod baselines;
 pub mod calibration;
 pub mod estimator;
 pub mod exec;
+pub mod fault;
 pub mod gis;
 pub mod importance;
 pub mod model;
@@ -160,6 +161,10 @@ pub use baselines::{
 pub use calibration::{CalibrationReport, CalibrationRow, Calibrator, Replication};
 pub use estimator::{ConvergencePolicy, Diagnostics, Estimator, EstimatorOutcome, WarmStart};
 pub use exec::{ExecutionConfig, Executor};
+pub use fault::{
+    crc32, run_contained, CellFailure, CellFailureReason, CellOutcome, FaultPlan,
+    DEFAULT_CELL_ATTEMPTS, FAULTS_ENV_VAR,
+};
 pub use gis::{GisConfig, GradientImportanceSampling};
 pub use gis_sram::TransientKernel;
 pub use importance::{

@@ -64,6 +64,7 @@ use crate::analysis::{AnalysisReport, MethodReport, YieldAnalysis};
 use crate::array_yield::ArrayYield;
 use crate::estimator::{ConvergencePolicy, WarmStart};
 use crate::exec::ExecutionConfig;
+use crate::fault::{self, crc32, FaultPlan};
 use crate::model::{FailureProblem, Spec};
 use crate::sram_models::{SramMetric, SramSurrogateModel};
 use gis_sram::{SramCellConfig, SramSurrogate};
@@ -558,10 +559,16 @@ pub struct SweepLogEntry {
     pub job: Option<serde::Value>,
     /// The completed cell (`kind = "cell"` lines only).
     pub record: Option<SweepCellRecord>,
+    /// CRC-32 ([`crate::fault::crc32`]) of the entry's serialization with
+    /// this field set to `None` — see [`SweepLogEntry::sealed`]. `None` on
+    /// lines written before checksumming existed; such legacy lines still
+    /// replay (validated by JSON parse alone).
+    pub crc: Option<u32>,
 }
 
 impl SweepLogEntry {
-    /// Wraps a completed-cell record in a current-version envelope.
+    /// Wraps a completed-cell record in a current-version envelope
+    /// (unsealed; call [`sealed`](Self::sealed) before writing).
     pub fn cell(record: SweepCellRecord) -> Self {
         SweepLogEntry {
             v: SWEEP_LOG_VERSION,
@@ -569,10 +576,12 @@ impl SweepLogEntry {
             key: None,
             job: None,
             record: Some(record),
+            crc: None,
         }
     }
 
-    /// Wraps an opaque job payload in a current-version envelope.
+    /// Wraps an opaque job payload in a current-version envelope
+    /// (unsealed; call [`sealed`](Self::sealed) before writing).
     pub fn job(job: serde::Value) -> Self {
         SweepLogEntry {
             v: SWEEP_LOG_VERSION,
@@ -580,6 +589,7 @@ impl SweepLogEntry {
             key: None,
             job: Some(job),
             record: None,
+            crc: None,
         }
     }
 
@@ -587,6 +597,34 @@ impl SweepLogEntry {
     pub fn with_key(mut self, key: impl Into<String>) -> Self {
         self.key = Some(key.into());
         self
+    }
+
+    /// Seals the entry for writing: sets `crc` to the CRC-32 of the entry's
+    /// canonical serialization with `crc = None`. A torn or bit-rotted line
+    /// is then detected by checksum on replay even when the damage happens
+    /// to still parse as JSON.
+    #[allow(clippy::expect_used)] // serializing an in-memory record cannot fail
+    pub fn sealed(mut self) -> Self {
+        self.crc = None;
+        let payload = serde_json::to_string(&self).expect("sweep log entry serializes"); // gis-analyze: allow(panic-site, serializing an in-memory record to a string cannot fail)
+        self.crc = Some(crc32(payload.as_bytes()));
+        self
+    }
+
+    /// Verifies the line checksum. `true` for unsealed legacy lines (no
+    /// `crc` recorded); a sealed line must re-serialize (with `crc = None`)
+    /// to exactly the bytes its checksum was computed over — the vendored
+    /// serializer's canonical field order and shortest-roundtrip float
+    /// formatting make that re-serialization deterministic.
+    pub fn crc_valid(&self) -> bool {
+        let Some(expected) = self.crc else {
+            return true;
+        };
+        let mut unsealed = self.clone();
+        unsealed.crc = None;
+        serde_json::to_string(&unsealed)
+            .map(|payload| crc32(payload.as_bytes()) == expected)
+            .unwrap_or(false)
     }
 }
 
@@ -623,6 +661,11 @@ pub struct SweepCellRecord {
     /// verify the donor still yields the same hint before trusting the
     /// record.
     pub warm_hint: Option<WarmStart>,
+    /// `Some(true)` when this cell's donor completed as a quarantined
+    /// failure, so the cell fell back to a blind run despite having a donor
+    /// — degradation provenance for audit. `None`/absent for healthy donors,
+    /// blind cells, and pre-containment checkpoints.
+    pub donor_failed: Option<bool>,
 }
 
 /// Progress summary of a (possibly partial) sweep.
@@ -639,6 +682,11 @@ pub struct SweepStatus {
     pub discarded_records: usize,
     /// Names of the cells still pending, as `(problem, estimator)` pairs.
     pub pending: Vec<(String, String)>,
+    /// Cells that completed as quarantined failures (typed placeholder
+    /// reports, see [`crate::fault::CellOutcome`]), as `(problem, estimator)`
+    /// pairs. They count as completed — the run finished — but their
+    /// estimates are NaN placeholders and they re-run on resume.
+    pub failed_cells: Vec<(String, String)>,
 }
 
 impl SweepStatus {
@@ -702,6 +750,8 @@ pub struct SweepRunner {
     checkpoint: Option<PathBuf>,
     cell_budget: Option<usize>,
     warm_donors: Option<BTreeMap<String, String>>,
+    cell_attempts: u32,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for SweepRunner {
@@ -719,6 +769,8 @@ impl SweepRunner {
             checkpoint: None,
             cell_budget: None,
             warm_donors: None,
+            cell_attempts: fault::DEFAULT_CELL_ATTEMPTS,
+            faults: None,
         }
     }
 
@@ -757,6 +809,25 @@ impl SweepRunner {
     /// Off by default: the blind schedule is the reproducibility reference.
     pub fn warm_start(mut self, donors: BTreeMap<String, String>) -> Self {
         self.warm_donors = Some(donors);
+        self
+    }
+
+    /// Caps how many times a failing cell is retried (same derived seed —
+    /// retries only help against injected or environmental faults, never
+    /// against deterministic estimator behaviour) before it is quarantined
+    /// as a typed [`crate::fault::CellOutcome::Failed`]. Default
+    /// [`fault::DEFAULT_CELL_ATTEMPTS`]; clamped to at least 1.
+    pub fn cell_attempts(mut self, attempts: u32) -> Self {
+        self.cell_attempts = attempts.max(1);
+        self
+    }
+
+    /// Injects a deterministic fault plan into this run (tests and chaos
+    /// drills). When unset, the process-wide plan from the `GIS_FAULTS`
+    /// environment variable applies ([`FaultPlan::from_env`]); both unset
+    /// means no injection and no hot-path overhead.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -871,16 +942,36 @@ impl SweepRunner {
         let master_seed = analysis.master_seed_value();
         let policy = analysis.convergence_policy_value();
         let analysis = &*analysis;
-        // Shared per-cell execution: run (optionally warm), checkpoint with
-        // warm provenance, notify the observer. Used by both schedules so the
-        // blind path and the wave path write byte-identical records for
-        // blind cells.
+        // Deterministic fault injection: an explicit per-runner plan wins,
+        // otherwise the process-wide `GIS_FAULTS` plan applies. `None` (the
+        // production default) keeps the hot path free of any injection work.
+        let faults: Option<&FaultPlan> = match &self.faults {
+            Some(plan) => Some(plan),
+            None => fault::global(),
+        };
+        let cell_attempts = self.cell_attempts;
+        let journal_appends = std::sync::atomic::AtomicU64::new(0);
+        // Shared per-cell execution: run contained (optionally warm),
+        // checkpoint with warm provenance, notify the observer. Used by both
+        // schedules so the blind path and the wave path write byte-identical
+        // records for blind cells. A panicking or non-converging cell is
+        // quarantined as a typed placeholder report instead of tearing down
+        // the sweep; healthy cells are returned exactly as computed.
         let run_one = |pi: usize,
                        ei: usize,
                        warm_from: Option<String>,
-                       warm_hint: Option<WarmStart>|
+                       warm_hint: Option<WarmStart>,
+                       donor_failed: Option<bool>|
          -> MethodReport {
-            let report = analysis.run_cell_warm(pi, ei, warm_hint.as_ref());
+            let outcome = fault::run_contained(
+                &problem_names[pi],
+                &estimator_names[ei],
+                cell_attempts,
+                faults,
+                || analysis.run_cell_warm(pi, ei, warm_hint.as_ref()),
+            );
+            let seed = analysis.derived_seed(&problem_names[pi], &estimator_names[ei]);
+            let report = outcome.into_report(&estimator_names[ei], seed);
             if let Some(appender) = &appender {
                 let record = SweepCellRecord {
                     master_seed,
@@ -889,11 +980,26 @@ impl SweepRunner {
                     report: report.clone(),
                     warm_from,
                     warm_hint,
+                    donor_failed,
                 };
-                let line = serde_json::to_string(&SweepLogEntry::cell(record))
+                let line = serde_json::to_string(&SweepLogEntry::cell(record).sealed())
                     .expect("sweep cell record serializes"); // gis-analyze: allow(panic-site, serializing an in-memory record to a string cannot fail)
-                let mut file = appender.lock().expect("checkpoint appender not poisoned"); // gis-analyze: allow(panic-site, a poisoned appender only follows a worker panic that already aborted the sweep)
-                writeln!(file, "{line}").expect("checkpoint line is appendable"); // gis-analyze: allow(panic-site, a lost checkpoint line would silently fake resume safety; abort instead)
+                                                             // A poisoned appender only follows a worker panic; the file
+                                                             // itself is still valid (every append is line-atomic under
+                                                             // the lock), so recover the guard instead of aborting.
+                let mut file = match appender.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let n = journal_appends.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                let appended = if faults.is_some_and(|f| f.tears_journal_line(n)) {
+                    // Injected torn write: half the line, no newline — the
+                    // shape a kill mid-append leaves behind.
+                    write!(file, "{}", &line[..line.len() / 2])
+                } else {
+                    writeln!(file, "{line}")
+                };
+                appended.expect("checkpoint line is appendable"); // gis-analyze: allow(panic-site, a lost checkpoint line would silently fake resume safety; abort instead)
                 file.flush().expect("checkpoint flushes"); // gis-analyze: allow(panic-site, an unflushed checkpoint would silently fake resume safety; abort instead)
             }
             observer(SweepCellUpdate {
@@ -912,7 +1018,7 @@ impl SweepRunner {
                 let fresh: Vec<((usize, usize), MethodReport)> =
                     executor.map_tasks(to_run.len(), |task| {
                         let (pi, ei) = to_run[task];
-                        ((pi, ei), run_one(pi, ei, None, None))
+                        ((pi, ei), run_one(pi, ei, None, None, None))
                     });
                 let executed = fresh.len();
                 for ((pi, ei), report) in fresh {
@@ -943,12 +1049,20 @@ impl SweepRunner {
                         executor.map_tasks(wave.len(), |task| {
                             let (pi, ei) = wave[task];
                             let donor = donors.get(&problem_names[pi]);
-                            let hint = donor
-                                .and_then(|d| {
-                                    completed.get(&(d.clone(), estimator_names[ei].clone()))
-                                })
-                                .and_then(|donor_report| donor_report.outcome.warm_hint());
-                            ((pi, ei), run_one(pi, ei, donor.cloned(), hint))
+                            let donor_report = donor.and_then(|d| {
+                                completed.get(&(d.clone(), estimator_names[ei].clone()))
+                            });
+                            // A quarantined donor yields no hint (its
+                            // placeholder diagnostics carry none), so the
+                            // dependent degrades to a blind run; record that
+                            // degradation as provenance.
+                            let hint = donor_report.and_then(|report| report.outcome.warm_hint());
+                            let donor_failed = donor_report
+                                .and_then(|report| report.failed.as_ref().map(|_| true));
+                            (
+                                (pi, ei),
+                                run_one(pi, ei, donor.cloned(), hint, donor_failed),
+                            )
                         });
                     executed += fresh.len();
                     for ((pi, ei), report) in fresh {
@@ -1021,6 +1135,13 @@ impl SweepRunner {
             // valid but carries no cell, so it is skipped without counting
             // as discarded; a wrong-version envelope is discarded.
             let record = match serde_json::from_str::<SweepLogEntry>(line) {
+                // A sealed line whose checksum no longer matches is damaged
+                // (torn write or bit rot that still parses as JSON) and is
+                // discarded whatever its kind; unsealed legacy lines pass.
+                Ok(entry) if !entry.crc_valid() => {
+                    discarded += 1;
+                    continue;
+                }
                 Ok(entry) if entry.v == SWEEP_LOG_VERSION && entry.kind == SWEEP_LOG_KIND_JOB => {
                     continue;
                 }
@@ -1045,6 +1166,15 @@ impl SweepRunner {
                     }
                 },
             };
+            // Quarantine is not sticky: a journaled failure documents the
+            // fault for the completed run's report, but a resume gives the
+            // cell a fresh chance instead of replaying the placeholder.
+            // (Discarding a failed donor also transitively re-runs its
+            // dependents via the provenance check below.)
+            if record.report.is_failed() {
+                discarded += 1;
+                continue;
+            }
             let known_cell = problem_names.contains(&record.problem)
                 && estimator_names.contains(&record.report.estimator);
             // Seeds pin the *randomness*; the policy pins the *budget and
@@ -1103,10 +1233,15 @@ impl SweepRunner {
         discarded: usize,
     ) -> SweepStatus {
         let mut pending = Vec::new();
+        let mut failed_cells = Vec::new();
         for p in analysis.problem_names() {
             for e in analysis.estimator_names() {
-                if !completed.contains_key(&(p.to_string(), e.to_string())) {
-                    pending.push((p.to_string(), e.to_string()));
+                match completed.get(&(p.to_string(), e.to_string())) {
+                    None => pending.push((p.to_string(), e.to_string())),
+                    Some(report) if report.is_failed() => {
+                        failed_cells.push((p.to_string(), e.to_string()));
+                    }
+                    Some(_) => {}
                 }
             }
         }
@@ -1117,6 +1252,7 @@ impl SweepRunner {
             restored_cells: restored,
             discarded_records: discarded,
             pending,
+            failed_cells,
         }
     }
 }
@@ -1614,6 +1750,238 @@ mod tests {
             .status(&mut warm_test_analysis());
         assert_eq!(status.restored_cells, 2);
         assert_eq!(status.discarded_records, 2);
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn sealed_entries_verify_and_tampered_entries_do_not() {
+        let record = SweepCellRecord {
+            master_seed: 5,
+            policy: Some(ConvergencePolicy::with_budget(2_000)),
+            problem: "p-low".to_string(),
+            report: tiny_analysis().run().problems[0].methods[0].clone(),
+            warm_from: None,
+            warm_hint: None,
+            donor_failed: None,
+        };
+        let sealed = SweepLogEntry::cell(record).sealed();
+        assert!(sealed.crc.is_some());
+        assert!(sealed.crc_valid());
+        // The seal survives a JSON round trip (the serializer's canonical
+        // formatting is what makes re-serialization deterministic).
+        let line = serde_json::to_string(&sealed).unwrap();
+        let reread: SweepLogEntry = serde_json::from_str(&line).unwrap();
+        assert!(reread.crc_valid());
+        // Tampering with any sealed content breaks verification.
+        let mut tampered = sealed.clone();
+        tampered.kind = "job".to_string();
+        assert!(!tampered.crc_valid());
+        // Legacy lines without a checksum still verify (parse-only trust).
+        let mut legacy = sealed;
+        legacy.crc = None;
+        assert!(legacy.crc_valid());
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_and_healthy_cells_are_bit_identical() {
+        let reference = tiny_analysis().run();
+        let faults = FaultPlan::parse("panic:p-low/monte-carlo").unwrap();
+        let outcome = SweepRunner::new()
+            .matrix(ExecutionConfig::with_threads(2))
+            .faults(faults)
+            .run(&mut tiny_analysis());
+        // The run completes: one poisoned cell no longer aborts the sweep.
+        assert!(outcome.status.is_complete());
+        assert_eq!(
+            outcome.status.failed_cells,
+            vec![("p-low".to_string(), "monte-carlo".to_string())]
+        );
+        let report = outcome.report.expect("complete");
+        let failed = &report.problems[0].methods[0];
+        assert!(failed.is_failed());
+        assert!(failed.row.failure_probability.is_nan());
+        let failure = failed.failed.as_ref().unwrap();
+        assert_eq!(failure.attempts, crate::fault::DEFAULT_CELL_ATTEMPTS);
+        assert!(matches!(
+            failure.reason,
+            crate::fault::CellFailureReason::Panic { .. }
+        ));
+        // The healthy cell is bit-identical to the fault-free run.
+        assert_eq!(report.problems[1], reference.problems[1]);
+    }
+
+    #[test]
+    fn fault_clearing_within_the_attempt_budget_is_bit_identical() {
+        // The fault fires on attempt 1 only; the seed-deterministic retry
+        // reruns the identical cell and the report shows no trace of it.
+        let reference = tiny_analysis().run();
+        let faults = FaultPlan::parse("panic:p-low/monte-carlo:1").unwrap();
+        let outcome = SweepRunner::new().faults(faults).run(&mut tiny_analysis());
+        assert!(outcome.status.failed_cells.is_empty());
+        assert_eq!(outcome.report.expect("complete"), reference);
+    }
+
+    #[test]
+    fn singular_and_nan_injections_are_typed_distinctly() {
+        let faults = FaultPlan::parse("singular:p-low/monte-carlo,nan:p-high/monte-carlo").unwrap();
+        let outcome = SweepRunner::new().faults(faults).run(&mut tiny_analysis());
+        assert_eq!(outcome.status.failed_cells.len(), 2);
+        let report = outcome.report.expect("complete");
+        assert!(matches!(
+            report.problems[0].methods[0]
+                .failed
+                .as_ref()
+                .unwrap()
+                .reason,
+            crate::fault::CellFailureReason::NonConvergence { .. }
+        ));
+        assert!(matches!(
+            report.problems[1].methods[0]
+                .failed
+                .as_ref()
+                .unwrap()
+                .reason,
+            crate::fault::CellFailureReason::NanMetric { .. }
+        ));
+    }
+
+    #[test]
+    fn quarantined_cells_rerun_on_resume_and_converge_to_the_reference() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("quarantine.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let reference = tiny_analysis().run();
+        let faults = FaultPlan::parse("panic:p-low/monte-carlo").unwrap();
+        let faulted = SweepRunner::new()
+            .matrix(ExecutionConfig::with_threads(1))
+            .checkpoint(&path)
+            .faults(faults)
+            .run(&mut tiny_analysis());
+        assert!(faulted.status.is_complete());
+        assert_eq!(faulted.status.failed_cells.len(), 1);
+
+        // Quarantine is not sticky: the journaled failure is discarded on
+        // restore and the cell re-runs — now fault-free — to the exact
+        // fault-free report.
+        let resumed = SweepRunner::new()
+            .checkpoint(&path)
+            .run(&mut tiny_analysis());
+        assert!(resumed.status.is_complete());
+        assert_eq!(resumed.status.restored_cells, 1);
+        assert_eq!(resumed.status.discarded_records, 1);
+        assert!(resumed.status.failed_cells.is_empty());
+        assert_eq!(resumed.report.expect("complete"), reference);
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_journal_line_discards_only_that_cell_on_resume() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("torn.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let reference = tiny_analysis().run();
+        // Threads pinned to 1 so append order is registration order: line 2
+        // (the torn one) is the p-high cell, and it is the checkpoint tail.
+        let faults = FaultPlan::parse("torn-journal:2").unwrap();
+        let torn = SweepRunner::new()
+            .matrix(ExecutionConfig::with_threads(1))
+            .checkpoint(&path)
+            .faults(faults)
+            .run(&mut tiny_analysis());
+        // The in-memory run is unaffected — only durability was damaged.
+        assert!(torn.status.is_complete());
+        assert!(torn.status.failed_cells.is_empty());
+        assert_eq!(torn.report.expect("complete"), reference);
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(!contents.ends_with('\n'), "the tail must be torn");
+
+        let resumed = SweepRunner::new()
+            .checkpoint(&path)
+            .run(&mut tiny_analysis());
+        assert_eq!(resumed.status.restored_cells, 1);
+        assert_eq!(resumed.status.discarded_records, 1);
+        assert_eq!(resumed.report.expect("complete"), reference);
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_catches_corruption_that_still_parses() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bitrot.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let reference = tiny_analysis().run();
+        let done = SweepRunner::new()
+            .matrix(ExecutionConfig::with_threads(1))
+            .checkpoint(&path)
+            .run(&mut tiny_analysis());
+        assert!(done.status.is_complete());
+
+        // Flip a digit of the first record's evaluation count. The line
+        // still parses and still passes every configuration check — only
+        // the checksum knows the result is not what was computed.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = contents.lines().map(|l| l.to_string()).collect();
+        let needle = "\"evaluations\":";
+        let pos = lines[0].find(needle).unwrap() + needle.len();
+        let digit = lines[0][pos..pos + 1].parse::<u32>().unwrap();
+        lines[0].replace_range(pos..pos + 1, &format!("{}", (digit + 1) % 10));
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let resumed = SweepRunner::new()
+            .checkpoint(&path)
+            .run(&mut tiny_analysis());
+        assert_eq!(resumed.status.restored_cells, 1);
+        assert_eq!(resumed.status.discarded_records, 1);
+        // The corrupted cell re-ran and the report matches bit for bit.
+        assert_eq!(resumed.report.expect("complete"), reference);
+        clear_checkpoint(&path).unwrap();
+    }
+
+    #[test]
+    fn quarantined_donor_degrades_dependent_to_blind_with_provenance() {
+        let dir = std::env::temp_dir().join("gis_sweep_unit");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("donor_failed.jsonl");
+        clear_checkpoint(&path).unwrap();
+
+        let blind_reference = SweepRunner::new()
+            .run(&mut warm_test_analysis())
+            .report
+            .expect("complete");
+        let faults = FaultPlan::parse("panic:p-low/gradient-is").unwrap();
+        let outcome = SweepRunner::new()
+            .matrix(ExecutionConfig::with_threads(1))
+            .checkpoint(&path)
+            .warm_start(warm_test_donors())
+            .faults(faults)
+            .run(&mut warm_test_analysis());
+        assert!(outcome.status.is_complete());
+        assert_eq!(
+            outcome.status.failed_cells,
+            vec![("p-low".to_string(), "gradient-is".to_string())]
+        );
+        let report = outcome.report.expect("complete");
+        // The dependent of the quarantined donor fell back to a blind run:
+        // bit-identical to the blind reference despite continuation mode.
+        assert_eq!(report.problems[1], blind_reference.problems[1]);
+
+        // And the degradation is recorded as provenance in the checkpoint.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let dependent = contents
+            .lines()
+            .filter_map(|line| serde_json::from_str::<SweepLogEntry>(line).ok())
+            .filter_map(|entry| entry.record)
+            .find(|r| r.problem == "p-high" && r.report.estimator == "gradient-is")
+            .expect("dependent cell is journaled");
+        assert_eq!(dependent.warm_from.as_deref(), Some("p-low"));
+        assert_eq!(dependent.warm_hint, None);
+        assert_eq!(dependent.donor_failed, Some(true));
         clear_checkpoint(&path).unwrap();
     }
 }

@@ -7,6 +7,12 @@
 //! wins the right to execute and every other claimant blocks on the
 //! condvar until the result lands. The evaluation counter is therefore
 //! charged exactly once per distinct cell, which the cache tests assert.
+//!
+//! Quarantined failures are never cached: when a cell completes as a typed
+//! failure (see `gis_core::fault`), the server journals the placeholder
+//! for audit but drops its [`ComputeGuard`] unfulfilled, abandoning the
+//! key — a later claim (same job retried, another client, or a restart)
+//! gives the cell a fresh chance instead of serving the failure forever.
 
 use gis_core::MethodReport;
 use std::collections::BTreeMap;

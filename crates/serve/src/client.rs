@@ -95,6 +95,12 @@ pub struct JobReceipt {
     pub cells_cached: usize,
     /// The assembled report, bit-identical to the batch path.
     pub report: AnalysisReport,
+    /// `true` when the job's deadline elapsed mid-run and cells past it
+    /// are typed `deadline-exceeded` placeholders.
+    pub partial: bool,
+    /// Reconnections [`submit_with_recovery`] performed before the job
+    /// finished (0 from plain [`Client::submit`]).
+    pub reconnects: u32,
 }
 
 /// A connected daemon client.
@@ -185,6 +191,7 @@ impl Client {
                     cells_executed,
                     cells_cached,
                     report,
+                    partial,
                 } => {
                     if done_id != job_id {
                         return Err(ClientError::Protocol {
@@ -196,6 +203,8 @@ impl Client {
                         cells_executed,
                         cells_cached,
                         report,
+                        partial: partial.unwrap_or(false),
+                        reconnects: 0,
                     });
                 }
                 Reply::Error { code, message } => {
@@ -233,4 +242,138 @@ impl Client {
             }),
         }
     }
+}
+
+/// Reconnect/retry policy of the self-healing client entry points.
+///
+/// Delays grow exponentially from `base_delay_ms`, capped at
+/// `max_delay_ms`, with deterministic jitter derived by hashing
+/// `(jitter_seed, attempt)` — no clock or OS randomness, so tests and
+/// replays see identical schedules. The jitter spreads a fleet of clients
+/// that lost the same server across ±25 % of the nominal delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total connection/submission attempts (the first try included).
+    pub max_attempts: u32,
+    /// Delay before the second attempt, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_ms: 50,
+            max_delay_ms: 2_000,
+            jitter_seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1 = the delay after the
+    /// first failure). Exponential with cap, plus deterministic ±25 %
+    /// jitter.
+    pub fn delay_for(&self, attempt: u32) -> std::time::Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let nominal = self
+            .base_delay_ms
+            .saturating_mul(1u64 << doublings)
+            .min(self.max_delay_ms.max(1));
+        // splitmix64-style hash of (seed, attempt): well-spread, std-only.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map the hash to [-nominal/4, +nominal/4].
+        let half_span = (nominal / 2).max(1);
+        let jitter = (z % half_span) as i64 - (half_span / 2) as i64;
+        let delayed = nominal.saturating_add_signed(jitter);
+        std::time::Duration::from_millis(delayed.min(self.max_delay_ms.max(1)))
+    }
+}
+
+/// Whether an error is worth a reconnect: transport failures and torn
+/// mid-stream frames (a dying server) are transient; a typed server
+/// rejection is a property of the request and retries would re-fail.
+fn is_transient(error: &ClientError) -> bool {
+    matches!(error, ClientError::Io { .. } | ClientError::Protocol { .. })
+}
+
+/// [`Client::connect`] with reconnection: retries transient failures under
+/// `policy`, sleeping the policy's backoff between attempts.
+pub fn connect_with_retry(addr: &str, policy: &RetryPolicy) -> Result<Client, ClientError> {
+    let mut last = None;
+    for attempt in 0..policy.max_attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(policy.delay_for(attempt));
+        }
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(e) if is_transient(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or(ClientError::Io {
+        detail: "no connection attempt was made".to_string(),
+    }))
+}
+
+/// Submits `job` and survives the server dying mid-stream: on a transient
+/// failure the job is resubmitted over a fresh connection under `policy`.
+///
+/// Resubmission is idempotent by construction — the job id is
+/// content-addressed and every completed cell is in the server's
+/// journal-backed cache, so a resubmitted job replays finished cells as
+/// cache hits and only computes what the interruption left undone.
+/// `on_cell` never sees a cell twice: progress replayed below the
+/// high-water mark of an earlier attempt is swallowed. The receipt's
+/// `reconnects` counts how many fresh connections the job needed beyond
+/// the first.
+pub fn submit_with_recovery(
+    addr: &str,
+    job: &JobSpec,
+    policy: &RetryPolicy,
+    on_cell: &mut dyn FnMut(&CellProgress<'_>),
+) -> Result<JobReceipt, ClientError> {
+    let mut reconnects = 0u32;
+    let mut high_water = 0usize;
+    let mut last = None;
+    for attempt in 0..policy.max_attempts.max(1) {
+        if attempt > 0 {
+            reconnects += 1;
+            std::thread::sleep(policy.delay_for(attempt));
+        }
+        let mut client = match Client::connect(addr) {
+            Ok(client) => client,
+            Err(e) if is_transient(&e) => {
+                last = Some(e);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let mut dedup = |progress: &CellProgress<'_>| {
+            if progress.completed_cells > high_water {
+                high_water = progress.completed_cells;
+                on_cell(progress);
+            }
+        };
+        match client.submit(job, &mut dedup) {
+            Ok(mut receipt) => {
+                receipt.reconnects = reconnects;
+                return Ok(receipt);
+            }
+            Err(e) if is_transient(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or(ClientError::Io {
+        detail: "no submission attempt was made".to_string(),
+    }))
 }

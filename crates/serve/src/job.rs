@@ -355,6 +355,14 @@ pub struct JobSpec {
     /// pre-continuation clients (which omit the field) keep submitting
     /// blind jobs unchanged.
     pub warm_start: Option<bool>,
+    /// Per-job wall-clock deadline in milliseconds, enforced server-side:
+    /// once it elapses, cells not yet started are quarantined as typed
+    /// `deadline-exceeded` failures (never cached) and the job terminates
+    /// with a partial [`crate::protocol::Reply::Done`]. `None` (and absent,
+    /// for pre-deadline clients) = no deadline. The deadline is excluded
+    /// from [`cell_key`], so cells computed under a deadline are shared
+    /// with deadline-free jobs and vice versa.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {

@@ -20,7 +20,12 @@
 //!   checkpoint) replayed on boot, so a kill/restart never recomputes a
 //!   finished cell.
 //! * **[`client`]** — the typed client the thin CLI drivers
-//!   (`bench_sweep --connect`, the table binaries) and the tests use.
+//!   (`bench_sweep --connect`, the table binaries) and the tests use,
+//!   including the self-healing entry points ([`submit_with_recovery`],
+//!   [`connect_with_retry`]): exponential backoff with deterministic
+//!   jitter, idempotent resubmission over the content-addressed cache,
+//!   and cell-progress dedup so an interrupted stream resumes without
+//!   repeating rows.
 //!
 //! # Determinism contract
 //!
@@ -45,7 +50,10 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, Claim, ResultCache};
-pub use client::{CellProgress, Client, ClientError, JobReceipt};
+pub use client::{
+    connect_with_retry, submit_with_recovery, CellProgress, Client, ClientError, JobReceipt,
+    RetryPolicy,
+};
 pub use job::{cell_key, plan_job, EstimatorSpec, JobError, JobPlan, JobSpec, ProblemSpec};
 pub use protocol::{
     ProtocolError, Reply, ReplyFrame, Request, RequestFrame, ServerStatus, PROTOCOL_VERSION,

@@ -80,6 +80,22 @@ pub struct ServerStatus {
     /// Completed cells currently held in the cache (journal replays
     /// included).
     pub cache_entries: usize,
+    /// Seconds since the server booted. `None` from pre-heartbeat servers.
+    pub uptime_seconds: Option<u64>,
+    /// Jobs currently executing (submitted, not yet `Done`). `None` from
+    /// pre-heartbeat servers.
+    pub in_flight_jobs: Option<u64>,
+    /// Total compute slots the server admits concurrently. `None` from
+    /// pre-heartbeat servers.
+    pub slots_total: Option<u64>,
+    /// Compute slots currently free. `None` from pre-heartbeat servers.
+    pub slots_free: Option<u64>,
+    /// Lines appended to the journal since boot. `None` from
+    /// pre-heartbeat servers or when journaling is disabled.
+    pub journal_lines: Option<u64>,
+    /// `false` once a journal append has failed — results may no longer be
+    /// durable. `None` from pre-heartbeat servers.
+    pub journal_healthy: Option<bool>,
 }
 
 /// One server reply, inside a [`ReplyFrame`].
@@ -132,6 +148,11 @@ pub enum Reply {
         /// The assembled report — bit-identical to the same plan run
         /// through the batch `SweepRunner`.
         report: AnalysisReport,
+        /// `Some(true)` when the job's deadline elapsed mid-run: the report
+        /// is complete in shape but cells past the deadline are typed
+        /// `deadline-exceeded` placeholders. `None`/absent (pre-deadline
+        /// servers) or `Some(false)` = every cell genuinely ran.
+        partial: Option<bool>,
     },
     /// Server counters, in response to [`Request::Status`].
     Status {

@@ -28,17 +28,19 @@
 use crate::cache::{Claim, ResultCache};
 use crate::job::{plan_job, JobPlan, JobSpec};
 use crate::protocol::{
-    parse_request, read_frame, write_reply, Reply, Request, ServerStatus, PROTOCOL_VERSION,
+    encode_reply, parse_request, read_frame, write_reply, Reply, Request, ServerStatus,
+    PROTOCOL_VERSION,
 };
+use gis_core::fault::{self, CellFailure};
 use gis_core::sweep::{SweepCellRecord, SweepLogEntry, SWEEP_LOG_KIND_CELL};
-use gis_core::{AnalysisReport, ExecutionConfig, MethodReport, ProblemReport};
+use gis_core::{AnalysisReport, ExecutionConfig, FaultPlan, MethodReport, ProblemReport};
 use serde::Serialize;
 use std::io::{BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Counting semaphore bounding concurrent cell computations across every
 /// connection — the knob that multiplexes all clients onto one shared
@@ -70,6 +72,14 @@ impl ComputeSlots {
         }
         *free -= 1;
         SlotPermit { slots: self }
+    }
+
+    /// Slots currently free (heartbeat snapshot; racy by nature).
+    fn free_now(&self) -> usize {
+        match self.free.lock() {
+            Ok(guard) => *guard,
+            Err(poisoned) => *poisoned.into_inner(),
+        }
     }
 
     fn release(&self) {
@@ -113,6 +123,13 @@ pub struct ServerConfig {
     /// Read timeout per request line — a silent peer cannot hang a
     /// connection thread forever.
     pub read_timeout: Duration,
+    /// How many times a failing cell is retried (same derived seed) before
+    /// it is quarantined as a typed failure.
+    pub cell_attempts: u32,
+    /// Deterministic fault plan for this server (tests and chaos drills).
+    /// `None` falls back to the process-wide `GIS_FAULTS` plan; both unset
+    /// means no injection.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +143,8 @@ impl Default for ServerConfig {
             compute_slots,
             max_request_bytes: crate::protocol::DEFAULT_MAX_REQUEST_BYTES,
             read_timeout: Duration::from_secs(120),
+            cell_attempts: fault::DEFAULT_CELL_ATTEMPTS,
+            faults: None,
         }
     }
 }
@@ -135,10 +154,47 @@ struct Shared {
     journal: Option<Mutex<std::fs::File>>,
     execution: ExecutionConfig,
     slots: ComputeSlots,
+    slots_total: usize,
     jobs_submitted: AtomicU64,
     shutdown: AtomicBool,
     max_request_bytes: usize,
     read_timeout: Duration,
+    cell_attempts: u32,
+    faults_override: Option<FaultPlan>,
+    started: Instant,
+    in_flight: AtomicU64,
+    journal_lines: AtomicU64,
+    journal_healthy: AtomicBool,
+    /// Remaining injected socket drops (from the fault plan's
+    /// `drop-frame:<n>:<times>` budget) — shared across connections so a
+    /// reconnecting client eventually gets through.
+    drop_budget: AtomicU64,
+}
+
+impl Shared {
+    /// The effective fault plan: per-server override, else process-wide.
+    fn faults(&self) -> Option<&FaultPlan> {
+        match &self.faults_override {
+            Some(plan) => Some(plan),
+            None => fault::global(),
+        }
+    }
+}
+
+/// RAII in-flight-jobs counter (decrements on drop, panic included).
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InFlightGuard<'a> {
+    fn enter(counter: &'a AtomicU64) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        InFlightGuard(counter)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A bound, journal-replayed server ready to [`run`](Server::run).
@@ -162,12 +218,23 @@ fn replay_journal(path: &std::path::Path, cache: &ResultCache) -> usize {
         let Ok(entry) = serde_json::from_str::<SweepLogEntry>(line) else {
             continue;
         };
+        // A sealed line whose checksum fails is damaged (torn write or bit
+        // rot that still parses) and must not seed the cache; unsealed
+        // legacy lines replay on parse validity alone.
+        if !entry.crc_valid() {
+            continue;
+        }
         if entry.v != gis_core::sweep::SWEEP_LOG_VERSION || entry.kind != SWEEP_LOG_KIND_CELL {
             continue;
         }
         let (Some(key), Some(record)) = (entry.key, entry.record) else {
             continue;
         };
+        // Journaled failures document the fault for audit; they never seed
+        // the cache — a restart gives the cell a fresh chance.
+        if record.report.is_failed() {
+            continue;
+        }
         cache.seed(&key, record.report);
         seeded += 1;
     }
@@ -201,17 +268,33 @@ impl Server {
             }
             None => None,
         };
+        let slots_total = config.compute_slots.max(1);
+        let effective_faults: Option<&FaultPlan> = match &config.faults {
+            Some(plan) => Some(plan),
+            None => fault::global(),
+        };
+        let drop_budget = effective_faults
+            .and_then(|plan| plan.drop_frame.as_ref())
+            .map_or(0, |drop| drop.times);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 cache,
                 journal,
                 execution: config.execution,
-                slots: ComputeSlots::new(config.compute_slots),
+                slots: ComputeSlots::new(slots_total),
+                slots_total,
                 jobs_submitted: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 max_request_bytes: config.max_request_bytes,
                 read_timeout: config.read_timeout,
+                cell_attempts: config.cell_attempts.max(1),
+                faults_override: config.faults,
+                started: Instant::now(),
+                in_flight: AtomicU64::new(0),
+                journal_lines: AtomicU64::new(0),
+                journal_healthy: AtomicBool::new(true),
+                drop_budget: AtomicU64::new(drop_budget),
             }),
         })
     }
@@ -246,22 +329,73 @@ impl Server {
     }
 }
 
-/// Appends one envelope line to the journal and flushes it. A journal
-/// write failure aborts this connection's job (panic unwinds the
-/// connection thread only): a lost journal line would silently fake
-/// restart safety, exactly the failure mode the sweep checkpoint refuses.
+/// Appends one envelope line (sealed with its CRC) to the journal and
+/// flushes it. A journal write failure marks the journal unhealthy (the
+/// `Status` heartbeat surfaces it) and aborts this connection's job (panic
+/// unwinds the connection thread only): a lost journal line would silently
+/// fake restart safety, exactly the failure mode the sweep checkpoint
+/// refuses. Under an injected `torn-journal:<n>` fault the nth append
+/// writes only half its line, reproducing a kill mid-append.
 #[allow(clippy::expect_used)] // deliberate fail-fast, invariants stated in the expect messages
-fn journal_append(shared: &Shared, entry: &SweepLogEntry) {
+fn journal_append(shared: &Shared, entry: SweepLogEntry) {
     let Some(journal) = &shared.journal else {
         return;
     };
-    let line = serde_json::to_string(entry).expect("in-memory journal entry serializes"); // gis-analyze: allow(panic-site, serializing an in-memory envelope to a string cannot fail)
+    let line = serde_json::to_string(&entry.sealed()).expect("in-memory journal entry serializes"); // gis-analyze: allow(panic-site, serializing an in-memory envelope to a string cannot fail)
     let mut file = match journal.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     };
-    writeln!(file, "{line}").expect("journal line is appendable"); // gis-analyze: allow(panic-site, deliberate fail-fast: a lost journal line would silently fake restart safety)
-    file.flush().expect("journal flushes"); // gis-analyze: allow(panic-site, deliberate fail-fast: an unflushed journal line would silently fake restart safety)
+    let n = shared.journal_lines.fetch_add(1, Ordering::SeqCst) + 1;
+    let written = if shared.faults().is_some_and(|f| f.tears_journal_line(n)) {
+        write!(file, "{}", &line[..line.len() / 2]).and_then(|_| file.flush())
+    } else {
+        writeln!(file, "{line}").and_then(|_| file.flush())
+    };
+    if let Err(e) = written {
+        shared.journal_healthy.store(false, Ordering::SeqCst);
+        panic!("journal append failed: {e}"); // gis-analyze: allow(panic-site, deliberate fail-fast: a lost journal line would silently fake restart safety)
+    }
+}
+
+/// The reply side of one connection: wraps the stream so every outgoing
+/// frame passes one choke point, where the `drop-frame:<n>:<times>` fault
+/// injects a half-written frame followed by a hard close — the shape a
+/// network partition or server kill leaves a streaming client in.
+struct ReplyChannel<'a> {
+    writer: &'a mut TcpStream,
+    shared: &'a Shared,
+    /// Frames attempted on this connection ([`Reply::Hello`] included).
+    frames: u64,
+}
+
+impl ReplyChannel<'_> {
+    fn send(&mut self, reply: &Reply) -> std::io::Result<()> {
+        self.frames += 1;
+        if let Some(drop) = self.shared.faults().and_then(|f| f.drop_frame.as_ref()) {
+            let armed = self.frames == drop.nth
+                && self
+                    .shared
+                    .drop_budget
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |budget| {
+                        budget.checked_sub(1)
+                    })
+                    .is_ok();
+            if armed {
+                // Half a frame, then a hard close: the client sees a torn
+                // frame (or an IO error) mid-stream and must reconnect.
+                let line = encode_reply(reply);
+                let _ = self.writer.write_all(&line.as_bytes()[..line.len() / 2]);
+                let _ = self.writer.flush();
+                let _ = self.writer.shutdown(std::net::Shutdown::Both);
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "injected socket drop",
+                ));
+            }
+        }
+        write_reply(self.writer, reply)
+    }
 }
 
 /// Runs one submitted job: validate, journal, stream cells, assemble.
@@ -269,98 +403,128 @@ fn journal_append(shared: &Shared, entry: &SweepLogEntry) {
 /// the peer is gone and the connection loop should end. Cache state stays
 /// consistent even when the client disconnects mid-stream: a computed
 /// cell is journaled and fulfilled before the stream write is attempted.
-fn run_job(writer: &mut TcpStream, shared: &Shared, job: &JobSpec) -> std::io::Result<()> {
+///
+/// A panicking or non-converging cell is quarantined as a typed failure
+/// (retried up to the configured attempts first): its placeholder report
+/// is journaled for audit but never cached, its `Reply::Cell` streams with
+/// `cached = false`, and the job *continues* — one poisoned cell no longer
+/// aborts the other cells of the job. When the job carries a deadline and
+/// it elapses, cells not yet started become `deadline-exceeded`
+/// placeholders (not journaled — they document give-up, not computation)
+/// and the final [`Reply::Done`] is marked partial.
+fn run_job(channel: &mut ReplyChannel<'_>, shared: &Shared, job: &JobSpec) -> std::io::Result<()> {
     shared.jobs_submitted.fetch_add(1, Ordering::SeqCst);
+    let _in_flight = InFlightGuard::enter(&shared.in_flight);
     let plan = match plan_job(job, shared.execution) {
         Ok(plan) => plan,
         Err(e) => {
-            return write_reply(
-                writer,
-                &Reply::Error {
-                    code: "bad-job".to_string(),
-                    message: e.to_string(),
-                },
-            );
+            return channel.send(&Reply::Error {
+                code: "bad-job".to_string(),
+                message: e.to_string(),
+            });
         }
     };
     journal_append(
         shared,
-        &SweepLogEntry::job(job.to_value()).with_key(plan.job_id.clone()),
+        SweepLogEntry::job(job.to_value()).with_key(plan.job_id.clone()),
     );
-    write_reply(
-        writer,
-        &Reply::Accepted {
-            job_id: plan.job_id.clone(),
-            total_cells: plan.cells.len(),
-        },
-    )?;
+    channel.send(&Reply::Accepted {
+        job_id: plan.job_id.clone(),
+        total_cells: plan.cells.len(),
+    })?;
 
+    let deadline = job
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     let total_cells = plan.cells.len();
     let per_problem = plan.estimator_names.len();
     let mut cells_executed = 0usize;
     let mut cells_cached = 0usize;
+    let mut deadline_hit = false;
     let mut completed: Vec<MethodReport> = Vec::with_capacity(total_cells);
     for (index, cell) in plan.cells.iter().enumerate() {
+        let derived = plan.analysis.derived_seed(&cell.problem, &cell.estimator);
+        // Deadline enforcement happens between cells: a started cell runs
+        // to completion (its result is journaled and cached — the work is
+        // not wasted), but no new cell starts past the deadline.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            deadline_hit = true;
+            completed.push(fault::failed_report(
+                &cell.estimator,
+                derived,
+                CellFailure {
+                    reason: fault::CellFailureReason::DeadlineExceeded {
+                        detail: format!(
+                            "job deadline of {} ms elapsed before this cell started",
+                            job.deadline_ms.unwrap_or(0)
+                        ),
+                    },
+                    attempts: 0,
+                },
+            ));
+            continue;
+        }
         // Continuation mode: the donor cell (same estimator, donor problem)
         // always precedes this cell in registration order, so its report is
         // already in `completed` — whether computed, cached or replayed —
-        // and yields the same hint deterministically in every case.
-        let warm_hint = cell.warm_from.as_ref().and_then(|donor| {
+        // and yields the same hint deterministically in every case. A
+        // quarantined donor yields no hint, so the dependent degrades to a
+        // blind run (recorded as provenance in the journal).
+        let donor_report = cell.warm_from.as_ref().and_then(|donor| {
             plan.problem_names
                 .iter()
                 .position(|p| p == donor)
                 .and_then(|dpi| completed.get(dpi * per_problem + cell.estimator_index))
-                .and_then(|donor_report| donor_report.outcome.warm_hint())
         });
+        let warm_hint = donor_report.and_then(|r| r.outcome.warm_hint());
+        let donor_failed = donor_report.and_then(|r| r.failed.as_ref().map(|_| true));
         let (report, cached) = match shared.cache.claim(&cell.key) {
             Claim::Ready(report) => (*report, true),
             Claim::Compute(guard) => {
-                let computed = {
+                let outcome = {
                     let _permit = shared.slots.acquire();
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        plan.analysis.run_cell_warm(
-                            cell.problem_index,
-                            cell.estimator_index,
-                            warm_hint.as_ref(),
-                        )
-                    }))
+                    fault::run_contained(
+                        &cell.problem,
+                        &cell.estimator,
+                        shared.cell_attempts,
+                        shared.faults(),
+                        || {
+                            plan.analysis.run_cell_warm(
+                                cell.problem_index,
+                                cell.estimator_index,
+                                warm_hint.as_ref(),
+                            )
+                        },
+                    )
                 };
-                match computed {
-                    Ok(report) => {
-                        // Journal before fulfill (durability before
-                        // visibility). If the append panics, `guard` drops
-                        // unfulfilled and abandons the key, so blocked
-                        // claimants re-race instead of hanging on a cell
-                        // nobody is computing.
-                        journal_append(
-                            shared,
-                            &SweepLogEntry::cell(SweepCellRecord {
-                                master_seed: job.master_seed,
-                                policy: job.policy,
-                                problem: cell.problem.clone(),
-                                report: report.clone(),
-                                warm_from: cell.warm_from.clone(),
-                                warm_hint: warm_hint.clone(),
-                            })
-                            .with_key(cell.key.clone()),
-                        );
-                        guard.fulfill(report.clone());
-                        (report, false)
-                    }
-                    Err(_) => {
-                        drop(guard); // abandons: the key is re-claimable
-                        return write_reply(
-                            writer,
-                            &Reply::Error {
-                                code: "cell-failed".to_string(),
-                                message: format!(
-                                    "cell ({}, {}) panicked during execution; job aborted",
-                                    cell.problem, cell.estimator
-                                ),
-                            },
-                        );
-                    }
+                let failed = outcome.is_failed();
+                let report = outcome.into_report(&cell.estimator, derived);
+                // Journal before fulfill (durability before visibility).
+                // If the append panics, `guard` drops unfulfilled and
+                // abandons the key, so blocked claimants re-race instead
+                // of hanging on a cell nobody is computing.
+                journal_append(
+                    shared,
+                    SweepLogEntry::cell(SweepCellRecord {
+                        master_seed: job.master_seed,
+                        policy: job.policy,
+                        problem: cell.problem.clone(),
+                        report: report.clone(),
+                        warm_from: cell.warm_from.clone(),
+                        warm_hint: warm_hint.clone(),
+                        donor_failed,
+                    })
+                    .with_key(cell.key.clone()),
+                );
+                if failed {
+                    // Quarantined: journaled for audit, never cached —
+                    // dropping the guard abandons the key so a later claim
+                    // (or a restart) gives the cell a fresh chance.
+                    drop(guard);
+                } else {
+                    guard.fulfill(report.clone());
                 }
+                (report, false)
             }
         };
         if cached {
@@ -368,31 +532,26 @@ fn run_job(writer: &mut TcpStream, shared: &Shared, job: &JobSpec) -> std::io::R
         } else {
             cells_executed += 1;
         }
-        write_reply(
-            writer,
-            &Reply::Cell {
-                job_id: plan.job_id.clone(),
-                problem: cell.problem.clone(),
-                estimator: cell.estimator.clone(),
-                completed_cells: index + 1,
-                total_cells,
-                cached,
-                report: report.clone(),
-            },
-        )?;
+        channel.send(&Reply::Cell {
+            job_id: plan.job_id.clone(),
+            problem: cell.problem.clone(),
+            estimator: cell.estimator.clone(),
+            completed_cells: index + 1,
+            total_cells,
+            cached,
+            report: report.clone(),
+        })?;
         completed.push(report);
     }
 
     let report = assemble(&plan, job.master_seed, completed);
-    write_reply(
-        writer,
-        &Reply::Done {
-            job_id: plan.job_id.clone(),
-            cells_executed,
-            cells_cached,
-            report,
-        },
-    )
+    channel.send(&Reply::Done {
+        job_id: plan.job_id.clone(),
+        cells_executed,
+        cells_cached,
+        report,
+        partial: deadline_hit.then_some(true),
+    })
 }
 
 /// Assembles the full report from the cells in registration order — the
@@ -419,14 +578,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local_addr: Option<std:
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    if write_reply(
-        &mut writer,
-        &Reply::Hello {
+    let mut channel = ReplyChannel {
+        writer: &mut writer,
+        shared,
+        frames: 0,
+    };
+    if channel
+        .send(&Reply::Hello {
             server: "gis-serve".to_string(),
             protocol: PROTOCOL_VERSION,
-        },
-    )
-    .is_err()
+        })
+        .is_err()
     {
         return;
     }
@@ -436,13 +598,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local_addr: Option<std:
             Ok(None) => return,
             Ok(Some(line)) => line,
             Err(e) => {
-                let _ = write_reply(
-                    &mut writer,
-                    &Reply::Error {
-                        code: e.code().to_string(),
-                        message: e.to_string(),
-                    },
-                );
+                let _ = channel.send(&Reply::Error {
+                    code: e.code().to_string(),
+                    message: e.to_string(),
+                });
                 if e.is_fatal() {
                     return;
                 }
@@ -454,14 +613,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local_addr: Option<std:
             Err(e) => {
                 // Content errors (bad JSON, wrong version) are
                 // line-delimited: report and keep the connection.
-                if write_reply(
-                    &mut writer,
-                    &Reply::Error {
+                if channel
+                    .send(&Reply::Error {
                         code: e.code().to_string(),
                         message: e.to_string(),
-                    },
-                )
-                .is_err()
+                    })
+                    .is_err()
                 {
                     return;
                 }
@@ -470,7 +627,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local_addr: Option<std:
         };
         match request {
             Request::Submit { job } => {
-                if run_job(&mut writer, shared, &job).is_err() {
+                if run_job(&mut channel, shared, &job).is_err() {
                     return;
                 }
             }
@@ -481,13 +638,19 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local_addr: Option<std:
                     cells_executed: stats.executed,
                     cache_hits: stats.hits,
                     cache_entries: stats.entries,
+                    uptime_seconds: Some(shared.started.elapsed().as_secs()),
+                    in_flight_jobs: Some(shared.in_flight.load(Ordering::SeqCst)),
+                    slots_total: Some(shared.slots_total as u64),
+                    slots_free: Some(shared.slots.free_now() as u64),
+                    journal_lines: Some(shared.journal_lines.load(Ordering::SeqCst)),
+                    journal_healthy: Some(shared.journal_healthy.load(Ordering::SeqCst)),
                 };
-                if write_reply(&mut writer, &Reply::Status { status }).is_err() {
+                if channel.send(&Reply::Status { status }).is_err() {
                     return;
                 }
             }
             Request::Shutdown => {
-                let _ = write_reply(&mut writer, &Reply::ShuttingDown);
+                let _ = channel.send(&Reply::ShuttingDown);
                 shared.shutdown.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the flag.
                 if let Some(addr) = local_addr {

@@ -30,6 +30,7 @@ fn job() -> JobSpec {
         master_seed: 424242,
         policy: None,
         warm_start: None,
+        deadline_ms: None,
     }
 }
 

@@ -40,6 +40,7 @@ fn main() {
                 .min_failures(10),
         ),
         warm_start: None,
+        deadline_ms: None,
     };
 
     // 3. Submit and stream. The callback fires once per completed cell, in

@@ -1,0 +1,319 @@
+//! Integration tests of the fault-containment stack end to end: a served
+//! job survives an injected worker panic (typed quarantine, healthy cells
+//! bit-identical to the batch path, failure never cached), a bounded retry
+//! clears a transient fault without a trace, a mid-stream socket drop is
+//! healed by the self-healing client without recomputing a single cell, a
+//! zero deadline degrades to a typed partial result, and a torn journal
+//! line costs exactly one cell on restart.
+//!
+//! Every fault here is injected through an explicit per-server
+//! [`FaultPlan`] (never the `GIS_FAULTS` environment variable) so the
+//! tests stay safe under the default parallel test harness. The
+//! sweep-level matrix (panic / singular / NaN / torn checkpoint / CRC
+//! tamper / donor quarantine) lives in `crates/core/src/sweep.rs`.
+
+// Test code: panicking is the correct failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use gis_serve::{
+    submit_with_recovery, Client, EstimatorSpec, JobSpec, ProblemSpec, RetryPolicy, Server,
+    ServerConfig,
+};
+use sram_highsigma::highsigma::{
+    BenchmarkProblem, CellFailureReason, ConvergencePolicy, FaultPlan, GisConfig,
+    GradientImportanceSampling, MonteCarlo, MonteCarloConfig, YieldAnalysis,
+};
+use std::path::PathBuf;
+
+const MASTER_SEED: u64 = 20180319;
+
+/// The cell the fault directives below target: first fast-suite problem
+/// under the Monte Carlo estimator (registration order cell 2 of 14).
+const FAULTED_PROBLEM: &str = "linear-6d-2.5s";
+const FAULTED_ESTIMATOR: &str = "monte-carlo";
+
+/// Per-test scratch directory under the system temp dir.
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("gis_fault_tests")
+        .join(format!("{test}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// Starts an in-process server and returns its address.
+fn start_server(config: ServerConfig) -> String {
+    let server = Server::bind(config).expect("server binds");
+    let addr = server.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+fn policy() -> ConvergencePolicy {
+    ConvergencePolicy::with_budget(2_000)
+        .target_relative_error(0.1)
+        .min_failures(10)
+}
+
+/// A cheap job: the 7 analytic fast-suite problems under two estimators.
+fn fast_job(master_seed: u64) -> JobSpec {
+    JobSpec {
+        problem: ProblemSpec::Suite {
+            suite: "fast".to_string(),
+        },
+        estimators: vec![
+            EstimatorSpec::GradientIs {
+                config: GisConfig::default(),
+            },
+            EstimatorSpec::MonteCarlo {
+                config: MonteCarloConfig::default(),
+            },
+        ],
+        master_seed,
+        policy: Some(policy()),
+        warm_start: None,
+        deadline_ms: None,
+    }
+}
+
+/// The batch-path analysis equivalent to [`fast_job`].
+fn fast_batch_analysis(master_seed: u64) -> YieldAnalysis {
+    let mut analysis = YieldAnalysis::new()
+        .master_seed(master_seed)
+        .convergence_policy(policy());
+    for problem in BenchmarkProblem::fast_suite() {
+        let name = problem.name().to_string();
+        analysis = analysis.problem(name, problem.fork());
+    }
+    analysis
+        .estimator(Box::new(GradientImportanceSampling::new(
+            GisConfig::default(),
+        )))
+        .estimator(Box::new(MonteCarlo::new(MonteCarloConfig::default())))
+}
+
+/// A fast, deterministic retry policy for in-process reconnect tests.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        base_delay_ms: 1,
+        max_delay_ms: 20,
+        ..RetryPolicy::default()
+    }
+}
+
+#[test]
+fn injected_server_panic_is_quarantined_typed_and_never_cached() {
+    let plan =
+        FaultPlan::parse(&format!("panic:{FAULTED_PROBLEM}/{FAULTED_ESTIMATOR}")).expect("plan");
+    let addr = start_server(ServerConfig {
+        faults: Some(plan),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    // The run completes despite the persistently panicking cell.
+    let receipt = client
+        .submit(&fast_job(MASTER_SEED), &mut |_| {})
+        .expect("job completes despite the injected panic");
+    assert_eq!(receipt.cells_executed, 14);
+    assert!(!receipt.partial);
+
+    // Exactly the injected cell is quarantined, with a typed reason and
+    // the full attempt budget recorded.
+    assert_eq!(
+        receipt.report.failed_cells(),
+        vec![(FAULTED_PROBLEM.to_string(), FAULTED_ESTIMATOR.to_string())]
+    );
+    let failure = receipt.report.problems[0].methods[1]
+        .failed
+        .as_ref()
+        .expect("quarantined cell carries its failure");
+    assert!(matches!(
+        &failure.reason,
+        CellFailureReason::Panic { message } if message.contains("injected worker panic")
+    ));
+    assert_eq!(failure.attempts, 2);
+    assert!(receipt.report.problems[0].methods[1]
+        .outcome
+        .result
+        .failure_probability
+        .is_nan());
+
+    // Every healthy cell is bit-identical to the fault-free batch run.
+    let batch = fast_batch_analysis(MASTER_SEED).run();
+    for (pi, problem) in batch.problems.iter().enumerate() {
+        for (ei, method) in problem.methods.iter().enumerate() {
+            if (pi, ei) == (0, 1) {
+                continue;
+            }
+            assert_eq!(
+                &receipt.report.problems[pi].methods[ei], method,
+                "healthy cell ({pi}, {ei}) must be untouched by the fault"
+            );
+        }
+    }
+
+    // Quarantined failures are never cached: a resubmission serves the 13
+    // healthy cells from cache and gives the failed cell a fresh attempt.
+    let again = client
+        .submit(&fast_job(MASTER_SEED), &mut |_| {})
+        .expect("resubmission completes");
+    assert_eq!(again.cells_cached, 13);
+    assert_eq!(again.cells_executed, 1);
+    assert_eq!(again.report, receipt.report);
+
+    client.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn fault_clearing_within_the_retry_budget_leaves_no_trace() {
+    // The fault fires on the first attempt only; the default budget of two
+    // attempts retries the cell under the identical derived seed, so the
+    // whole report is bit-identical to the fault-free batch run.
+    let plan =
+        FaultPlan::parse(&format!("panic:{FAULTED_PROBLEM}/{FAULTED_ESTIMATOR}:1")).expect("plan");
+    let addr = start_server(ServerConfig {
+        faults: Some(plan),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    let receipt = client
+        .submit(&fast_job(MASTER_SEED), &mut |_| {})
+        .expect("job completes");
+    assert!(receipt.report.failed_cells().is_empty());
+    assert_eq!(receipt.report, fast_batch_analysis(MASTER_SEED).run());
+
+    client.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn mid_stream_socket_drop_heals_without_recomputing_cells() {
+    // Frame 8 of the first connection is the sixth cell row (Hello and
+    // Accepted precede the cell stream); the server truncates it and slams
+    // the socket. `times: 1` spends the whole drop budget there, so the
+    // healed connection streams clean.
+    let plan = FaultPlan::parse("drop-frame:8:1").expect("plan");
+    let addr = start_server(ServerConfig {
+        faults: Some(plan),
+        ..ServerConfig::default()
+    });
+
+    let mut streamed = Vec::new();
+    let receipt = submit_with_recovery(&addr, &fast_job(MASTER_SEED), &fast_retry(), &mut |cell| {
+        streamed.push((cell.completed_cells, cell.cached));
+    })
+    .expect("job heals across the drop");
+
+    // The client reconnected at least once and finished the same job.
+    assert!(receipt.reconnects >= 1, "the drop must force a reconnect");
+    assert!(!receipt.partial);
+
+    // Progress dedup across reconnects: each of the 14 rows reached the
+    // callback exactly once, in order, despite the replayed prefix.
+    assert_eq!(
+        streamed.iter().map(|s| s.0).collect::<Vec<_>>(),
+        (1..=14).collect::<Vec<_>>()
+    );
+
+    // Nothing was recomputed: the two attempts together charged each cell
+    // exactly once, with the healed attempt resuming from the cache.
+    assert_eq!(receipt.cells_executed + receipt.cells_cached, 14);
+    assert!(
+        receipt.cells_cached > 0,
+        "healed attempt must hit the cache"
+    );
+    let mut client = Client::connect(&addr).expect("status client connects");
+    assert_eq!(client.status().expect("status").cells_executed, 14);
+
+    // The healed report is still bit-identical to the batch path.
+    assert_eq!(receipt.report, fast_batch_analysis(MASTER_SEED).run());
+
+    client.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn expired_deadline_degrades_to_a_typed_partial_result() {
+    let addr = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    // A zero deadline expires before the first cell starts: every cell
+    // degrades to a typed placeholder, nothing executes, and the `Done`
+    // frame is marked partial.
+    let mut job = fast_job(MASTER_SEED);
+    job.deadline_ms = Some(0);
+    let mut streamed = 0usize;
+    let receipt = client
+        .submit(&job, &mut |_| streamed += 1)
+        .expect("partial job still completes");
+    assert!(receipt.partial);
+    assert_eq!(streamed, 0, "deadline placeholders are not streamed");
+    assert_eq!(receipt.cells_executed + receipt.cells_cached, 0);
+    assert_eq!(receipt.report.failed_cells().len(), 14);
+    for problem in &receipt.report.problems {
+        for method in &problem.methods {
+            let failure = method.failed.as_ref().expect("placeholder is typed");
+            assert!(matches!(
+                failure.reason,
+                CellFailureReason::DeadlineExceeded { .. }
+            ));
+        }
+    }
+
+    // Deadline placeholders are never cached or journaled: the same job
+    // without a deadline runs every cell fresh and matches the batch path.
+    let full = client
+        .submit(&fast_job(MASTER_SEED), &mut |_| {})
+        .expect("full job runs");
+    assert_eq!(full.cells_executed, 14);
+    assert!(!full.partial);
+    assert_eq!(full.report, fast_batch_analysis(MASTER_SEED).run());
+
+    client.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn torn_journal_line_costs_exactly_one_cell_on_restart() {
+    let dir = scratch_dir("torn_journal_restart");
+    let journal = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    // First lifetime: the final journal append (the job line plus cells
+    // one through thirteen precede it) is torn mid-line, simulating a
+    // crash mid-write. The tail is torn (rather than an interior line)
+    // because a torn interior line has no newline, so the next append
+    // merges into it and two records are lost instead of one — the
+    // interior case is covered by the sweep checkpoint tests. The running
+    // server is unaffected either way: its cache holds the real result.
+    let plan = FaultPlan::parse("torn-journal:15").expect("plan");
+    let addr = start_server(ServerConfig {
+        journal: Some(journal.clone()),
+        faults: Some(plan),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("client connects");
+    let fresh = client
+        .submit(&fast_job(MASTER_SEED), &mut |_| {})
+        .expect("fresh run");
+    assert_eq!(fresh.cells_executed, 14);
+    client.shutdown().expect("clean shutdown");
+
+    // Second lifetime, no faults: the replay drops exactly the torn tail
+    // line, so one cell (and only that cell) is recomputed — and it
+    // reconverges to the identical row.
+    let addr = start_server(ServerConfig {
+        journal: Some(journal.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("client reconnects");
+    let resumed = client
+        .submit(&fast_job(MASTER_SEED), &mut |_| {})
+        .expect("resumed run");
+    assert_eq!(resumed.cells_cached, 13);
+    assert_eq!(resumed.cells_executed, 1);
+    assert_eq!(resumed.report, fresh.report);
+    client.shutdown().expect("clean shutdown");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

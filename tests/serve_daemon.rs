@@ -62,6 +62,7 @@ fn fast_job(master_seed: u64) -> JobSpec {
         master_seed,
         policy: Some(policy()),
         warm_start: None,
+        deadline_ms: None,
     }
 }
 
